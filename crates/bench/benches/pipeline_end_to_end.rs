@@ -1,0 +1,83 @@
+//! **Problem 2 / Section 7** — the end-to-end dynamic single-linkage clustering pipeline:
+//! dynamic graph → dynamic MSF (`dynsld-msf`) → DynSLD dendrogram maintenance → queries.
+//!
+//! Measures the sustained update throughput of mixed insert/delete streams on a random graph
+//! (most insertions are non-tree and cheap; tree replacements trigger DynSLD updates), and the
+//! cost of interleaved threshold / cluster-size queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynsld::DynSldOptions;
+use dynsld_bench::config;
+use dynsld_forest::VertexId;
+use dynsld_msf::DynamicGraphClustering;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn build_graph(n: usize, m: usize, seed: u64) -> (DynamicGraphClustering, Vec<(VertexId, VertexId)>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DynamicGraphClustering::with_options(
+        n,
+        DynSldOptions {
+            maintain_spine_index: true,
+            ..Default::default()
+        },
+    );
+    let mut alive = Vec::new();
+    while alive.len() < m {
+        let a = rng.gen_range(0..n as u32);
+        let b = rng.gen_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let (u, v) = (VertexId(a), VertexId(b));
+        if g.edge_weight(u, v).is_some() {
+            continue;
+        }
+        g.insert_edge(u, v, rng.gen::<f64>() * 100.0).expect("valid");
+        alive.push((u, v));
+    }
+    (g, alive)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("problem2/end_to_end");
+    for &(n, m) in &[(5_000usize, 20_000usize), (20_000, 80_000)] {
+        let (mut g, alive) = build_graph(n, m, 3);
+        let mut rng = SmallRng::seed_from_u64(11);
+        group.throughput(Throughput::Elements(2));
+        group.bench_with_input(
+            BenchmarkId::new("delete_reinsert_edge", format!("n{n}_m{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let (u, v) = alive[rng.gen_range(0..alive.len())];
+                    let w = g.edge_weight(u, v).expect("alive");
+                    g.delete_edge(u, v).expect("alive");
+                    g.insert_edge(u, v, w).expect("valid");
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("interleaved_queries", format!("n{n}_m{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let a = VertexId(rng.gen_range(0..n as u32));
+                    let z = VertexId(rng.gen_range(0..n as u32));
+                    let tau = rng.gen::<f64>() * 100.0;
+                    let t = g.sld_mut().threshold_connected(a, z, tau);
+                    let s = g.sld_mut().cluster_size(a, tau);
+                    (t, s)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pipeline
+}
+criterion_main!(benches);

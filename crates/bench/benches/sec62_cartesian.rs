@@ -1,0 +1,48 @@
+//! **Section 6.2** — dynamic Cartesian trees.
+//!
+//! Leaf updates (append / pop) must cost worst-case `O(log n)` independent of the sequence
+//! length and of the tree height — compared against rebuilding the Cartesian tree from scratch
+//! with the static `O(n)` construction, and against arbitrary-position updates (three forest
+//! updates each).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsld::cartesian::{static_parent_array, CartesianTree};
+use dynsld_bench::config;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_cartesian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec6.2/cartesian");
+    for &n in &[4_096usize, 65_536] {
+        let mut rng = SmallRng::seed_from_u64(9);
+        // Monotone values: the Cartesian tree is a chain (worst-case height), which is exactly
+        // where amortized rebuilding approaches struggle and O(log n) worst-case leaf updates
+        // shine.
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut tree = CartesianTree::from_values(&values);
+        group.bench_with_input(BenchmarkId::new("leaf_append_pop", n), &n, |b, _| {
+            b.iter(|| {
+                tree.push_back(n as f64 + 1.0);
+                tree.pop_back();
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("middle_insert_remove", n), &n, |b, _| {
+            b.iter(|| {
+                let i = rng.gen_range(1..tree.len() - 1);
+                tree.insert_at(i, 0.5 + rng.gen::<f64>() * 0.4);
+                tree.remove_at(i);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("static_rebuild", n), &n, |b, _| {
+            b.iter(|| static_parent_array(tree.values()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cartesian
+}
+criterion_main!(benches);

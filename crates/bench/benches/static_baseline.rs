@@ -1,0 +1,41 @@
+//! **Static baseline** — static SLD computation (Section 7 / Dhulipala et al. [19]).
+//!
+//! Sequential Kruskal-style construction vs. the parallel rank-splitting divide-and-conquer,
+//! across input sizes and dendrogram-height regimes. This is the "static recomputation" cost
+//! that every dynamic update is compared against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsld::{static_sld_kruskal, static_sld_parallel};
+use dynsld_bench::{config, N_SWEEP};
+use dynsld_forest::gen::{self, WeightOrder};
+
+fn bench_static(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_sld");
+    for &n in N_SWEEP {
+        for (shape, inst) in [
+            ("low_h_balanced", gen::path(n, WeightOrder::Balanced)),
+            ("high_h_increasing", gen::path(n, WeightOrder::Increasing)),
+            ("random_tree", gen::random_tree(n, 5)),
+        ] {
+            let forest = inst.build_forest();
+            group.bench_with_input(
+                BenchmarkId::new(format!("kruskal_{shape}"), n),
+                &n,
+                |b, _| b.iter(|| static_sld_kruskal(&forest)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel_{shape}"), n),
+                &n,
+                |b, _| b.iter(|| static_sld_parallel(&forest)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_static
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **Theorem 1.1** — sequential insertion `O(h)` and deletion `O(h log(1 + n/h))`.
+//!
+//! At fixed n, the per-update cost must grow (roughly linearly) with the dendrogram height h,
+//! and stay below the cost of static recomputation (`Θ(n log h)`) for every h. The height is
+//! controlled with `gen::path_with_height`; the measured update is a delete + re-insert of an
+//! edge whose spine has length ≈ h.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsld::{static_sld_kruskal, DynSld, DynSldOptions};
+use dynsld_bench::{config, H_SWEEP};
+use dynsld_forest::gen;
+use dynsld_forest::VertexId;
+
+fn bench_updates_vs_height(c: &mut Criterion) {
+    let n = 50_000;
+    let mut group = c.benchmark_group("thm1.1/seq_update_vs_h");
+    for &h in H_SWEEP {
+        let h = h.min(n - 2);
+        let inst = gen::path_with_height(n, h);
+        let mut sld = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
+        // The minimum-weight edge sits at the bottom of the dendrogram: its spine has length ≈ h.
+        let (u, v, w) = *inst
+            .edges
+            .iter()
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("weights are not NaN"))
+            .expect("non-empty");
+        group.bench_with_input(BenchmarkId::new("delete_insert", h), &h, |b, _| {
+            b.iter(|| {
+                sld.delete(u, v).expect("edge present");
+                sld.insert(u, v, w).expect("acyclic");
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("static_recompute", h), &h, |b, _| {
+            b.iter(|| static_sld_kruskal(sld.forest()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_updates_vs_n(c: &mut Criterion) {
+    // Fixed low height (h ≈ log n): updates should be essentially independent of n while
+    // static recomputation grows linearly.
+    let mut group = c.benchmark_group("thm1.1/seq_update_low_h_vs_n");
+    for &n in &[10_000usize, 40_000, 160_000] {
+        let inst = gen::path(n, gen::WeightOrder::Balanced);
+        let mut sld = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
+        let mid = n / 2;
+        let (u, v, w) = inst.edges[mid];
+        group.bench_with_input(BenchmarkId::new("delete_insert", n), &n, |b, _| {
+            b.iter(|| {
+                sld.delete(u, v).expect("edge present");
+                sld.insert(u, v, w).expect("acyclic");
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("static_recompute", n), &n, |b, _| {
+            b.iter(|| static_sld_kruskal(sld.forest()))
+        });
+        let _ = VertexId(0);
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_updates_vs_height, bench_updates_vs_n
+}
+criterion_main!(benches);

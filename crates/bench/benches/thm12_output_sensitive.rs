@@ -1,0 +1,92 @@
+//! **Theorem 1.2** — output-sensitive insertions in `Õ(c)`.
+//!
+//! Two complementary measurements:
+//!
+//! 1. `vs_c`: the Theorem 5.1 instance forces `c ≈ 2h` pointer changes; sweeping `h` (at fixed
+//!    n) the output-sensitive algorithm must grow with c just like the height-bounded one —
+//!    both are near-optimal here because c ≈ h.
+//! 2. `low_c_high_h`: on an instance with h = Θ(n) but updates that change only O(1) pointers,
+//!    the output-sensitive algorithm must be orders of magnitude faster than the `O(h)`
+//!    algorithm — this is the separation the theorem is about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsld::{DynSld, DynSldOptions, UpdateStrategy};
+use dynsld_bench::{config, C_SWEEP};
+use dynsld_forest::gen;
+
+fn bench_vs_c(c: &mut Criterion) {
+    let n = 60_000;
+    let mut group = c.benchmark_group("thm1.2/vs_c");
+    for &target_c in C_SWEEP {
+        let h = (target_c / 2).max(1);
+        let lb = gen::lower_bound_star_paths(n, h);
+        let (u, v, w) = lb.update;
+        let mut seq = DynSld::from_forest(lb.instance.build_forest(), DynSldOptions::default());
+        let mut os = DynSld::from_forest(
+            lb.instance.build_forest(),
+            DynSldOptions::with_strategy(UpdateStrategy::OutputSensitive),
+        );
+        group.bench_with_input(BenchmarkId::new("height_bounded", target_c), &target_c, |b, _| {
+            b.iter(|| {
+                seq.insert(u, v, w).expect("acyclic");
+                seq.delete(u, v).expect("present");
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("output_sensitive", target_c), &target_c, |b, _| {
+            b.iter(|| {
+                os.insert(u, v, w).expect("acyclic");
+                os.delete(u, v).expect("present");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_low_c_high_h(c: &mut Criterion) {
+    // Incremental "star with increasing weights" construction (its dendrogram is a chain, so
+    // h grows to n - 2, but every insertion changes only c = 1 pointer): the height-bounded
+    // algorithm pays Θ(h) per insertion (Θ(n²) total), the output-sensitive one Õ(1) per
+    // insertion. This is the separation Theorem 1.2 is about.
+    let mut group = c.benchmark_group("thm1.2/incremental_low_c");
+    for &n in &[2_000usize, 8_000] {
+        group.bench_with_input(BenchmarkId::new("height_bounded", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sld = DynSld::new(n + 1);
+                for i in 0..n {
+                    sld.insert_seq(
+                        dynsld_forest::VertexId(0),
+                        dynsld_forest::VertexId(i as u32 + 1),
+                        (i + 1) as f64,
+                    )
+                    .expect("acyclic");
+                }
+                sld
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("output_sensitive", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sld = DynSld::with_options(
+                    n + 1,
+                    DynSldOptions::with_strategy(UpdateStrategy::OutputSensitive),
+                );
+                for i in 0..n {
+                    sld.insert(
+                        dynsld_forest::VertexId(0),
+                        dynsld_forest::VertexId(i as u32 + 1),
+                        (i + 1) as f64,
+                    )
+                    .expect("acyclic");
+                }
+                sld
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_vs_c, bench_low_c_high_h
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! **Theorem 1.3** — parallel insertions/deletions.
+//!
+//! The parallel update algorithms replace the sequential spine walk by parallel merge / filter
+//! primitives. The interesting regime is large h (long spines): the parallel algorithms should
+//! track the sequential ones for small h (no parallelism to exploit, small constant overhead)
+//! and catch up / win as h grows. Thread scaling is governed by the ambient rayon pool
+//! (`RAYON_NUM_THREADS`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsld::{DynSld, DynSldOptions, UpdateStrategy};
+use dynsld_bench::{config, H_SWEEP};
+use dynsld_forest::gen;
+
+fn bench_parallel_vs_sequential(c: &mut Criterion) {
+    let n = 50_000;
+    let mut group = c.benchmark_group("thm1.3/parallel_update_vs_h");
+    for &h in H_SWEEP {
+        let h = h.min(n - 2);
+        let inst = gen::path_with_height(n, h);
+        // The minimum-weight edge sits at the bottom of the dendrogram: its spine has length ≈ h.
+        let (u, v, w) = *inst
+            .edges
+            .iter()
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("weights are not NaN"))
+            .expect("non-empty");
+        let mut seq = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
+        let mut par = DynSld::from_forest(
+            inst.build_forest(),
+            DynSldOptions::with_strategy(UpdateStrategy::Parallel),
+        );
+        group.bench_with_input(BenchmarkId::new("sequential", h), &h, |b, _| {
+            b.iter(|| {
+                seq.delete(u, v).expect("present");
+                seq.insert(u, v, w).expect("acyclic");
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", h), &h, |b, _| {
+            b.iter(|| {
+                par.delete(u, v).expect("present");
+                par.insert(u, v, w).expect("acyclic");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_parallel_vs_sequential
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! **Theorem 1.4** — parallel output-sensitive insertions.
+//!
+//! Same c-sweep as the Theorem 1.2 benchmark, comparing the divide-and-conquer (median + PWS)
+//! spine merge against the sequential alternating merge and the height-bounded parallel merge.
+//! The expected shape: both output-sensitive variants grow with c and are insensitive to h,
+//! while the height-bounded algorithm pays Θ(h) regardless of c.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsld::{DynSld, DynSldOptions, UpdateStrategy};
+use dynsld_bench::{config, C_SWEEP};
+use dynsld_forest::gen;
+
+fn bench_parallel_output_sensitive(c: &mut Criterion) {
+    let n = 60_000;
+    let mut group = c.benchmark_group("thm1.4/vs_c");
+    for &target_c in C_SWEEP {
+        let h = (target_c / 2).max(1);
+        let lb = gen::lower_bound_star_paths(n, h);
+        let (u, v, w) = lb.update;
+        for (name, strategy) in [
+            ("output_sensitive_seq", UpdateStrategy::OutputSensitive),
+            ("output_sensitive_par", UpdateStrategy::ParallelOutputSensitive),
+            ("height_bounded_par", UpdateStrategy::Parallel),
+        ] {
+            let mut sld = DynSld::from_forest(
+                lb.instance.build_forest(),
+                DynSldOptions::with_strategy(strategy),
+            );
+            group.bench_with_input(BenchmarkId::new(name, target_c), &target_c, |b, _| {
+                b.iter(|| {
+                    sld.insert(u, v, w).expect("acyclic");
+                    sld.delete(u, v).expect("present");
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_parallel_output_sensitive
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! **Theorem 1.5** — batch-parallel insertions and deletions.
+//!
+//! Throughput of homogeneous batches of size k: `batch_insert` / `batch_delete` vs. applying the
+//! same k updates one at a time vs. recomputing the dendrogram from scratch once per batch. The
+//! work bound `O(k·h·log(1 + n/(kh)))` predicts that per-update cost is roughly independent of k
+//! (batching does not hurt), while static recomputation per batch only wins once `k·h`
+//! approaches `n log h`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynsld::{static_sld_kruskal, DynSld, DynSldOptions};
+use dynsld_bench::{config, K_SWEEP};
+use dynsld_forest::gen;
+use dynsld_forest::{VertexId, Weight};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A star-shaped insertion batch of size k over a forest of disjoint random trees, plus the
+/// matching deletion batch.
+fn star_batch(
+    parts: usize,
+    part_size: usize,
+    k: usize,
+    seed: u64,
+) -> (Vec<(VertexId, VertexId, Weight)>, Vec<(VertexId, VertexId)>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let inserts: Vec<(VertexId, VertexId, Weight)> = (1..=k)
+        .map(|i| {
+            (
+                VertexId::from_index(rng.gen_range(0..part_size)),
+                VertexId::from_index(i * part_size + rng.gen_range(0..part_size)),
+                rng.gen::<f64>() * 10.0,
+            )
+        })
+        .collect();
+    let deletes = inserts.iter().map(|&(u, v, _)| (u, v)).collect();
+    let _ = parts;
+    (inserts, deletes)
+}
+
+fn bench_batch_updates(c: &mut Criterion) {
+    let part_size = 64;
+    let parts = 1_200; // ≈ 76k vertices
+    let inst = gen::disjoint_random_trees(parts, part_size, 3);
+    let mut group = c.benchmark_group("thm1.5/batch_vs_k");
+    for &k in K_SWEEP {
+        let k = k.min(parts - 1);
+        let (inserts, deletes) = star_batch(parts, part_size, k, 7);
+        let mut batched = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
+        let mut single = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("batch", k), &k, |b, _| {
+            b.iter(|| {
+                batched.batch_insert(&inserts).expect("valid batch");
+                batched.batch_delete(&deletes).expect("valid batch");
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("one_at_a_time", k), &k, |b, _| {
+            b.iter(|| {
+                for &(u, v, w) in &inserts {
+                    single.insert(u, v, w).expect("acyclic");
+                }
+                for &(u, v) in &deletes {
+                    single.delete(u, v).expect("present");
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("static_recompute_per_batch", k), &k, |b, _| {
+            b.iter(|| static_sld_kruskal(single.forest()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_batch_updates
+}
+criterion_main!(benches);

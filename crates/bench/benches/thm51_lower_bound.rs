@@ -1,0 +1,49 @@
+//! **Theorem 5.1** — the Ω(h) lower-bound instance.
+//!
+//! The star-of-paths construction forces ≈ 2h pointer changes for a single insertion (and again
+//! for the matching deletion). The benchmark measures that forced cost as h grows and records
+//! (via the update statistics, printed once per configuration) that the number of structural
+//! changes matches the construction, i.e. every algorithm pays Θ(h) here — the height-bounded
+//! algorithms because of the spine length, the output-sensitive ones because c itself is Θ(h).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynsld::{DynSld, DynSldOptions, UpdateStrategy};
+use dynsld_bench::config;
+use dynsld_forest::gen;
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let n = 60_000;
+    let mut group = c.benchmark_group("thm5.1/forced_changes");
+    for &h in &[8usize, 128, 2_048, 16_384] {
+        let lb = gen::lower_bound_star_paths(n, h);
+        let (u, v, w) = lb.update;
+        for (name, strategy) in [
+            ("sequential", UpdateStrategy::Sequential),
+            ("output_sensitive", UpdateStrategy::OutputSensitive),
+        ] {
+            let mut sld = DynSld::from_forest(
+                lb.instance.build_forest(),
+                DynSldOptions::with_strategy(strategy),
+            );
+            // Record the forced change count once (it is a property of the instance).
+            sld.insert(u, v, w).expect("acyclic");
+            let forced = sld.stats().last_pointer_changes;
+            sld.delete(u, v).expect("present");
+            println!("thm5.1: h = {h}, strategy = {name}: forced pointer changes = {forced}");
+            group.bench_with_input(BenchmarkId::new(name, h), &h, |b, _| {
+                b.iter(|| {
+                    sld.insert(u, v, w).expect("acyclic");
+                    sld.delete(u, v).expect("present");
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lower_bound
+}
+criterion_main!(benches);

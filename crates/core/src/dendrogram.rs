@@ -1,0 +1,451 @@
+//! The explicit single-linkage dendrogram (SLD) data structure.
+//!
+//! Exactly the paper's representation (Section 2.1, Figure 1 right): the dendrogram is stored
+//! as a rooted binary forest over the *internal* nodes only — one node per alive edge of the
+//! input forest, identified by that edge's [`EdgeId`] — and each node stores a pointer to its
+//! parent. Leaves (the input vertices) are dropped. We additionally store the (at most two)
+//! children of each node so that subtree traversals (cluster-report queries, Section 6.1) do not
+//! need an auxiliary structure.
+
+use dynsld_forest::{EdgeId, Forest, RankKey};
+
+/// The explicit dendrogram: a parent-pointer (plus child-pointer) forest over edge nodes.
+#[derive(Clone, Debug, Default)]
+pub struct Dendrogram {
+    /// `parent[e]` is the parent node of edge node `e`, if any. Indexed by `EdgeId`.
+    parent: Vec<Option<EdgeId>>,
+    /// The children of each node, indexed by `EdgeId`. A well-formed dendrogram is binary
+    /// (at most two children per node, checked by [`Dendrogram::validate`]); *during* an update
+    /// the relinking of a spine may transiently give a node more children, so the storage does
+    /// not enforce the bound.
+    children: Vec<Vec<EdgeId>>,
+    /// Whether the node is alive (its edge is present in the input forest).
+    alive: Vec<bool>,
+    num_alive: usize,
+}
+
+impl Dendrogram {
+    /// Creates an empty dendrogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty dendrogram with capacity for edge ids `< m`.
+    pub fn with_capacity(m: usize) -> Self {
+        let mut d = Self::default();
+        d.ensure_capacity(m);
+        d
+    }
+
+    /// Grows the id-indexed arrays so that ids `< bound` are addressable.
+    pub fn ensure_capacity(&mut self, bound: usize) {
+        if self.parent.len() < bound {
+            self.parent.resize(bound, None);
+            self.children.resize_with(bound, Vec::new);
+            self.alive.resize(bound, false);
+        }
+    }
+
+    /// Number of alive nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_alive
+    }
+
+    /// Returns true if `e` is an alive dendrogram node.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.alive.get(e.index()).copied().unwrap_or(false)
+    }
+
+    /// Adds a (parentless, childless) node for edge `e`.
+    ///
+    /// # Panics
+    /// Panics if the node already exists.
+    pub fn add_node(&mut self, e: EdgeId) {
+        self.ensure_capacity(e.index() + 1);
+        assert!(!self.alive[e.index()], "dendrogram node {e} already exists");
+        self.alive[e.index()] = true;
+        self.parent[e.index()] = None;
+        self.children[e.index()].clear();
+        self.num_alive += 1;
+    }
+
+    /// Removes node `e`.
+    ///
+    /// # Panics
+    /// Panics if the node still has a parent or children, or does not exist.
+    pub fn remove_node(&mut self, e: EdgeId) {
+        assert!(self.contains(e), "dendrogram node {e} does not exist");
+        assert!(
+            self.parent[e.index()].is_none(),
+            "dendrogram node {e} still has a parent"
+        );
+        assert!(
+            self.children[e.index()].is_empty(),
+            "dendrogram node {e} still has children"
+        );
+        self.alive[e.index()] = false;
+        self.num_alive -= 1;
+    }
+
+    /// The parent of node `e`, if any.
+    #[inline]
+    pub fn parent(&self, e: EdgeId) -> Option<EdgeId> {
+        self.parent[e.index()]
+    }
+
+    /// The children of node `e` (at most two in a well-formed dendrogram).
+    #[inline]
+    pub fn children(&self, e: EdgeId) -> &[EdgeId] {
+        &self.children[e.index()]
+    }
+
+    /// Iterator over the children of `e`.
+    pub fn child_iter(&self, e: EdgeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.children[e.index()].iter().copied()
+    }
+
+    /// Sets the parent of `e` to `new_parent`, keeping the child lists consistent.
+    ///
+    /// Returns `true` if the pointer actually changed (this is the quantity `c`, the number of
+    /// structural changes, that the output-sensitive analysis counts).
+    pub fn set_parent(&mut self, e: EdgeId, new_parent: Option<EdgeId>) -> bool {
+        let old = self.parent[e.index()];
+        if old == new_parent {
+            return false;
+        }
+        if let Some(p) = old {
+            let slots = &mut self.children[p.index()];
+            let pos = slots
+                .iter()
+                .position(|&c| c == e)
+                .unwrap_or_else(|| panic!("child lists out of sync: {p} is not a parent of {e}"));
+            slots.swap_remove(pos);
+        }
+        if let Some(p) = new_parent {
+            self.children[p.index()].push(e);
+        }
+        self.parent[e.index()] = new_parent;
+        true
+    }
+
+    /// The root of the dendrogram tree containing `e` (walks parent pointers).
+    pub fn root_of(&self, e: EdgeId) -> EdgeId {
+        let mut cur = e;
+        while let Some(p) = self.parent[cur.index()] {
+            cur = p;
+        }
+        cur
+    }
+
+    /// The spine of `e`: the nodes from `e` (inclusive) to the root of its tree, in order.
+    /// `O(spine length)`.
+    pub fn spine(&self, e: EdgeId) -> Vec<EdgeId> {
+        let mut out = vec![e];
+        let mut cur = e;
+        while let Some(p) = self.parent[cur.index()] {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// Length of the spine of `e` (number of nodes from `e` to its root, inclusive).
+    pub fn spine_len(&self, e: EdgeId) -> usize {
+        let mut len = 1;
+        let mut cur = e;
+        while let Some(p) = self.parent[cur.index()] {
+            len += 1;
+            cur = p;
+        }
+        len
+    }
+
+    /// Iterator over all alive nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| EdgeId::from_index(i))
+    }
+
+    /// All root nodes (alive nodes without a parent).
+    pub fn roots(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.nodes().filter(|&e| self.parent(e).is_none())
+    }
+
+    /// The nodes of the subtree rooted at `e` (including `e`), in preorder.
+    pub fn subtree_nodes(&self, e: EdgeId) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![e];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            for c in self.child_iter(x) {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Number of nodes in the subtree rooted at `e` (including `e`).
+    pub fn subtree_size(&self, e: EdgeId) -> usize {
+        let mut count = 0;
+        let mut stack = vec![e];
+        while let Some(x) = stack.pop() {
+            count += 1;
+            for c in self.child_iter(x) {
+                stack.push(c);
+            }
+        }
+        count
+    }
+
+    /// The height of the dendrogram forest: the maximum number of *edges* on a node-to-root
+    /// path over all alive nodes (0 for a forest of isolated nodes, and for an empty forest).
+    ///
+    /// This is the paper's parameter `h`. `O(n log n)` (nodes are processed in decreasing rank
+    /// order so parents are processed before children).
+    pub fn height(&self, forest: &Forest) -> usize {
+        let mut nodes: Vec<EdgeId> = self.nodes().collect();
+        nodes.sort_by_key(|&e| std::cmp::Reverse(forest.rank(e)));
+        let mut depth = vec![0usize; self.parent.len()];
+        let mut best = 0;
+        for e in nodes {
+            let d = match self.parent(e) {
+                None => 0,
+                Some(p) => depth[p.index()] + 1,
+            };
+            depth[e.index()] = d;
+            best = best.max(d);
+        }
+        best
+    }
+
+    /// Checks structural invariants against the forest:
+    /// * every alive forest edge has an alive node and vice versa,
+    /// * parent/child pointers are mutually consistent,
+    /// * every parent has strictly larger rank than its child (heap order),
+    /// * no node has more than two children.
+    ///
+    /// Returns an error message describing the first violation found.
+    pub fn validate(&self, forest: &Forest) -> Result<(), String> {
+        for (e, _) in forest.edges() {
+            if !self.contains(e) {
+                return Err(format!("forest edge {e} has no dendrogram node"));
+            }
+        }
+        for e in self.nodes() {
+            if !forest.contains_edge(e) {
+                return Err(format!("dendrogram node {e} has no forest edge"));
+            }
+            if self.children[e.index()].len() > 2 {
+                return Err(format!("dendrogram node {e} has more than two children"));
+            }
+            if let Some(p) = self.parent(e) {
+                if !self.contains(p) {
+                    return Err(format!("parent {p} of {e} is not alive"));
+                }
+                if forest.rank(p) <= forest.rank(e) {
+                    return Err(format!("heap violation: parent {p} <= child {e}"));
+                }
+                if !self.child_iter(p).any(|c| c == e) {
+                    return Err(format!("{e} not listed as a child of its parent {p}"));
+                }
+            }
+            for c in self.child_iter(e) {
+                if self.parent(c) != Some(e) {
+                    return Err(format!("child {c} of {e} does not point back"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the parent assignment of all alive nodes as a sorted list of
+    /// `(node, parent)` pairs — the canonical form used to compare two dendrograms for equality
+    /// (the SLD is unique given the rank order, so equal dendrograms have identical parent
+    /// assignments).
+    pub fn canonical_parents(&self) -> Vec<(EdgeId, Option<EdgeId>)> {
+        let mut out: Vec<(EdgeId, Option<EdgeId>)> =
+            self.nodes().map(|e| (e, self.parent(e))).collect();
+        out.sort();
+        out
+    }
+
+    /// The rank key of `e` in `forest` — convenience passthrough used by the update algorithms.
+    #[inline]
+    pub fn rank(&self, forest: &Forest, e: EdgeId) -> RankKey {
+        forest.rank(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsld_forest::VertexId;
+
+    fn e(i: u32) -> EdgeId {
+        EdgeId(i)
+    }
+
+    /// A forest with edges 0..n-1 of increasing weight along a path.
+    fn path_forest(n: usize) -> Forest {
+        let mut f = Forest::new(n);
+        for i in 0..n - 1 {
+            f.insert_edge(
+                VertexId(i as u32),
+                VertexId(i as u32 + 1),
+                (i + 1) as f64,
+            );
+        }
+        f
+    }
+
+    /// Builds the path dendrogram 0 -> 1 -> 2 -> ... -> n-2 (each node's parent is the next).
+    fn chain_dendrogram(m: usize) -> Dendrogram {
+        let mut d = Dendrogram::with_capacity(m);
+        for i in 0..m {
+            d.add_node(e(i as u32));
+        }
+        for i in 0..m.saturating_sub(1) {
+            d.set_parent(e(i as u32), Some(e(i as u32 + 1)));
+        }
+        d
+    }
+
+    #[test]
+    fn add_set_parent_and_children_stay_consistent() {
+        let mut d = Dendrogram::new();
+        d.add_node(e(0));
+        d.add_node(e(1));
+        d.add_node(e(2));
+        assert!(d.set_parent(e(0), Some(e(2))));
+        assert!(d.set_parent(e(1), Some(e(2))));
+        assert!(!d.set_parent(e(1), Some(e(2))), "no-op change returns false");
+        assert_eq!(d.parent(e(0)), Some(e(2)));
+        let mut kids: Vec<_> = d.child_iter(e(2)).collect();
+        kids.sort();
+        assert_eq!(kids, vec![e(0), e(1)]);
+        assert!(d.set_parent(e(0), None));
+        assert_eq!(d.child_iter(e(2)).count(), 1);
+    }
+
+    #[test]
+    fn third_child_is_allowed_transiently_but_fails_validation() {
+        // Spine relinks may transiently attach a third child; `validate` flags it if it persists.
+        let mut f = path_forest(5);
+        let mut d = Dendrogram::new();
+        for i in 0..4 {
+            d.add_node(e(i));
+        }
+        d.set_parent(e(0), Some(e(3)));
+        d.set_parent(e(1), Some(e(3)));
+        d.set_parent(e(2), Some(e(3)));
+        assert_eq!(d.child_iter(e(3)).count(), 3);
+        let err = d.validate(&f).unwrap_err();
+        assert!(err.contains("more than two children"), "{err}");
+        // Detaching one child restores a valid binary structure.
+        d.set_parent(e(2), None);
+        let _ = &mut f;
+        assert!(d.validate(&path_forest(5)).is_ok());
+    }
+
+    #[test]
+    fn spine_and_root() {
+        let d = chain_dendrogram(5);
+        assert_eq!(d.spine(e(0)), vec![e(0), e(1), e(2), e(3), e(4)]);
+        assert_eq!(d.spine(e(3)), vec![e(3), e(4)]);
+        assert_eq!(d.spine_len(e(0)), 5);
+        assert_eq!(d.root_of(e(0)), e(4));
+        assert_eq!(d.root_of(e(4)), e(4));
+        assert_eq!(d.roots().collect::<Vec<_>>(), vec![e(4)]);
+    }
+
+    #[test]
+    fn subtree_queries() {
+        let mut d = Dendrogram::new();
+        for i in 0..5 {
+            d.add_node(e(i));
+        }
+        // 4 is root; children 2 and 3; 2's children 0 and 1.
+        d.set_parent(e(2), Some(e(4)));
+        d.set_parent(e(3), Some(e(4)));
+        d.set_parent(e(0), Some(e(2)));
+        d.set_parent(e(1), Some(e(2)));
+        assert_eq!(d.subtree_size(e(4)), 5);
+        assert_eq!(d.subtree_size(e(2)), 3);
+        assert_eq!(d.subtree_size(e(3)), 1);
+        let mut sub: Vec<_> = d.subtree_nodes(e(2));
+        sub.sort();
+        assert_eq!(sub, vec![e(0), e(1), e(2)]);
+    }
+
+    #[test]
+    fn height_of_chain_and_star() {
+        let f = path_forest(6);
+        let d = chain_dendrogram(5);
+        assert_eq!(d.height(&f), 4);
+
+        // A single node has height 0; empty dendrogram too.
+        let mut d1 = Dendrogram::new();
+        assert_eq!(d1.height(&f), 0);
+        d1.add_node(e(0));
+        assert_eq!(d1.height(&f), 0);
+    }
+
+    #[test]
+    fn validate_catches_heap_violation() {
+        let f = path_forest(4);
+        let mut d = Dendrogram::new();
+        for i in 0..3 {
+            d.add_node(e(i));
+        }
+        // Correct orientation first.
+        d.set_parent(e(0), Some(e(1)));
+        d.set_parent(e(1), Some(e(2)));
+        assert!(d.validate(&f).is_ok());
+        // Break heap order: parent with smaller rank.
+        d.set_parent(e(1), None);
+        d.set_parent(e(0), None);
+        d.set_parent(e(2), Some(e(0)));
+        let err = d.validate(&f).unwrap_err();
+        assert!(err.contains("heap violation"), "{err}");
+    }
+
+    #[test]
+    fn validate_catches_missing_node() {
+        let f = path_forest(4);
+        let mut d = Dendrogram::new();
+        d.add_node(e(0));
+        d.add_node(e(1));
+        // Node for edge 2 missing.
+        let err = d.validate(&f).unwrap_err();
+        assert!(err.contains("no dendrogram node"), "{err}");
+    }
+
+    #[test]
+    fn remove_node_requires_detachment() {
+        let mut d = chain_dendrogram(3);
+        d.set_parent(e(0), None);
+        d.remove_node(e(0));
+        assert!(!d.contains(e(0)));
+        assert_eq!(d.num_nodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "still has a parent")]
+    fn remove_attached_node_panics() {
+        let mut d = chain_dendrogram(3);
+        d.remove_node(e(0));
+    }
+
+    #[test]
+    fn canonical_parents_detects_equality_and_difference() {
+        let a = chain_dendrogram(4);
+        let b = chain_dendrogram(4);
+        assert_eq!(a.canonical_parents(), b.canonical_parents());
+        let mut c = chain_dendrogram(4);
+        c.set_parent(e(0), None);
+        assert_ne!(a.canonical_parents(), c.canonical_parents());
+    }
+}

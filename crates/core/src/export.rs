@@ -1,0 +1,269 @@
+//! Dendrogram inspection and export utilities.
+//!
+//! A library maintaining an *explicit* dendrogram should also make it easy to consume: this
+//! module provides the standard exchange formats and navigation queries downstream users expect
+//! from a hierarchical-clustering implementation:
+//!
+//! * [`DynSld::to_merge_list`] — the SciPy-style linkage list (one row per merge, in rank
+//!   order), convenient for plotting the dendrogram with existing tooling;
+//! * [`DynSld::to_newick`] — Newick serialization of a dendrogram tree (with edge weights as
+//!   branch annotations), the standard format of phylogenetic-tree viewers;
+//! * [`DynSld::dendrogram_lca`] — lowest common ancestor of two dendrogram nodes, i.e. the merge
+//!   at which two clusters join;
+//! * [`DynSld::merge_height_between`] — the single-linkage distance between two vertices (the
+//!   weight of the edge whose merge first puts them in one cluster), answered with one
+//!   path-maximum query.
+
+use crate::dynsld::DynSld;
+use dynsld_forest::{EdgeId, VertexId, Weight};
+use std::fmt::Write as _;
+
+/// One merge of the single-linkage clustering, in the style of a SciPy linkage row.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Merge {
+    /// The dendrogram node (input edge) performing this merge.
+    pub edge: EdgeId,
+    /// The merge distance (edge weight).
+    pub weight: Weight,
+    /// The dendrogram node that previously represented the first merged cluster (`None` when
+    /// that side was a single vertex).
+    pub left_child: Option<EdgeId>,
+    /// The dendrogram node that previously represented the second merged cluster.
+    pub right_child: Option<EdgeId>,
+    /// Number of vertices in the merged cluster.
+    pub cluster_size: usize,
+}
+
+impl DynSld {
+    /// Returns all merges of the current dendrogram in increasing rank (merge) order — the
+    /// linkage-matrix view of the dendrogram. `O(n log n)`.
+    pub fn to_merge_list(&self) -> Vec<Merge> {
+        let mut nodes: Vec<EdgeId> = self.dendro.nodes().collect();
+        nodes.sort_by_key(|&e| self.forest.rank(e));
+        // Cluster sizes bottom-up: size(e) = 1 + number of dendrogram nodes below e.
+        let mut size: Vec<usize> = vec![0; self.forest.edge_id_bound()];
+        let mut merges = Vec::with_capacity(nodes.len());
+        for &e in &nodes {
+            let mut children = self.dendro.child_iter(e);
+            let left_child = children.next();
+            let right_child = children.next();
+            let below: usize = self
+                .dendro
+                .child_iter(e)
+                .map(|c| size[c.index()])
+                .sum();
+            let num_children = self.dendro.child_iter(e).count();
+            // The merge joins two clusters: each child node contributes its cluster size, each
+            // missing child contributes a single vertex.
+            let cluster_size = below + (2 - num_children);
+            size[e.index()] = cluster_size;
+            merges.push(Merge {
+                edge: e,
+                weight: self.forest.weight(e),
+                left_child,
+                right_child,
+                cluster_size,
+            });
+        }
+        merges
+    }
+
+    /// Serializes the dendrogram tree containing `v` in Newick format, e.g.
+    /// `((a:1,b:1):2,c:2);` — leaves are vertex names (`v<i>`), internal nodes are labelled by
+    /// merge weight. Returns `None` if `v` is isolated.
+    pub fn to_newick(&self, v: VertexId) -> Option<String> {
+        let start = self.forest.min_incident(v)?;
+        let root = self.dendro.root_of(start);
+        let mut out = String::new();
+        self.write_newick_node(root, None, &mut out);
+        out.push(';');
+        Some(out)
+    }
+
+    fn write_newick_node(&self, e: EdgeId, parent: Option<EdgeId>, out: &mut String) {
+        // The subtree of node e covers a connected set of input vertices; its children are the
+        // child dendrogram nodes plus the endpoints of e that are not covered by any child.
+        let children: Vec<EdgeId> = self.dendro.child_iter(e).collect();
+        let (u, v) = self.forest.endpoints(e);
+        // An endpoint is a *leaf child* of e iff e is the minimum-rank edge incident to it.
+        let leaf_endpoints: Vec<VertexId> = [u, v]
+            .into_iter()
+            .filter(|&x| self.forest.min_incident(x) == Some(e))
+            .collect();
+        out.push('(');
+        let mut first = true;
+        for &c in &children {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            self.write_newick_node(c, Some(e), out);
+        }
+        for &x in &leaf_endpoints {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "v{}", x.0);
+        }
+        out.push(')');
+        let _ = write!(out, "{}", self.forest.weight(e));
+        if let Some(p) = parent {
+            // Branch length: difference of merge heights (clamped at zero for equal weights).
+            let len = (self.forest.weight(p) - self.forest.weight(e)).max(0.0);
+            let _ = write!(out, ":{len}");
+        }
+    }
+
+    /// The lowest common ancestor of two dendrogram nodes (the merge at which their clusters
+    /// join), or `None` if they are in different dendrogram trees. `O(h)`.
+    pub fn dendrogram_lca(&self, a: EdgeId, b: EdgeId) -> Option<EdgeId> {
+        let mut on_spine = std::collections::HashSet::new();
+        let mut cur = Some(a);
+        while let Some(x) = cur {
+            on_spine.insert(x);
+            cur = self.dendro.parent(x);
+        }
+        let mut cur = Some(b);
+        while let Some(x) = cur {
+            if on_spine.contains(&x) {
+                return Some(x);
+            }
+            cur = self.dendro.parent(x);
+        }
+        None
+    }
+
+    /// The single-linkage merge distance between two vertices: the weight at which `s` and `t`
+    /// first belong to the same cluster (equivalently the bottleneck edge weight on their forest
+    /// path, equivalently the weight of their dendrogram LCA). Returns `None` if they are not
+    /// connected. `O(log n)`.
+    pub fn merge_height_between(&mut self, s: VertexId, t: VertexId) -> Option<Weight> {
+        if s == t {
+            return Some(0.0);
+        }
+        let e = self.path_max_edge(s, t)?;
+        Some(self.forest.weight(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynsld::DynSldOptions;
+    use crate::DynSld;
+    use dynsld_forest::gen::{self, WeightOrder};
+    use dynsld_forest::Forest;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Path 0-1-2-3 with weights 1, 3, 2.
+    fn small() -> DynSld {
+        let mut f = Forest::new(4);
+        f.insert_edge(v(0), v(1), 1.0);
+        f.insert_edge(v(1), v(2), 3.0);
+        f.insert_edge(v(2), v(3), 2.0);
+        DynSld::from_forest(f, DynSldOptions::default())
+    }
+
+    #[test]
+    fn merge_list_is_in_rank_order_with_correct_sizes() {
+        let d = small();
+        let merges = d.to_merge_list();
+        assert_eq!(merges.len(), 3);
+        let weights: Vec<f64> = merges.iter().map(|m| m.weight).collect();
+        assert_eq!(weights, vec![1.0, 2.0, 3.0]);
+        assert_eq!(merges[0].cluster_size, 2); // {0,1}
+        assert_eq!(merges[1].cluster_size, 2); // {2,3}
+        assert_eq!(merges[2].cluster_size, 4); // all
+        // The final merge has the two previous merges as children.
+        let last = &merges[2];
+        let mut kids = [last.left_child, last.right_child];
+        kids.sort();
+        assert_eq!(kids, [Some(merges[0].edge), Some(merges[1].edge)]);
+    }
+
+    #[test]
+    fn merge_list_sizes_sum_correctly_on_random_trees() {
+        let inst = gen::random_tree(200, 3);
+        let d = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
+        let merges = d.to_merge_list();
+        assert_eq!(merges.len(), 199);
+        // Every root merge covers its whole component.
+        for m in &merges {
+            if d.parent_of(m.edge).is_none() {
+                assert_eq!(m.cluster_size, d.component_size(d.forest().endpoints(m.edge).0));
+            }
+            assert!(m.cluster_size >= 2);
+        }
+    }
+
+    #[test]
+    fn newick_of_small_example() {
+        let d = small();
+        let s = d.to_newick(v(0)).expect("connected");
+        // Leaves appear exactly once each and the string is well-parenthesised.
+        for leaf in ["v0", "v1", "v2", "v3"] {
+            assert_eq!(s.matches(leaf).count(), 1, "{s}");
+        }
+        assert_eq!(s.matches('(').count(), s.matches(')').count());
+        assert!(s.ends_with(';'));
+        // Isolated vertices have no dendrogram tree.
+        let empty = DynSld::new(2);
+        assert_eq!(empty.to_newick(v(0)), None);
+    }
+
+    #[test]
+    fn newick_mentions_every_vertex_once_on_larger_trees() {
+        let inst = gen::path(40, WeightOrder::Random(9));
+        let d = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
+        let s = d.to_newick(v(0)).expect("connected");
+        for i in 0..40 {
+            // Count occurrences as whole tokens (avoid v1 matching v10) by checking the
+            // delimiter after the token.
+            let token = format!("v{i}");
+            let count = s
+                .match_indices(&token)
+                .filter(|(pos, _)| {
+                    let after = s[pos + token.len()..].chars().next().unwrap_or(';');
+                    !after.is_ascii_digit()
+                })
+                .count();
+            assert_eq!(count, 1, "vertex {i} should appear exactly once");
+        }
+    }
+
+    #[test]
+    fn lca_and_merge_heights() {
+        let mut d = small();
+        let e01 = d.forest().find_edge(v(0), v(1)).unwrap();
+        let e12 = d.forest().find_edge(v(1), v(2)).unwrap();
+        let e23 = d.forest().find_edge(v(2), v(3)).unwrap();
+        assert_eq!(d.dendrogram_lca(e01, e23), Some(e12));
+        assert_eq!(d.dendrogram_lca(e01, e01), Some(e01));
+        assert_eq!(d.dendrogram_lca(e01, e12), Some(e12));
+        assert_eq!(d.merge_height_between(v(0), v(1)), Some(1.0));
+        assert_eq!(d.merge_height_between(v(0), v(3)), Some(3.0));
+        assert_eq!(d.merge_height_between(v(2), v(3)), Some(2.0));
+        assert_eq!(d.merge_height_between(v(1), v(1)), Some(0.0));
+        // Different components have no LCA / merge height.
+        let mut d2 = DynSld::new(4);
+        let a = d2.insert_seq(v(0), v(1), 1.0).unwrap();
+        let b = d2.insert_seq(v(2), v(3), 2.0).unwrap();
+        assert_eq!(d2.dendrogram_lca(a, b), None);
+        assert_eq!(d2.merge_height_between(v(0), v(2)), None);
+    }
+
+    #[test]
+    fn merge_height_matches_threshold_queries() {
+        let inst = gen::random_tree(80, 12);
+        let mut d = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
+        for (a, b) in [(0u32, 79u32), (3, 40), (11, 12), (70, 5)] {
+            let h = d.merge_height_between(v(a), v(b)).expect("connected");
+            assert!(d.threshold_connected(v(a), v(b), h));
+            assert!(!d.threshold_connected(v(a), v(b), h - 1e-9));
+        }
+    }
+}

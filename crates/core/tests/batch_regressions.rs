@@ -1,0 +1,44 @@
+//! Regression tests for batch deletion on structured paths (these specific weight orders and
+//! deletion patterns once exposed an ordering bug when a deleted node was the dendrogram child
+//! of another deleted node).
+
+use dynsld::{static_sld_kruskal, DynSld, DynSldOptions};
+use dynsld_forest::gen::{self, WeightOrder};
+use dynsld_forest::VertexId;
+
+#[test]
+fn overlapping_deletions_increasing_path() {
+    let inst = gen::path(30, WeightOrder::Increasing);
+    let mut d = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
+    let pairs: Vec<(VertexId, VertexId)> = (0..29)
+        .step_by(5)
+        .map(|i| (VertexId(i), VertexId(i + 1)))
+        .collect();
+    d.batch_delete(&pairs).unwrap();
+    d.check_invariants().unwrap();
+    assert_eq!(
+        d.dendrogram().canonical_parents(),
+        static_sld_kruskal(d.forest()).canonical_parents()
+    );
+}
+
+#[test]
+fn overlapping_deletions_random_and_balanced_paths() {
+    for (name, order) in [("random", WeightOrder::Random(4)), ("balanced", WeightOrder::Balanced)] {
+        for n in [10usize, 15, 20, 30, 80] {
+            let inst = gen::path(n, order);
+            let mut d = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
+            let pairs: Vec<(VertexId, VertexId)> = (0..n as u32 - 1)
+                .step_by(5)
+                .map(|i| (VertexId(i), VertexId(i + 1)))
+                .collect();
+            d.batch_delete(&pairs).unwrap_or_else(|e| panic!("{name} n={n}: {e}"));
+            d.check_invariants().unwrap_or_else(|e| panic!("{name} n={n}: {e}"));
+            assert_eq!(
+                d.dendrogram().canonical_parents(),
+                static_sld_kruskal(d.forest()).canonical_parents(),
+                "{name} n={n}"
+            );
+        }
+    }
+}

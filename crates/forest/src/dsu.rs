@@ -1,0 +1,156 @@
+//! Union–find (disjoint set union) with union by size and path compression.
+//!
+//! Used by the static SLD baselines (Kruskal-style dendrogram construction), by the forest
+//! validity check, and by the workload generators to keep generated update streams acyclic.
+
+use crate::ids::VertexId;
+
+/// Disjoint set union over vertices `0..n`.
+#[derive(Clone, Debug)]
+pub struct Dsu {
+    /// parent[i] if positive-ish: parent index; roots store negative size encoded separately.
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    num_components: usize,
+}
+
+impl Dsu {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            num_components: n,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns true if the structure has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.num_components
+    }
+
+    /// Finds the representative of the set containing `v` (with path compression).
+    pub fn find(&mut self, v: VertexId) -> VertexId {
+        let mut x = v.0;
+        // Find root.
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Compress.
+        while self.parent[x as usize] != root {
+            let next = self.parent[x as usize];
+            self.parent[x as usize] = root;
+            x = next;
+        }
+        VertexId(root)
+    }
+
+    /// Returns true if `u` and `v` are in the same set.
+    pub fn connected(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Size of the set containing `v`.
+    pub fn set_size(&mut self, v: VertexId) -> usize {
+        let r = self.find(v);
+        self.size[r.index()] as usize
+    }
+
+    /// Unions the sets containing `u` and `v`.
+    ///
+    /// Returns `true` if the sets were distinct (i.e. the union did something), `false` if
+    /// `u` and `v` were already in the same set.
+    pub fn union(&mut self, u: VertexId, v: VertexId) -> bool {
+        let ru = self.find(u);
+        let rv = self.find(v);
+        if ru == rv {
+            return false;
+        }
+        let (big, small) = if self.size[ru.index()] >= self.size[rv.index()] {
+            (ru, rv)
+        } else {
+            (rv, ru)
+        };
+        self.parent[small.index()] = big.0;
+        self.size[big.index()] += self.size[small.index()];
+        self.num_components -= 1;
+        true
+    }
+
+    /// Resets the structure to `n` singleton sets (reusing allocations when possible).
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.size.clear();
+        self.size.resize(n, 1);
+        self.num_components = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn union_and_find() {
+        let mut dsu = Dsu::new(5);
+        assert_eq!(dsu.num_components(), 5);
+        assert!(dsu.union(v(0), v(1)));
+        assert!(dsu.union(v(2), v(3)));
+        assert!(!dsu.union(v(1), v(0)));
+        assert!(dsu.connected(v(0), v(1)));
+        assert!(!dsu.connected(v(0), v(2)));
+        assert_eq!(dsu.num_components(), 3);
+        assert!(dsu.union(v(1), v(2)));
+        assert!(dsu.connected(v(0), v(3)));
+        assert_eq!(dsu.num_components(), 2);
+    }
+
+    #[test]
+    fn set_sizes_track_unions() {
+        let mut dsu = Dsu::new(6);
+        dsu.union(v(0), v(1));
+        dsu.union(v(1), v(2));
+        assert_eq!(dsu.set_size(v(2)), 3);
+        assert_eq!(dsu.set_size(v(5)), 1);
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut dsu = Dsu::new(4);
+        dsu.union(v(0), v(1));
+        dsu.reset(4);
+        assert_eq!(dsu.num_components(), 4);
+        assert!(!dsu.connected(v(0), v(1)));
+    }
+
+    #[test]
+    fn large_chain_compresses() {
+        let n = 10_000;
+        let mut dsu = Dsu::new(n);
+        for i in 0..n - 1 {
+            assert!(dsu.union(v(i as u32), v(i as u32 + 1)));
+        }
+        assert_eq!(dsu.num_components(), 1);
+        assert_eq!(dsu.set_size(v(0)), n);
+        assert!(dsu.connected(v(0), v((n - 1) as u32)));
+    }
+}

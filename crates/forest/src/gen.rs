@@ -1,0 +1,385 @@
+//! Instance generators.
+//!
+//! The paper's analysis is parameterized by the dendrogram height `h` (Theorems 1.1, 1.3, 1.5),
+//! the number of structural changes `c` (Theorems 1.2, 1.4) and the batch size `k`
+//! (Theorem 1.5). These generators produce weighted trees covering every regime:
+//!
+//! * [`path`] with [`WeightOrder::Increasing`] — dendrogram is a path, `h = n - 2` (worst case);
+//! * [`path`] with [`WeightOrder::Balanced`] — dendrogram is balanced, `h = Θ(log n)` (best case);
+//! * [`path_with_height`] — dendrogram height ≈ a requested target, interpolating between the two;
+//! * [`star`] — star input whose dendrogram is again a path;
+//! * [`random_tree`] — random recursive trees with random weights;
+//! * [`binary_tree`] — complete binary tree topology with random weights;
+//! * [`lower_bound_star_paths`] — the exact Ω(h) lower-bound construction of Theorem 5.1,
+//!   including the single update edge that forces `2h + 1` pointer changes.
+
+use crate::forest::Forest;
+use crate::ids::VertexId;
+use crate::weight::Weight;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A static weighted tree (or forest) instance: a vertex count and an edge list.
+#[derive(Clone, Debug)]
+pub struct TreeInstance {
+    /// Number of vertices (`0..n`).
+    pub n: usize,
+    /// Weighted edges `(u, v, w)`.
+    pub edges: Vec<(VertexId, VertexId, Weight)>,
+}
+
+impl TreeInstance {
+    /// Builds a [`Forest`] containing all edges of the instance.
+    pub fn build_forest(&self) -> Forest {
+        let mut f = Forest::with_edge_capacity(self.n, self.edges.len());
+        for &(u, v, w) in &self.edges {
+            f.insert_edge(u, v, w);
+        }
+        f
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns a copy of the instance with its edge list shuffled (useful as an insertion order).
+    pub fn shuffled_edges(&self, seed: u64) -> Vec<(VertexId, VertexId, Weight)> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges = self.edges.clone();
+        edges.shuffle(&mut rng);
+        edges
+    }
+}
+
+/// How weights are assigned along a [`path`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WeightOrder {
+    /// Weights strictly increase along the path: the dendrogram is a path of height `n - 2`.
+    Increasing,
+    /// Weights strictly decrease along the path: also a path dendrogram (mirror case).
+    Decreasing,
+    /// Weights assigned by recursive midpoint splitting: the dendrogram is balanced,
+    /// height `Θ(log n)`.
+    Balanced,
+    /// Weights are a random permutation (seeded): the dendrogram is a random Cartesian tree,
+    /// height `Θ(log n)` in expectation.
+    Random(u64),
+}
+
+fn vid(i: usize) -> VertexId {
+    VertexId::from_index(i)
+}
+
+/// A path graph `v0 - v1 - ... - v_{n-1}` with `n - 1` edges weighted according to `order`.
+pub fn path(n: usize, order: WeightOrder) -> TreeInstance {
+    assert!(n >= 1);
+    let m = n.saturating_sub(1);
+    let weights = path_weights(m, order);
+    let edges = (0..m)
+        .map(|i| (vid(i), vid(i + 1), weights[i]))
+        .collect();
+    TreeInstance { n, edges }
+}
+
+fn path_weights(m: usize, order: WeightOrder) -> Vec<Weight> {
+    match order {
+        WeightOrder::Increasing => (0..m).map(|i| (i + 1) as Weight).collect(),
+        WeightOrder::Decreasing => (0..m).map(|i| (m - i) as Weight).collect(),
+        WeightOrder::Balanced => {
+            let mut weights = vec![0.0; m];
+            let mut next = m as Weight;
+            balanced_assign(&mut weights, 0, m, &mut next);
+            weights
+        }
+        WeightOrder::Random(seed) => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut weights: Vec<Weight> = (0..m).map(|i| (i + 1) as Weight).collect();
+            weights.shuffle(&mut rng);
+            weights
+        }
+    }
+}
+
+/// Assigns the largest remaining weight to the midpoint of `[lo, hi)` and recurses, producing a
+/// balanced Cartesian tree (equivalently, a balanced dendrogram for the path).
+fn balanced_assign(weights: &mut [Weight], lo: usize, hi: usize, next: &mut Weight) {
+    if lo >= hi {
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    weights[mid] = *next;
+    *next -= 1.0;
+    balanced_assign(weights, lo, mid, next);
+    balanced_assign(weights, mid + 1, hi, next);
+}
+
+/// A path of `n` vertices whose dendrogram height is approximately `target_h`
+/// (more precisely `≈ target_h + log₂(n - target_h)`, clamped to at most `n - 2`).
+///
+/// Construction: the last `n - 1 - t` edges get balanced small weights (a balanced sub-dendrogram
+/// of height `O(log n)`), and the first `t ≈ target_h` edges get large weights that increase
+/// *towards the left*, so they merge one after the other on top of the balanced part and form a
+/// chain of length `t` above it.
+pub fn path_with_height(n: usize, target_h: usize) -> TreeInstance {
+    assert!(n >= 2);
+    let m = n - 1;
+    let t = target_h.clamp(0, m);
+    let suffix = m - t;
+    let mut weights = vec![0.0; m];
+    // Balanced small weights for the suffix [t .. m).
+    let mut next = suffix as Weight;
+    balanced_assign(&mut weights[t..m], 0, suffix, &mut next);
+    // Chain weights for the prefix [0 .. t): all larger than the suffix, increasing towards
+    // index 0 so the edge adjacent to the suffix merges first.
+    for i in 0..t {
+        weights[i] = suffix as Weight + (t - i) as Weight;
+    }
+    let edges = (0..m)
+        .map(|i| (vid(i), vid(i + 1), weights[i]))
+        .collect();
+    TreeInstance { n, edges }
+}
+
+/// A star with center `v0` and `n - 1` leaves; edge to leaf `i` has weight `i`.
+///
+/// The dendrogram of a star is always a path (height `n - 2`).
+pub fn star(n: usize) -> TreeInstance {
+    assert!(n >= 1);
+    let edges = (1..n).map(|i| (vid(0), vid(i), i as Weight)).collect();
+    TreeInstance { n, edges }
+}
+
+/// A random recursive tree: vertex `i > 0` attaches to a uniformly random earlier vertex, with
+/// i.i.d. uniform `(0, 1)` weights.
+pub fn random_tree(n: usize, seed: u64) -> TreeInstance {
+    assert!(n >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let edges = (1..n)
+        .map(|i| {
+            let parent = rng.gen_range(0..i);
+            (vid(parent), vid(i), rng.gen::<Weight>())
+        })
+        .collect();
+    TreeInstance { n, edges }
+}
+
+/// A complete binary tree of the given `depth` (so `2^(depth+1) - 1` vertices) with random
+/// weights. Exercises branching inputs rather than paths/stars.
+pub fn binary_tree(depth: u32, seed: u64) -> TreeInstance {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n - 1);
+    for i in 1..n {
+        let parent = (i - 1) / 2;
+        edges.push((vid(parent), vid(i), rng.gen::<Weight>()));
+    }
+    TreeInstance { n, edges }
+}
+
+/// A caterpillar: a spine path of `spine` vertices with `legs` pendant vertices per spine vertex.
+/// Spine edges carry large increasing weights, leg edges small random weights, so the dendrogram
+/// height is `Θ(spine + legs)`.
+pub fn caterpillar(spine: usize, legs: usize, seed: u64) -> TreeInstance {
+    assert!(spine >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = spine * (legs + 1);
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    // Spine vertices are 0..spine.
+    for i in 0..spine.saturating_sub(1) {
+        edges.push((vid(i), vid(i + 1), 1_000_000.0 + i as Weight));
+    }
+    // Legs.
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            edges.push((vid(s), vid(next), rng.gen::<Weight>()));
+            next += 1;
+        }
+    }
+    TreeInstance { n, edges }
+}
+
+/// The Theorem 5.1 lower-bound instance together with its worst-case update.
+#[derive(Clone, Debug)]
+pub struct LowerBoundInstance {
+    /// The forest of disjoint stars.
+    pub instance: TreeInstance,
+    /// The update edge `(center_1, center_2, weight 0)` whose insertion (and subsequent
+    /// deletion) affects `2h + 1` parent pointers.
+    pub update: (VertexId, VertexId, Weight),
+    /// The per-star dendrogram height `h` of the construction.
+    pub h: usize,
+}
+
+/// Builds the Theorem 5.1 construction: `⌊n / (h + 1)⌋` disjoint stars of `h + 1` vertices with
+/// interleaved weights, so that each star's dendrogram is a path of height `h - 1` and inserting
+/// a weight-0 edge between two star centers changes `2h + 1` parent pointers.
+pub fn lower_bound_star_paths(n: usize, h: usize) -> LowerBoundInstance {
+    assert!(h >= 1);
+    let stars = (n / (h + 1)).max(2);
+    let total_vertices = stars * (h + 1);
+    let mut edges = Vec::with_capacity(stars * h);
+    for j in 0..stars {
+        let center = vid(j * (h + 1));
+        for i in 0..h {
+            let leaf = vid(j * (h + 1) + 1 + i);
+            // Star j (1-indexed in the paper) has weights j, h + j, 2h + j, ...
+            let w = (i * h + j + 1) as Weight;
+            edges.push((center, leaf, w));
+        }
+    }
+    let update = (vid(0), vid(h + 1), 0.0);
+    LowerBoundInstance {
+        instance: TreeInstance {
+            n: total_vertices,
+            edges,
+        },
+        update,
+        h,
+    }
+}
+
+/// A forest of `parts` disjoint random trees of `size` vertices each, used by batch-insertion
+/// workloads (components to be linked by a batch).
+pub fn disjoint_random_trees(parts: usize, size: usize, seed: u64) -> TreeInstance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = parts * size;
+    let mut edges = Vec::with_capacity(n.saturating_sub(parts));
+    for p in 0..parts {
+        let base = p * size;
+        for i in 1..size {
+            let parent = base + rng.gen_range(0..i);
+            edges.push((vid(parent), vid(base + i), rng.gen::<Weight>()));
+        }
+    }
+    TreeInstance { n, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_increasing_is_a_valid_tree() {
+        let t = path(10, WeightOrder::Increasing);
+        assert_eq!(t.n, 10);
+        assert_eq!(t.num_edges(), 9);
+        assert!(t.build_forest().is_forest());
+        let w: Vec<Weight> = t.edges.iter().map(|e| e.2).collect();
+        assert!(w.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn path_decreasing_is_reversed() {
+        let t = path(5, WeightOrder::Decreasing);
+        let w: Vec<Weight> = t.edges.iter().map(|e| e.2).collect();
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+    }
+
+    #[test]
+    fn balanced_path_has_distinct_weights() {
+        let t = path(64, WeightOrder::Balanced);
+        let mut w: Vec<Weight> = t.edges.iter().map(|e| e.2).collect();
+        w.sort_by(f64::total_cmp);
+        w.dedup();
+        assert_eq!(w.len(), 63);
+    }
+
+    #[test]
+    fn random_path_is_permutation() {
+        let t = path(20, WeightOrder::Random(42));
+        let mut w: Vec<Weight> = t.edges.iter().map(|e| e.2).collect();
+        w.sort_by(f64::total_cmp);
+        let expect: Vec<Weight> = (1..=19).map(|i| i as Weight).collect();
+        assert_eq!(w, expect);
+    }
+
+    #[test]
+    fn star_has_center_zero() {
+        let t = star(6);
+        assert_eq!(t.num_edges(), 5);
+        assert!(t.edges.iter().all(|e| e.0 == VertexId(0)));
+        assert!(t.build_forest().is_forest());
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let t = random_tree(100, 7);
+        assert_eq!(t.num_edges(), 99);
+        assert!(t.build_forest().is_forest());
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let t = binary_tree(4, 1);
+        assert_eq!(t.n, 31);
+        assert_eq!(t.num_edges(), 30);
+        assert!(t.build_forest().is_forest());
+    }
+
+    #[test]
+    fn caterpillar_is_tree() {
+        let t = caterpillar(10, 3, 3);
+        assert_eq!(t.n, 40);
+        assert_eq!(t.num_edges(), 39);
+        assert!(t.build_forest().is_forest());
+    }
+
+    #[test]
+    fn path_with_height_valid() {
+        for target in [1, 4, 16, 63] {
+            let t = path_with_height(64, target);
+            assert_eq!(t.num_edges(), 63);
+            assert!(t.build_forest().is_forest());
+            let mut w: Vec<Weight> = t.edges.iter().map(|e| e.2).collect();
+            w.sort_by(f64::total_cmp);
+            w.dedup();
+            assert_eq!(w.len(), 63, "weights must be distinct for target {target}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_instance_matches_paper() {
+        let lb = lower_bound_star_paths(20, 4);
+        // 4 stars of 5 vertices.
+        assert_eq!(lb.instance.n, 20);
+        assert_eq!(lb.instance.num_edges(), 16);
+        assert!(lb.instance.build_forest().is_forest());
+        // Update weight 0 is smaller than all instance weights.
+        assert!(lb
+            .instance
+            .edges
+            .iter()
+            .all(|e| e.2 > lb.update.2));
+        // Centers of the first two stars.
+        assert_eq!(lb.update.0, VertexId(0));
+        assert_eq!(lb.update.1, VertexId(5));
+    }
+
+    #[test]
+    fn disjoint_trees_have_right_component_count() {
+        let t = disjoint_random_trees(5, 8, 11);
+        assert_eq!(t.n, 40);
+        assert_eq!(t.num_edges(), 35);
+        let f = t.build_forest();
+        assert!(f.is_forest());
+        let mut dsu = crate::Dsu::new(f.num_vertices());
+        for (_, d) in f.edges() {
+            dsu.union(d.u, d.v);
+        }
+        assert_eq!(dsu.num_components(), 5);
+    }
+
+    #[test]
+    fn shuffled_edges_is_permutation_of_edges() {
+        let t = random_tree(50, 3);
+        let mut a = t.edges.clone();
+        let mut b = t.shuffled_edges(9);
+        let key = |e: &(VertexId, VertexId, Weight)| (e.0, e.1, e.2.to_bits());
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,125 @@
+//! Strongly-typed identifiers for vertices and edges.
+//!
+//! Both identifiers are thin `u32` newtypes so that the dendrogram and dynamic-tree structures
+//! can be stored as flat `Vec`s indexed by id (no per-node heap allocation, cache friendly),
+//! following the paper's array-of-parent-pointers representation of the SLD.
+
+use std::fmt;
+
+/// Identifier of a vertex of the input forest.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+/// Identifier of an edge of the input forest.
+///
+/// Edge ids are stable for the lifetime of the edge: they are assigned on insertion and
+/// recycled (via a free list in [`crate::Forest`]) only after deletion. Every internal node of
+/// the single-linkage dendrogram corresponds to exactly one alive edge, so `EdgeId` doubles as
+/// the identifier of dendrogram nodes throughout the workspace.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `VertexId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        VertexId(u32::try_from(i).expect("vertex index overflows u32"))
+    }
+}
+
+impl EdgeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `i` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        EdgeId(u32::try_from(i).expect("edge index overflows u32"))
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+        assert_eq!(format!("{v}"), "v42");
+        assert_eq!(format!("{v:?}"), "v42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::from_index(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(e, EdgeId(7));
+        assert_eq!(format!("{e}"), "e7");
+        assert_eq!(format!("{e:?}"), "e7");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(3) < EdgeId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn vertex_id_overflow_panics() {
+        let _ = VertexId::from_index(usize::try_from(u32::MAX).unwrap() + 1);
+    }
+}

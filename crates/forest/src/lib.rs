@@ -1,0 +1,32 @@
+//! # dynsld-forest
+//!
+//! Weighted dynamic forest representation used as the *input* of the dynamic single-linkage
+//! dendrogram (SLD) problem, together with workload and instance generators.
+//!
+//! The paper (De Man, Dhulipala, Gowda; SPAA 2025) formulates the input as a dynamic weighted
+//! forest `F` — in practice the minimum spanning forest of a dynamic graph — subject to edge
+//! insertions and deletions (Problem 1). This crate provides:
+//!
+//! * [`Forest`]: an edge-arena based dynamic forest with per-vertex adjacency ordered by
+//!   *rank* (the paper's total order on edges: weight with consistent tie-breaking), supporting
+//!   the `e*_v` ("minimum-rank edge incident to `v`") lookups that every DynSLD update needs.
+//! * [`RankKey`]: the total order on edges, `(weight, EdgeId)` lexicographic.
+//! * [`Dsu`]: a union-find used by static baselines and generators.
+//! * [`gen`]: instance generators covering every dendrogram-height regime exercised by the
+//!   paper's analysis (paths, stars, balanced Cartesian shapes, caterpillars, random trees,
+//!   and the Theorem 5.1 lower-bound construction).
+//! * [`workload`]: update-stream generators (insert-only, delete-only, mixed, batched) used by
+//!   examples, tests and the benchmark harness.
+
+pub mod dsu;
+pub mod forest;
+pub mod gen;
+pub mod ids;
+pub mod weight;
+pub mod workload;
+
+pub use dsu::Dsu;
+pub use forest::{EdgeData, Forest};
+pub use ids::{EdgeId, VertexId};
+pub use weight::{RankKey, Weight};
+pub use workload::{Update, UpdateBatch, WorkloadBuilder};

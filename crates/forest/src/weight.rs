@@ -1,0 +1,111 @@
+//! Edge weights and the rank total order.
+//!
+//! The paper defines the *rank* of an edge as its position in the weight-sorted edge sequence,
+//! "with ties broken consistently" (Section 2.1), and notes that the algorithms never need the
+//! integer rank itself — only the total order. [`RankKey`] realizes exactly that total order:
+//! `(weight, EdgeId)` compared lexicographically with IEEE total ordering on the weight.
+
+use crate::ids::EdgeId;
+use std::cmp::Ordering;
+
+/// Edge weight type. Single-linkage clustering treats lower weights as "closer" (merged first).
+pub type Weight = f64;
+
+/// The total order on edges used everywhere in place of explicit integer ranks.
+///
+/// Two `RankKey`s compare first by weight (using [`f64::total_cmp`], so NaNs and signed zeros
+/// have a well-defined order) and then by [`EdgeId`], which provides the consistent
+/// tie-breaking the paper assumes. Lower keys merge earlier in the clustering.
+#[derive(Copy, Clone, Debug)]
+pub struct RankKey {
+    /// The edge weight.
+    pub weight: Weight,
+    /// The edge id used as the tie-breaker.
+    pub edge: EdgeId,
+}
+
+impl RankKey {
+    /// Creates a rank key for edge `edge` with weight `weight`.
+    #[inline]
+    pub fn new(weight: Weight, edge: EdgeId) -> Self {
+        RankKey { weight, edge }
+    }
+}
+
+impl PartialEq for RankKey {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for RankKey {}
+
+impl PartialOrd for RankKey {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankKey {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.weight
+            .total_cmp(&other.weight)
+            .then_with(|| self.edge.cmp(&other.edge))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_weight_first() {
+        let a = RankKey::new(1.0, EdgeId(10));
+        let b = RankKey::new(2.0, EdgeId(1));
+        assert!(a < b);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn ties_broken_by_edge_id() {
+        let a = RankKey::new(5.0, EdgeId(1));
+        let b = RankKey::new(5.0, EdgeId(2));
+        assert!(a < b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn equality_requires_both_fields() {
+        let a = RankKey::new(5.0, EdgeId(3));
+        let b = RankKey::new(5.0, EdgeId(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn negative_and_zero_weights_are_ordered() {
+        let neg = RankKey::new(-1.0, EdgeId(0));
+        let zero = RankKey::new(0.0, EdgeId(0));
+        let negzero = RankKey::new(-0.0, EdgeId(0));
+        assert!(neg < zero);
+        // total_cmp orders -0.0 before +0.0.
+        assert!(negzero < zero);
+    }
+
+    #[test]
+    fn sorting_a_vec_of_keys_is_total() {
+        let mut keys = vec![
+            RankKey::new(3.0, EdgeId(0)),
+            RankKey::new(1.0, EdgeId(2)),
+            RankKey::new(1.0, EdgeId(1)),
+            RankKey::new(-2.5, EdgeId(7)),
+        ];
+        keys.sort();
+        let weights: Vec<f64> = keys.iter().map(|k| k.weight).collect();
+        assert_eq!(weights, vec![-2.5, 1.0, 1.0, 3.0]);
+        assert_eq!(keys[1].edge, EdgeId(1));
+        assert_eq!(keys[2].edge, EdgeId(2));
+    }
+}

@@ -1,0 +1,348 @@
+//! Update-stream (workload) generation.
+//!
+//! The dynamic SLD problem receives a sequence of edge insertions and deletions in the input
+//! forest (Problem 1). This module turns a static [`TreeInstance`](crate::gen::TreeInstance)
+//! into streams of valid updates — valid meaning the edge set is a forest at every prefix of
+//! the stream — in the patterns used by the examples, tests, and benchmark harness.
+
+use crate::dsu::Dsu;
+use crate::gen::TreeInstance;
+use crate::ids::VertexId;
+use crate::weight::Weight;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A single forest update.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Update {
+    /// Insert edge `(u, v)` with the given weight.
+    Insert {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+        /// Weight of the inserted edge.
+        weight: Weight,
+    },
+    /// Delete the edge between `u` and `v`.
+    Delete {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+    },
+}
+
+impl Update {
+    /// Returns true if this is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Update::Insert { .. })
+    }
+}
+
+/// A homogeneous batch of updates (all insertions or all deletions), as required by the paper's
+/// batch-dynamic algorithms (Section 3.3).
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateBatch {
+    /// A batch of edge insertions.
+    Insertions(Vec<(VertexId, VertexId, Weight)>),
+    /// A batch of edge deletions, given by endpoints.
+    Deletions(Vec<(VertexId, VertexId)>),
+}
+
+impl UpdateBatch {
+    /// Number of updates in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            UpdateBatch::Insertions(v) => v.len(),
+            UpdateBatch::Deletions(v) => v.len(),
+        }
+    }
+
+    /// Returns true if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds update streams from a target tree instance.
+///
+/// All generated streams maintain the forest invariant at every prefix (verified in tests).
+#[derive(Clone, Debug)]
+pub struct WorkloadBuilder {
+    instance: TreeInstance,
+}
+
+impl WorkloadBuilder {
+    /// Creates a workload builder for the given instance.
+    pub fn new(instance: TreeInstance) -> Self {
+        WorkloadBuilder { instance }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &TreeInstance {
+        &self.instance
+    }
+
+    /// An insertion-only stream: all edges of the instance in a random order.
+    ///
+    /// Inserting the edges of a tree in any order keeps the edge set a forest, so every prefix
+    /// is valid.
+    pub fn insertion_stream(&self, seed: u64) -> Vec<Update> {
+        self.instance
+            .shuffled_edges(seed)
+            .into_iter()
+            .map(|(u, v, weight)| Update::Insert { u, v, weight })
+            .collect()
+    }
+
+    /// A deletion-only stream: starting from the full instance, delete all edges in a random
+    /// order (deleting edges never violates the forest property).
+    pub fn deletion_stream(&self, seed: u64) -> Vec<Update> {
+        self.instance
+            .shuffled_edges(seed)
+            .into_iter()
+            .map(|(u, v, _)| Update::Delete { u, v })
+            .collect()
+    }
+
+    /// A fully-dynamic churn stream of `num_ops` operations applied on top of the full instance:
+    /// repeatedly delete a uniformly random present edge or re-insert a previously deleted edge
+    /// (with a freshly drawn weight), with probability 1/2 each where possible.
+    pub fn churn_stream(&self, num_ops: usize, seed: u64) -> Vec<Update> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut present: Vec<(VertexId, VertexId, Weight)> = self.instance.edges.clone();
+        let mut absent: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut stream = Vec::with_capacity(num_ops);
+        for _ in 0..num_ops {
+            let do_delete = if present.is_empty() {
+                false
+            } else if absent.is_empty() {
+                true
+            } else {
+                rng.gen_bool(0.5)
+            };
+            if do_delete {
+                let idx = rng.gen_range(0..present.len());
+                let (u, v, _) = present.swap_remove(idx);
+                absent.push((u, v));
+                stream.push(Update::Delete { u, v });
+            } else if !absent.is_empty() {
+                let idx = rng.gen_range(0..absent.len());
+                let (u, v) = absent.swap_remove(idx);
+                let weight = rng.gen::<Weight>() * self.instance.num_edges() as Weight;
+                present.push((u, v, weight));
+                stream.push(Update::Insert { u, v, weight });
+            }
+        }
+        stream
+    }
+
+    /// A sliding-window stream: insert the first `window` edges, then alternately delete the
+    /// oldest inserted edge and insert the next unseen edge, until all edges have been seen.
+    pub fn sliding_window_stream(&self, window: usize, seed: u64) -> Vec<Update> {
+        let edges = self.instance.shuffled_edges(seed);
+        let window = window.min(edges.len());
+        let mut stream = Vec::with_capacity(2 * edges.len());
+        for &(u, v, weight) in edges.iter().take(window) {
+            stream.push(Update::Insert { u, v, weight });
+        }
+        let mut oldest = 0usize;
+        for &(u, v, weight) in edges.iter().skip(window) {
+            let (du, dv, _) = edges[oldest];
+            stream.push(Update::Delete { u: du, v: dv });
+            oldest += 1;
+            stream.push(Update::Insert { u, v, weight });
+        }
+        stream
+    }
+
+    /// Homogeneous insertion batches of size `batch_size` covering all edges of the instance
+    /// (the final batch may be smaller), in a random order.
+    pub fn insertion_batches(&self, batch_size: usize, seed: u64) -> Vec<UpdateBatch> {
+        assert!(batch_size >= 1);
+        self.instance
+            .shuffled_edges(seed)
+            .chunks(batch_size)
+            .map(|chunk| UpdateBatch::Insertions(chunk.to_vec()))
+            .collect()
+    }
+
+    /// Homogeneous deletion batches of size `batch_size` covering all edges of the instance.
+    pub fn deletion_batches(&self, batch_size: usize, seed: u64) -> Vec<UpdateBatch> {
+        assert!(batch_size >= 1);
+        self.instance
+            .shuffled_edges(seed)
+            .chunks(batch_size)
+            .map(|chunk| {
+                UpdateBatch::Deletions(chunk.iter().map(|&(u, v, _)| (u, v)).collect())
+            })
+            .collect()
+    }
+
+    /// A "star batch" of insertions linking `k` previously disjoint components to one center
+    /// component, matching the Star-Merge case of Section 3.3. Requires the instance to have
+    /// been generated by [`crate::gen::disjoint_random_trees`] (components laid out in blocks
+    /// of `block` vertices); component 0 is the center.
+    pub fn star_link_batch(&self, block: usize, k: usize, seed: u64) -> UpdateBatch {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let parts = self.instance.n / block;
+        assert!(k < parts, "need at least k + 1 components");
+        let mut inserts = Vec::with_capacity(k);
+        for i in 1..=k {
+            let center_v = VertexId::from_index(rng.gen_range(0..block));
+            let leaf_v = VertexId::from_index(i * block + rng.gen_range(0..block));
+            inserts.push((center_v, leaf_v, rng.gen::<Weight>() * 10.0));
+        }
+        UpdateBatch::Insertions(inserts)
+    }
+}
+
+/// Validates that applying `stream` on top of `initial` (which must itself be a forest) keeps
+/// the edge set a forest after every update. Returns the number of updates validated.
+///
+/// Deletions of absent edges are rejected. Used by tests of the generators themselves.
+pub fn validate_stream(initial: &TreeInstance, stream: &[Update]) -> Result<usize, String> {
+    let mut edges: Vec<(VertexId, VertexId)> = initial
+        .edges
+        .iter()
+        .map(|&(u, v, _)| (u, v))
+        .collect();
+    let check_forest = |edges: &[(VertexId, VertexId)]| -> bool {
+        let mut dsu = Dsu::new(initial.n);
+        edges.iter().all(|&(u, v)| dsu.union(u, v))
+    };
+    if !check_forest(&edges) {
+        return Err("initial instance is not a forest".to_string());
+    }
+    for (i, up) in stream.iter().enumerate() {
+        match *up {
+            Update::Insert { u, v, .. } => {
+                edges.push((u, v));
+                if !check_forest(&edges) {
+                    return Err(format!("update {i} creates a cycle"));
+                }
+            }
+            Update::Delete { u, v } => {
+                let pos = edges
+                    .iter()
+                    .position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+                    .ok_or_else(|| format!("update {i} deletes an absent edge"))?;
+                edges.swap_remove(pos);
+            }
+        }
+    }
+    Ok(stream.len())
+}
+
+/// Helper used by benchmarks: a random order over indices `0..n` (Fisher–Yates with a seed).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut rng);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{disjoint_random_trees, random_tree, TreeInstance};
+
+    fn empty_instance(n: usize) -> TreeInstance {
+        TreeInstance {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn insertion_stream_is_valid_from_empty() {
+        let t = random_tree(60, 5);
+        let wb = WorkloadBuilder::new(t.clone());
+        let stream = wb.insertion_stream(1);
+        assert_eq!(stream.len(), 59);
+        assert!(stream.iter().all(Update::is_insert));
+        assert_eq!(validate_stream(&empty_instance(t.n), &stream), Ok(59));
+    }
+
+    #[test]
+    fn deletion_stream_is_valid_from_full() {
+        let t = random_tree(40, 6);
+        let wb = WorkloadBuilder::new(t.clone());
+        let stream = wb.deletion_stream(2);
+        assert_eq!(stream.len(), 39);
+        assert_eq!(validate_stream(&t, &stream), Ok(39));
+    }
+
+    #[test]
+    fn churn_stream_is_valid() {
+        let t = random_tree(50, 7);
+        let wb = WorkloadBuilder::new(t.clone());
+        let stream = wb.churn_stream(200, 3);
+        assert_eq!(stream.len(), 200);
+        assert_eq!(validate_stream(&t, &stream), Ok(200));
+    }
+
+    #[test]
+    fn sliding_window_stream_is_valid() {
+        let t = random_tree(80, 8);
+        let wb = WorkloadBuilder::new(t.clone());
+        let stream = wb.sliding_window_stream(20, 4);
+        assert_eq!(validate_stream(&empty_instance(t.n), &stream), Ok(stream.len()));
+        // Window phase: 20 inserts, then (79 - 20) delete/insert pairs.
+        assert_eq!(stream.len(), 20 + 2 * (79 - 20));
+    }
+
+    #[test]
+    fn batches_cover_all_edges() {
+        let t = random_tree(33, 9);
+        let wb = WorkloadBuilder::new(t.clone());
+        let batches = wb.insertion_batches(10, 5);
+        assert_eq!(batches.len(), 4);
+        let total: usize = batches.iter().map(UpdateBatch::len).sum();
+        assert_eq!(total, 32);
+        let del = wb.deletion_batches(7, 5);
+        let total: usize = del.iter().map(UpdateBatch::len).sum();
+        assert_eq!(total, 32);
+        assert!(!del[0].is_empty());
+    }
+
+    #[test]
+    fn star_batch_links_distinct_components() {
+        let t = disjoint_random_trees(6, 10, 1);
+        let wb = WorkloadBuilder::new(t.clone());
+        let batch = wb.star_link_batch(10, 4, 2);
+        let UpdateBatch::Insertions(ins) = &batch else {
+            panic!("expected insertions")
+        };
+        assert_eq!(ins.len(), 4);
+        // Validating as a stream on top of the disjoint forest must succeed (no cycles).
+        let stream: Vec<Update> = ins
+            .iter()
+            .map(|&(u, v, weight)| Update::Insert { u, v, weight })
+            .collect();
+        assert_eq!(validate_stream(&t, &stream), Ok(4));
+    }
+
+    #[test]
+    fn validate_stream_rejects_cycles_and_absent_deletes() {
+        let t = empty_instance(3);
+        let bad_cycle = vec![
+            Update::Insert { u: VertexId(0), v: VertexId(1), weight: 1.0 },
+            Update::Insert { u: VertexId(1), v: VertexId(2), weight: 1.0 },
+            Update::Insert { u: VertexId(2), v: VertexId(0), weight: 1.0 },
+        ];
+        assert!(validate_stream(&t, &bad_cycle).is_err());
+        let bad_delete = vec![Update::Delete { u: VertexId(0), v: VertexId(1) }];
+        assert!(validate_stream(&t, &bad_delete).is_err());
+    }
+
+    #[test]
+    fn random_permutation_is_permutation() {
+        let p = random_permutation(100, 3);
+        let mut q = p.clone();
+        q.sort_unstable();
+        assert_eq!(q, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,120 @@
+//! Parallel (order-preserving) filter.
+//!
+//! The deletion algorithm of DynSLD separates the nodes of a characteristic spine into the two
+//! sides of the cut with a *parallel filter* whose output must preserve the input order
+//! (Section 2.3: "existing methods ensure that the ordering of elements is preserved in the
+//! filtered sequence, which our algorithms require"). This module implements the standard
+//! chunk → count → exclusive-scan → scatter fork-join filter: `O(n)` work, `O(log n)` depth.
+
+use crate::scan::par_exclusive_scan;
+use crate::SEQ_CUTOFF;
+use rayon::prelude::*;
+
+/// Returns the elements of `input` satisfying `pred`, in their original order.
+pub fn par_filter<T, P>(input: &[T], pred: P) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    P: Fn(&T) -> bool + Sync,
+{
+    par_filter_map(input, |x| if pred(x) { Some(*x) } else { None })
+}
+
+/// Applies `f` to every element in parallel and returns the `Some` results in input order.
+///
+/// This is the general form of the filter primitive: the map is evaluated exactly once per
+/// element (so `f` may be an expensive query, e.g. a connectivity query against a dynamic-tree
+/// structure), and the compaction preserves order.
+pub fn par_filter_map<T, U, F>(input: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send + Sync + Copy,
+    F: Fn(&T) -> Option<U> + Sync,
+{
+    if input.len() <= SEQ_CUTOFF {
+        return input.iter().filter_map(|x| f(x)).collect();
+    }
+    let chunk_size = (input.len() / (rayon::current_num_threads() * 4)).max(SEQ_CUTOFF / 4);
+    // Phase 1: map each chunk, keeping per-chunk results.
+    let per_chunk: Vec<Vec<U>> = input
+        .par_chunks(chunk_size)
+        .map(|chunk| chunk.iter().filter_map(|x| f(x)).collect())
+        .collect();
+    // Phase 2: exclusive scan of chunk sizes to find output offsets.
+    let counts: Vec<usize> = per_chunk.iter().map(Vec::len).collect();
+    let (offsets, total) = par_exclusive_scan(&counts);
+    // Phase 3: scatter each chunk into its slot of the output.
+    let mut out: Vec<Option<U>> = vec![None; total];
+    let mut slices: Vec<&mut [Option<U>]> = Vec::with_capacity(per_chunk.len());
+    {
+        let mut rest = out.as_mut_slice();
+        for (i, &off) in offsets.iter().enumerate() {
+            let end = if i + 1 < offsets.len() {
+                offsets[i + 1]
+            } else {
+                total
+            };
+            let (head, tail) = rest.split_at_mut(end - off);
+            slices.push(head);
+            rest = tail;
+        }
+    }
+    slices
+        .into_par_iter()
+        .zip(per_chunk.par_iter())
+        .for_each(|(slot, chunk)| {
+            for (dst, src) in slot.iter_mut().zip(chunk.iter()) {
+                *dst = Some(*src);
+            }
+        });
+    out.into_iter().map(|x| x.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn filters_small_inputs() {
+        let v = [1, 2, 3, 4, 5, 6];
+        assert_eq!(par_filter(&v, |x| x % 2 == 0), vec![2, 4, 6]);
+        assert_eq!(par_filter(&v, |_| false), Vec::<i32>::new());
+        assert_eq!(par_filter(&v, |_| true), v.to_vec());
+        assert_eq!(par_filter::<i32, _>(&[], |_| true), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn preserves_order_large_input() {
+        let n = 100_000;
+        let v: Vec<u64> = (0..n).collect();
+        let out = par_filter(&v, |x| x % 7 == 0);
+        let expect: Vec<u64> = (0..n).filter(|x| x % 7 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn matches_sequential_on_random_predicates() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let v: Vec<u32> = (0..50_000).map(|_| rng.gen_range(0..1000)).collect();
+        for threshold in [0, 1, 500, 999, 1000] {
+            let out = par_filter(&v, |&x| x < threshold);
+            let expect: Vec<u32> = v.iter().copied().filter(|&x| x < threshold).collect();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn filter_map_transforms_and_compacts() {
+        let v: Vec<i64> = (0..30_000).collect();
+        let out = par_filter_map(&v, |&x| if x % 3 == 0 { Some(x * 2) } else { None });
+        let expect: Vec<i64> = (0..30_000).filter(|x| x % 3 == 0).map(|x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn all_elements_kept_when_predicate_true_large() {
+        let v: Vec<u32> = (0..(3 * SEQ_CUTOFF as u32)).collect();
+        assert_eq!(par_filter(&v, |_| true), v);
+    }
+}

@@ -1,0 +1,90 @@
+//! # dynsld-parallel
+//!
+//! Binary fork-join parallel primitives.
+//!
+//! The paper analyses its algorithms in the *binary fork-join model* (Section 2.3) and relies on
+//! two textbook primitives: **parallel merge** of two sorted sequences (`O(n)` work,
+//! `O(log n)` depth) and **parallel filter** (`O(n)` work, `O(log n)` depth), plus prefix sums.
+//! This crate implements those primitives on top of [`rayon`]'s `join` (the standard multicore
+//! realization of fork-join), with sequential cut-offs so that small inputs pay no scheduling
+//! overhead.
+//!
+//! The primitives are deterministic: for the same input they produce exactly the same output as
+//! their sequential counterparts (order preserved), which the DynSLD correctness argument needs.
+
+pub mod filter;
+pub mod merge;
+pub mod scan;
+
+pub use filter::{par_filter, par_filter_map};
+pub use merge::{par_merge, par_merge_by_key};
+pub use scan::{par_exclusive_scan, par_sum};
+
+/// Problem size below which the primitives fall back to their sequential implementations.
+///
+/// Chosen so that the fork-join overhead (~1µs per task) is amortized; the exact value is not
+/// performance-critical because all primitives are work-efficient.
+pub const SEQ_CUTOFF: usize = 2048;
+
+/// Runs `a` and `b`, in parallel when `size` exceeds [`SEQ_CUTOFF`], sequentially otherwise.
+///
+/// A thin wrapper over [`rayon::join`] that gives call sites a uniform way to express the
+/// fork-join structure of the paper's algorithms while avoiding scheduling overhead on tiny
+/// subproblems.
+pub fn maybe_join<RA, RB>(
+    size: usize,
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if size > SEQ_CUTOFF {
+        rayon::join(a, b)
+    } else {
+        (a(), b())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn maybe_join_runs_both_closures_small() {
+        let counter = AtomicUsize::new(0);
+        let (a, b) = maybe_join(
+            1,
+            || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                1
+            },
+            || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                2
+            },
+        );
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn maybe_join_runs_both_closures_large() {
+        let counter = AtomicUsize::new(0);
+        let (a, b) = maybe_join(
+            SEQ_CUTOFF + 1,
+            || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                "left"
+            },
+            || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                "right"
+            },
+        );
+        assert_eq!((a, b), ("left", "right"));
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Parallel merge of two sorted sequences.
+//!
+//! Classic fork-join merge (JáJá / Cole, cited by the paper as "parallel merge"): split the
+//! larger input at its midpoint, binary-search the split value in the smaller input, and merge
+//! the two halves in parallel. `O(n)` work and `O(log² n)` fork-join depth (the paper quotes
+//! `O(log n)` for the CREW variant; the binary fork-join realization has an extra log factor,
+//! which does not affect any of the work bounds DynSLD relies on).
+
+use crate::SEQ_CUTOFF;
+use std::cmp::Ordering;
+
+/// Merges two slices sorted by `Ord` into a new sorted `Vec`, stably (elements of `a` precede
+/// equal elements of `b`).
+pub fn par_merge<T>(a: &[T], b: &[T]) -> Vec<T>
+where
+    T: Ord + Copy + Send + Sync,
+{
+    par_merge_by_key(a, b, |x| *x)
+}
+
+/// Merges two slices sorted by `key` into a new sorted `Vec`, stably.
+///
+/// Both inputs must already be sorted by `key`; debug builds assert this.
+pub fn par_merge_by_key<T, K, F>(a: &[T], b: &[T], key: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    debug_assert!(is_sorted_by_key(a, &key), "first input not sorted");
+    debug_assert!(is_sorted_by_key(b, &key), "second input not sorted");
+    let mut out = vec![None; a.len() + b.len()];
+    merge_into(a, b, true, &key, &mut out);
+    out.into_iter().map(|x| x.expect("slot filled")).collect()
+}
+
+fn is_sorted_by_key<T, K: Ord>(s: &[T], key: &impl Fn(&T) -> K) -> bool {
+    s.windows(2).all(|w| key(&w[0]) <= key(&w[1]))
+}
+
+/// Merges `a` and `b` into `out`. `a_is_first` records whether `a` is logically the first of the
+/// two original sequences (ties resolved in favour of the logically-first sequence).
+fn merge_into<T, K, F>(a: &[T], b: &[T], a_is_first: bool, key: &F, out: &mut [Option<T>])
+where
+    T: Copy + Send + Sync,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    if a.len() + b.len() <= SEQ_CUTOFF {
+        if a_is_first {
+            seq_merge_into(a, b, key, out);
+        } else {
+            seq_merge_into(b, a, key, out);
+        }
+        return;
+    }
+    // Split the larger side at its midpoint so the recursion halves the problem.
+    if a.len() < b.len() {
+        merge_into(b, a, !a_is_first, key, out);
+        return;
+    }
+    let mid_a = a.len() / 2;
+    let pivot = key(&a[mid_a]);
+    // On equal keys, elements of the logically-first sequence go left.
+    let mid_b = if a_is_first {
+        // `a` is first: equal-key elements of `b` stay to the right of a[mid_a].
+        b.partition_point(|x| key(x) < pivot)
+    } else {
+        // `b` is first: equal-key elements of `b` go to the left of a[mid_a].
+        b.partition_point(|x| key(x) <= pivot)
+    };
+    let (a_lo, a_hi) = a.split_at(mid_a);
+    let (b_lo, b_hi) = b.split_at(mid_b);
+    let (out_lo, out_hi) = out.split_at_mut(mid_a + mid_b);
+    rayon::join(
+        || merge_into(a_lo, b_lo, a_is_first, key, out_lo),
+        || merge_into(a_hi, b_hi, a_is_first, key, out_hi),
+    );
+}
+
+fn seq_merge_into<T, K, F>(a: &[T], b: &[T], key: &F, out: &mut [Option<T>])
+where
+    T: Copy,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let mut i = 0;
+    let mut j = 0;
+    let mut k = 0;
+    while i < a.len() && j < b.len() {
+        let take_a = key(&a[i]).cmp(&key(&b[j])) != Ordering::Greater;
+        if take_a {
+            out[k] = Some(a[i]);
+            i += 1;
+        } else {
+            out[k] = Some(b[j]);
+            j += 1;
+        }
+        k += 1;
+    }
+    for &x in &a[i..] {
+        out[k] = Some(x);
+        k += 1;
+    }
+    for &x in &b[j..] {
+        out[k] = Some(x);
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn seq_merge_ref(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn merges_small_slices() {
+        assert_eq!(par_merge(&[1, 3, 5], &[2, 4, 6]), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(par_merge::<u32>(&[], &[]), Vec::<u32>::new());
+        assert_eq!(par_merge(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(par_merge(&[], &[7]), vec![7]);
+    }
+
+    #[test]
+    fn merges_disjoint_ranges() {
+        let a: Vec<u64> = (0..100).collect();
+        let b: Vec<u64> = (100..250).collect();
+        assert_eq!(par_merge(&a, &b), (0..250).collect::<Vec<u64>>());
+        assert_eq!(par_merge(&b, &a), (0..250).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn merges_large_random_inputs_above_cutoff() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for (na, nb) in [(10_000, 10_000), (50_000, 5), (5, 50_000), (30_000, 17_000)] {
+            let mut a: Vec<u64> = (0..na).map(|_| rng.gen_range(0..1_000_000)).collect();
+            let mut b: Vec<u64> = (0..nb).map(|_| rng.gen_range(0..1_000_000)).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(par_merge(&a, &b), seq_merge_ref(&a, &b));
+        }
+    }
+
+    #[test]
+    fn merge_by_key_uses_key_only() {
+        #[derive(Copy, Clone, Debug, PartialEq)]
+        struct Item {
+            k: u32,
+            tag: char,
+        }
+        let a = [Item { k: 1, tag: 'a' }, Item { k: 3, tag: 'a' }];
+        let b = [Item { k: 2, tag: 'b' }, Item { k: 3, tag: 'b' }];
+        let merged = par_merge_by_key(&a, &b, |x| x.k);
+        assert_eq!(
+            merged.iter().map(|x| (x.k, x.tag)).collect::<Vec<_>>(),
+            vec![(1, 'a'), (2, 'b'), (3, 'a'), (3, 'b')],
+        );
+    }
+
+    #[test]
+    fn stability_on_ties_large() {
+        // a elements are (key, 0), b elements are (key, 1); on equal keys the a element must
+        // come first even above the sequential cutoff (where input swapping may occur).
+        let n = 3 * SEQ_CUTOFF;
+        let a: Vec<(u64, u8)> = (0..n as u64).map(|i| (i / 2, 0)).collect();
+        let b: Vec<(u64, u8)> = (0..(n / 4) as u64).map(|i| (i * 2, 1)).collect();
+        let merged = par_merge_by_key(&a, &b, |x| x.0);
+        for w in merged.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
+                assert!(w[0].1 <= w[1].1, "a-elements must precede b-elements on ties");
+            }
+        }
+        assert_eq!(merged.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn tiny_vs_huge_inputs_do_not_panic() {
+        let a: Vec<u64> = vec![500_000];
+        let b: Vec<u64> = (0..100_000).collect();
+        let merged = par_merge(&a, &b);
+        assert_eq!(merged.len(), 100_001);
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+        let merged2 = par_merge(&b, &a);
+        assert_eq!(merged, merged2);
+    }
+}

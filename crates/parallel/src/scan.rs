@@ -1,0 +1,104 @@
+//! Parallel prefix sums (scan) and reductions.
+//!
+//! The blocked two-pass exclusive scan used by the parallel filter and by the batch update
+//! algorithms to compute output offsets: `O(n)` work, `O(log n)` depth.
+
+use crate::SEQ_CUTOFF;
+use rayon::prelude::*;
+
+/// Computes the exclusive prefix sums of `input` and the total sum.
+///
+/// `output[i] = input[0] + ... + input[i-1]`, `output[0] = 0`.
+pub fn par_exclusive_scan(input: &[usize]) -> (Vec<usize>, usize) {
+    if input.len() <= SEQ_CUTOFF {
+        let mut out = Vec::with_capacity(input.len());
+        let mut acc = 0usize;
+        for &x in input {
+            out.push(acc);
+            acc += x;
+        }
+        return (out, acc);
+    }
+    let chunk_size = (input.len() / (rayon::current_num_threads() * 4)).max(SEQ_CUTOFF / 4);
+    // Pass 1: per-chunk sums.
+    let chunk_sums: Vec<usize> = input
+        .par_chunks(chunk_size)
+        .map(|c| c.iter().sum())
+        .collect();
+    // Sequential scan over the (small) chunk sums.
+    let mut chunk_offsets = Vec::with_capacity(chunk_sums.len());
+    let mut acc = 0usize;
+    for &s in &chunk_sums {
+        chunk_offsets.push(acc);
+        acc += s;
+    }
+    let total = acc;
+    // Pass 2: per-chunk exclusive scan seeded with the chunk offset.
+    let mut out = vec![0usize; input.len()];
+    out.par_chunks_mut(chunk_size)
+        .zip(input.par_chunks(chunk_size))
+        .zip(chunk_offsets.par_iter())
+        .for_each(|((out_chunk, in_chunk), &offset)| {
+            let mut acc = offset;
+            for (o, &x) in out_chunk.iter_mut().zip(in_chunk.iter()) {
+                *o = acc;
+                acc += x;
+            }
+        });
+    (out, total)
+}
+
+/// Parallel sum of a slice of `usize`.
+pub fn par_sum(input: &[usize]) -> usize {
+    if input.len() <= SEQ_CUTOFF {
+        input.iter().sum()
+    } else {
+        input.par_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn seq_scan(input: &[usize]) -> (Vec<usize>, usize) {
+        let mut out = Vec::with_capacity(input.len());
+        let mut acc = 0;
+        for &x in input {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn scans_small_inputs() {
+        assert_eq!(par_exclusive_scan(&[]), (vec![], 0));
+        assert_eq!(par_exclusive_scan(&[5]), (vec![0], 5));
+        assert_eq!(par_exclusive_scan(&[1, 2, 3]), (vec![0, 1, 3], 6));
+    }
+
+    #[test]
+    fn matches_sequential_on_large_random_input() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let input: Vec<usize> = (0..200_000).map(|_| rng.gen_range(0..10)).collect();
+        assert_eq!(par_exclusive_scan(&input), seq_scan(&input));
+    }
+
+    #[test]
+    fn par_sum_matches() {
+        let input: Vec<usize> = (0..100_000).collect();
+        assert_eq!(par_sum(&input), input.iter().sum::<usize>());
+        assert_eq!(par_sum(&[]), 0);
+    }
+
+    #[test]
+    fn scan_of_all_zeros() {
+        let input = vec![0usize; 50_000];
+        let (out, total) = par_exclusive_scan(&input);
+        assert_eq!(total, 0);
+        assert!(out.iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Batch-dynamic maintenance (Theorem 1.5) vs. one-at-a-time updates vs. static recomputation.
+//!
+//! Run with `cargo run --release --example batch_updates`.
+//!
+//! A fleet of sensors reports connectivity changes in bursts: every round, a batch of `k` links
+//! appears (or disappears). The example applies the bursts with `batch_insert` / `batch_delete`
+//! and compares the end-to-end time against applying the same updates individually and against
+//! recomputing the dendrogram from scratch after every burst.
+
+use dynsld::{static_sld_kruskal, DynSld, DynSldOptions};
+use dynsld_forest::gen;
+use dynsld_forest::workload::{UpdateBatch, WorkloadBuilder};
+use std::time::Instant;
+
+const PARTS: usize = 256;
+const PART_SIZE: usize = 64;
+const BATCH: usize = 128;
+
+fn main() {
+    // PARTS disjoint sensor clusters of PART_SIZE nodes each; bursts link them together and
+    // tear them apart again.
+    let instance = gen::disjoint_random_trees(PARTS, PART_SIZE, 3);
+    let n = instance.n;
+    println!("{PARTS} components × {PART_SIZE} vertices = {n} vertices");
+
+    // The links that arrive in bursts: a random spanning structure over the components.
+    let bursts: Vec<UpdateBatch> = {
+        let mut inter = Vec::new();
+        for p in 1..PARTS {
+            let u = dynsld_forest::VertexId::from_index((p - 1) * PART_SIZE);
+            let v = dynsld_forest::VertexId::from_index(p * PART_SIZE + 1);
+            inter.push((u, v, 100.0 + p as f64));
+        }
+        inter
+            .chunks(BATCH)
+            .map(|c| UpdateBatch::Insertions(c.to_vec()))
+            .collect()
+    };
+
+    // --- batch-dynamic -------------------------------------------------------------------
+    let mut batch_sld = DynSld::from_forest(instance.build_forest(), DynSldOptions::default());
+    let t = Instant::now();
+    for burst in &bursts {
+        let UpdateBatch::Insertions(edges) = burst else { unreachable!() };
+        batch_sld.batch_insert(edges).expect("valid burst");
+    }
+    let batch_time = t.elapsed();
+    println!(
+        "batch-dynamic:   {:>10.2?} total for {} bursts of ≤{BATCH} insertions (h = {})",
+        batch_time,
+        bursts.len(),
+        batch_sld.height()
+    );
+
+    // --- one at a time -------------------------------------------------------------------
+    let mut single_sld = DynSld::from_forest(instance.build_forest(), DynSldOptions::default());
+    let t = Instant::now();
+    for burst in &bursts {
+        let UpdateBatch::Insertions(edges) = burst else { unreachable!() };
+        for &(u, v, w) in edges {
+            single_sld.insert(u, v, w).expect("valid edge");
+        }
+    }
+    let single_time = t.elapsed();
+    println!("one-at-a-time:   {:>10.2?}", single_time);
+
+    // --- static recomputation after every burst ------------------------------------------
+    let mut forest = instance.build_forest();
+    let t = Instant::now();
+    for burst in &bursts {
+        let UpdateBatch::Insertions(edges) = burst else { unreachable!() };
+        for &(u, v, w) in edges {
+            forest.insert_edge(u, v, w);
+        }
+        let _ = static_sld_kruskal(&forest);
+    }
+    let static_time = t.elapsed();
+    println!("static recompute: {:>9.2?} (Kruskal after every burst)", static_time);
+
+    assert_eq!(
+        batch_sld.dendrogram().canonical_parents(),
+        single_sld.dendrogram().canonical_parents(),
+        "batch and single-update results agree"
+    );
+
+    // Tear the structure down again with deletion batches.
+    let workload = WorkloadBuilder::new(instance);
+    let t = Instant::now();
+    let mut rounds = 0usize;
+    for burst in workload.deletion_batches(BATCH, 9) {
+        let UpdateBatch::Deletions(pairs) = burst else { unreachable!() };
+        // Only delete edges still present (the inter-component links stay).
+        let pairs: Vec<_> = pairs
+            .into_iter()
+            .filter(|&(u, v)| batch_sld.forest().find_edge(u, v).is_some())
+            .collect();
+        if pairs.is_empty() {
+            continue;
+        }
+        batch_sld.batch_delete(&pairs).expect("valid deletion burst");
+        rounds += 1;
+    }
+    println!(
+        "batch deletions: {:>10.2?} over {rounds} bursts; {} edges remain",
+        t.elapsed(),
+        batch_sld.num_edges()
+    );
+}

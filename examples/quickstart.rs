@@ -1,0 +1,91 @@
+//! Quickstart: maintain the single-linkage dendrogram of a small dynamic forest.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! The example builds the Figure-1 tree of the paper, prints its dendrogram, then performs the
+//! edge deletion and re-insertion illustrated in Figure 2 and shows how the dendrogram changes.
+
+use dynsld::{DynSld, DynSldOptions, UpdateStrategy};
+use dynsld_forest::VertexId;
+
+fn name(i: u32) -> char {
+    (b'a' + i as u8) as char
+}
+
+fn print_dendrogram(title: &str, sld: &DynSld) {
+    println!("\n{title}");
+    println!("{:<8} {:<8} {:<8}", "edge", "weight", "parent");
+    let mut nodes: Vec<_> = sld.dendrogram().nodes().collect();
+    nodes.sort_by(|&a, &b| sld.rank(a).cmp(&sld.rank(b)));
+    for e in nodes {
+        let (u, v) = sld.forest().endpoints(e);
+        let label = format!("{}-{}", name(u.0), name(v.0));
+        let parent = match sld.parent_of(e) {
+            Some(p) => {
+                let (a, b) = sld.forest().endpoints(p);
+                format!("{}-{}", name(a.0), name(b.0))
+            }
+            None => "(root)".to_string(),
+        };
+        println!("{:<8} {:<8} {:<8}", label, sld.forest().weight(e), parent);
+    }
+    println!("dendrogram height h = {}", sld.height());
+}
+
+fn main() {
+    // The example tree of Figure 1: vertices a..l, edge weights = ranks 1..11.
+    let edges = [
+        ('a', 'b', 8.0),
+        ('b', 'c', 11.0),
+        ('b', 'd', 9.0),
+        ('d', 'e', 10.0),
+        ('e', 'f', 4.0),
+        ('e', 'h', 2.0),
+        ('g', 'h', 7.0),
+        ('h', 'i', 1.0),
+        ('i', 'j', 6.0),
+        ('i', 'k', 3.0),
+        ('k', 'l', 5.0),
+    ];
+    let idx = |c: char| VertexId((c as u8 - b'a') as u32);
+
+    // Choose the sequential height-bounded algorithms (Theorem 1.1); other strategies:
+    // OutputSensitive (Thm 1.2), Parallel (Thm 1.3), ParallelOutputSensitive (Thm 1.4).
+    let mut sld = DynSld::with_options(12, DynSldOptions::with_strategy(UpdateStrategy::Sequential));
+    for (u, v, w) in edges {
+        sld.insert(idx(u), idx(v), w).expect("forest edge");
+    }
+    print_dendrogram("Dendrogram of the Figure-1 tree", &sld);
+
+    // Figure 2: delete the edge (e, h) — the dendrogram splits into two trees.
+    sld.delete(idx('e'), idx('h')).expect("edge exists");
+    println!(
+        "\nafter deleting (e, h): {} pointer changes, e and h are now {}connected",
+        sld.stats().last_pointer_changes,
+        if sld.connected(idx('e'), idx('h')) { "" } else { "dis" }
+    );
+    print_dendrogram("Dendrogram after deleting (e, h)", &sld);
+
+    // ... and re-insert it, restoring the original dendrogram.
+    sld.insert(idx('e'), idx('h'), 2.0).expect("forest edge");
+    print_dendrogram("Dendrogram after re-inserting (e, h) with weight 2", &sld);
+
+    // Dendrogram queries (Section 6.1).
+    println!(
+        "\nthreshold query: are a and l in the same cluster at threshold 9?  {}",
+        sld.threshold_connected(idx('a'), idx('l'), 9.0)
+    );
+    println!(
+        "cluster of h at threshold 4 has {} vertices: {:?}",
+        sld.cluster_size(idx('h'), 4.0),
+        sld.cluster_members(idx('h'), 4.0)
+            .iter()
+            .map(|v| name(v.0))
+            .collect::<Vec<_>>()
+    );
+    let clustering = sld.flat_clustering(6.0);
+    println!(
+        "flat clustering at threshold 6: {} clusters",
+        clustering.num_clusters()
+    );
+}

@@ -1,0 +1,83 @@
+//! Streaming hierarchical clustering over a sliding window.
+//!
+//! Run with `cargo run --release --example streaming_clustering`.
+//!
+//! Scenario from the paper's motivation ("due to the rapidly changing nature of modern
+//! datasets…"): measurements arrive as a stream of similarity edges over a fixed set of
+//! entities; only the most recent `WINDOW` edges are considered valid. The example maintains
+//! the single-linkage dendrogram of the minimum spanning forest of the current window with
+//! DynSLD and answers clustering queries continuously — without ever recomputing from scratch.
+
+use dynsld::{DynSld, DynSldOptions, UpdateStrategy};
+use dynsld_forest::gen;
+use dynsld_forest::workload::{Update, WorkloadBuilder};
+use dynsld_forest::VertexId;
+use std::time::Instant;
+
+const N: usize = 20_000;
+const WINDOW: usize = 5_000;
+
+fn main() {
+    // The "ground truth" similarity structure is a hidden tree whose dendrogram is shallow
+    // (balanced weights); the stream presents its edges in a random order.
+    let instance = gen::path_with_height(N, 64);
+    let workload = WorkloadBuilder::new(instance.clone());
+    let stream = workload.sliding_window_stream(WINDOW, 7);
+    println!(
+        "streaming {} updates over {} vertices (window = {WINDOW} edges)",
+        stream.len(),
+        N
+    );
+
+    let mut sld = DynSld::with_options(
+        N,
+        DynSldOptions::with_strategy(UpdateStrategy::OutputSensitive),
+    );
+    let probe_a = VertexId(0);
+    let probe_b = VertexId((N / 2) as u32);
+
+    let start = Instant::now();
+    let mut applied = 0usize;
+    let mut total_changes = 0u64;
+    for (i, update) in stream.iter().enumerate() {
+        match *update {
+            Update::Insert { u, v, weight } => {
+                sld.insert(u, v, weight).expect("stream keeps the forest acyclic");
+            }
+            Update::Delete { u, v } => {
+                sld.delete(u, v).expect("stream deletes present edges");
+            }
+        }
+        applied += 1;
+        total_changes += sld.stats().last_pointer_changes as u64;
+
+        // Continuous analytics: every few thousand updates, inspect the clustering.
+        if i % 4000 == 0 {
+            let size_a = sld.cluster_size(probe_a, 32.0);
+            let connected = sld.threshold_connected(probe_a, probe_b, 48.0);
+            println!(
+                "t={i:>6}  edges={:>5}  h={:>4}  |cluster(v0, τ=32)|={size_a:<5} \
+                 v0~v{}@48: {connected}",
+                sld.num_edges(),
+                sld.height(),
+                probe_b.0,
+            );
+        }
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "\napplied {applied} updates in {:.2?} ({:.1} µs/update, {:.2} pointer changes/update)",
+        elapsed,
+        elapsed.as_micros() as f64 / applied as f64,
+        total_changes as f64 / applied as f64
+    );
+
+    // Final snapshot: a flat clustering of the current window.
+    let clustering = sld.flat_clustering(40.0);
+    let largest = clustering.clusters.iter().map(Vec::len).max().unwrap_or(0);
+    println!(
+        "final window: {} edges, {} clusters at τ=40 (largest has {largest} vertices)",
+        sld.num_edges(),
+        clustering.num_clusters()
+    );
+}

@@ -1,0 +1,1 @@
+//! Integration test crate (see `tests/` subdirectory for the tests themselves).

@@ -1,0 +1,244 @@
+//! Cross-crate integration tests: the full pipeline (dynamic graph → dynamic MSF → DynSLD →
+//! queries), larger-scale runs of every update strategy, and consistency between the dynamic
+//! structures and the RC-tree / static baselines.
+
+use dynsld::{static_sld_kruskal, DynSld, DynSldOptions, UpdateStrategy};
+use dynsld_forest::gen::{self, WeightOrder};
+use dynsld_forest::workload::{Update, UpdateBatch, WorkloadBuilder};
+use dynsld_forest::VertexId;
+use dynsld_msf::{DynamicGraphClustering, MsfChange};
+use dynsld_rctree::RcForest;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+#[test]
+fn medium_scale_churn_all_strategies_agree() {
+    let inst = gen::random_tree(400, 12);
+    let wb = WorkloadBuilder::new(inst.clone());
+    let stream = wb.churn_stream(1_500, 99);
+
+    let mut variants: Vec<(UpdateStrategy, DynSld)> = [
+        UpdateStrategy::Sequential,
+        UpdateStrategy::OutputSensitive,
+        UpdateStrategy::Parallel,
+        UpdateStrategy::ParallelOutputSensitive,
+    ]
+    .into_iter()
+    .map(|s| {
+        (
+            s,
+            DynSld::from_forest(inst.build_forest(), DynSldOptions::with_strategy(s)),
+        )
+    })
+    .collect();
+
+    for up in &stream {
+        for (_, sld) in variants.iter_mut() {
+            match *up {
+                Update::Insert { u, v, weight } => {
+                    sld.insert(u, v, weight).unwrap();
+                }
+                Update::Delete { u, v } => {
+                    sld.delete(u, v).unwrap();
+                }
+            }
+        }
+    }
+    let reference = static_sld_kruskal(variants[0].1.forest()).canonical_parents();
+    for (strategy, sld) in &variants {
+        assert_eq!(
+            sld.dendrogram().canonical_parents(),
+            reference,
+            "{strategy:?} diverged after churn"
+        );
+        sld.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn batch_pipeline_large_star_and_teardown() {
+    // Build a 10k-vertex forest by batch insertions, then tear half of it down by batch
+    // deletions, verifying against static recomputation at checkpoints.
+    let inst = gen::random_tree(10_000, 5);
+    let wb = WorkloadBuilder::new(inst.clone());
+    let mut sld = DynSld::new(inst.n);
+    for batch in wb.insertion_batches(512, 7) {
+        let UpdateBatch::Insertions(edges) = batch else { unreachable!() };
+        sld.batch_insert(&edges).unwrap();
+    }
+    assert_eq!(sld.num_edges(), inst.num_edges());
+    assert_eq!(
+        sld.dendrogram().canonical_parents(),
+        static_sld_kruskal(sld.forest()).canonical_parents()
+    );
+    let mut deleted = 0;
+    for batch in wb.deletion_batches(256, 11) {
+        let UpdateBatch::Deletions(pairs) = batch else { unreachable!() };
+        sld.batch_delete(&pairs).unwrap();
+        deleted += pairs.len();
+        if deleted > inst.num_edges() / 2 {
+            break;
+        }
+    }
+    assert_eq!(
+        sld.dendrogram().canonical_parents(),
+        static_sld_kruskal(sld.forest()).canonical_parents()
+    );
+}
+
+#[test]
+fn graph_pipeline_queries_track_msf_changes() {
+    // The end-to-end Problem-2 pipeline on a random graph with planted two-level structure.
+    let n = 500usize;
+    let mut rng = SmallRng::seed_from_u64(77);
+    let mut graph = DynamicGraphClustering::with_options(
+        n,
+        DynSldOptions {
+            maintain_spine_index: true,
+            ..Default::default()
+        },
+    );
+    // Dense intra-block edges (distance < 1), sparse inter-block edges (distance > 10).
+    let block = |x: usize| x / 50;
+    let mut alive = Vec::new();
+    for _ in 0..4_000 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let (u, w) = (v(a as u32), v(b as u32));
+        if graph.edge_weight(u, w).is_some() {
+            continue;
+        }
+        let dist = if block(a) == block(b) {
+            rng.gen::<f64>()
+        } else {
+            10.0 + rng.gen::<f64>()
+        };
+        graph.insert_edge(u, w, dist).unwrap();
+        alive.push((u, w));
+    }
+    // Threshold queries must agree with a from-scratch bounded search on the maintained MSF,
+    // and cross-block connectivity at a light threshold requires a light path, which the planted
+    // weights never provide.
+    for (a, b, tau) in [(0u32, 20u32, 2.0), (0, 70, 2.0), (0, 70, 20.0), (13, 487, 0.5)] {
+        let expected = dynsld::queries::msf_baseline::threshold_connected(
+            graph.sld().forest(),
+            v(a),
+            v(b),
+            tau,
+        );
+        assert_eq!(
+            graph.sld_mut().threshold_connected(v(a), v(b), tau),
+            expected,
+            "threshold query mismatch for ({a}, {b}, {tau})"
+        );
+    }
+    assert!(
+        !graph.sld_mut().threshold_connected(v(0), v(70), 2.0),
+        "different blocks are only reachable through heavy inter-block edges"
+    );
+
+    // Delete a third of the edges and re-verify the dendrogram against static recomputation.
+    for _ in 0..alive.len() / 3 {
+        let idx = rng.gen_range(0..alive.len());
+        let (a, b) = alive.swap_remove(idx);
+        let change = graph.delete_edge(a, b).unwrap();
+        assert!(matches!(
+            change,
+            MsfChange::RemovedNonTree
+                | MsfChange::RemovedWithReplacement { .. }
+                | MsfChange::RemovedAndSplit
+        ));
+    }
+    assert_eq!(
+        graph.sld().dendrogram().canonical_parents(),
+        static_sld_kruskal(graph.sld().forest()).canonical_parents()
+    );
+    graph.sld().check_invariants().unwrap();
+}
+
+#[test]
+fn rc_tree_agrees_with_dynsld_connectivity() {
+    let inst = gen::random_tree(2_000, 21);
+    let sld = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
+    let mut rc = RcForest::build(inst.build_forest());
+    let mut rng = SmallRng::seed_from_u64(3);
+    for _ in 0..200 {
+        let a = v(rng.gen_range(0..2_000));
+        let b = v(rng.gen_range(0..2_000));
+        assert_eq!(rc.connected(a, b), sld.connected(a, b));
+        assert_eq!(rc.component_size(a), sld.component_size(a));
+    }
+    // Cut the same edge in both structures and re-compare.
+    let e = sld.forest().edge_ids().nth(1_000).unwrap();
+    let (a, b) = sld.forest().endpoints(e);
+    let mut sld = sld;
+    sld.delete(a, b).unwrap();
+    let rc_edge = rc.forest().find_edge(a, b).unwrap();
+    rc.cut(rc_edge);
+    for _ in 0..100 {
+        let x = v(rng.gen_range(0..2_000));
+        let y = v(rng.gen_range(0..2_000));
+        assert_eq!(rc.connected(x, y), sld.connected(x, y));
+    }
+}
+
+#[test]
+fn height_regimes_behave_as_expected() {
+    // h = n - 2 for increasing paths and stars, Θ(log n) for balanced paths; the dynamic
+    // structure reports the same heights as the paper's analysis assumes.
+    let n = 2_048;
+    let path = DynSld::from_forest(
+        gen::path(n, WeightOrder::Increasing).build_forest(),
+        DynSldOptions::default(),
+    );
+    assert_eq!(path.height(), n - 2);
+    let star = DynSld::from_forest(gen::star(n).build_forest(), DynSldOptions::default());
+    assert_eq!(star.height(), n - 2);
+    let balanced = DynSld::from_forest(
+        gen::path(n, WeightOrder::Balanced).build_forest(),
+        DynSldOptions::default(),
+    );
+    assert!(balanced.height() <= 13);
+    let controlled = DynSld::from_forest(
+        gen::path_with_height(n, 100).build_forest(),
+        DynSldOptions::default(),
+    );
+    let h = controlled.height();
+    assert!((100..200).contains(&h), "target-height generator produced h = {h}");
+}
+
+#[test]
+fn theorem_5_1_worst_case_is_reached_by_all_insertion_algorithms() {
+    let h = 50;
+    let lb = gen::lower_bound_star_paths(1_000, h);
+    for strategy in [
+        UpdateStrategy::Sequential,
+        UpdateStrategy::OutputSensitive,
+        UpdateStrategy::Parallel,
+        UpdateStrategy::ParallelOutputSensitive,
+    ] {
+        let mut sld = DynSld::from_forest(
+            lb.instance.build_forest(),
+            DynSldOptions::with_strategy(strategy),
+        );
+        let (cu, cv, w) = lb.update;
+        sld.insert(cu, cv, w).unwrap();
+        let c = sld.stats().last_pointer_changes;
+        assert!(
+            (2 * h..=2 * h + 1).contains(&c),
+            "{strategy:?}: expected ~2h = {} pointer changes, got {c}",
+            2 * h
+        );
+        assert_eq!(
+            sld.dendrogram().canonical_parents(),
+            static_sld_kruskal(sld.forest()).canonical_parents()
+        );
+    }
+}
