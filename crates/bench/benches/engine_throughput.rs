@@ -1,0 +1,104 @@
+//! Engine ingest throughput: coalesced batch application vs naive per-edge application.
+//!
+//! Workload: the sliding-window stream of `examples/streaming_clustering.rs`, lifted to graph
+//! updates (`GraphWorkloadBuilder::sliding_window_stream`) — a fixed-size window of similarity
+//! edges over a vertex set, each tick evicting the oldest edge and admitting a new one. This is
+//! the regime the engine targets: between two flushes many events touch overlapping edges, so
+//! coalescing plus the Theorem-1.5 batch fast paths should beat applying every event
+//! individually. The `flush_every` parameter sweeps the ingest window from per-event flushing
+//! (no coalescing possible) to large batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dynsld_bench::config;
+use dynsld_engine::ClusteringEngine;
+use dynsld_forest::workload::{GraphUpdate, GraphWorkloadBuilder};
+use dynsld_msf::DynamicGraphClustering;
+
+const N: usize = 2_000;
+const NUM_EDGES: usize = 4_000;
+const WINDOW: usize = 1_000;
+
+fn stream() -> Vec<GraphUpdate> {
+    GraphWorkloadBuilder::new(N)
+        .weight_scale(100.0)
+        .sliding_window_stream(NUM_EDGES, WINDOW, 42)
+}
+
+/// Baseline: every event applied immediately through the per-edge MSF path.
+fn apply_naive(stream: &[GraphUpdate]) -> DynamicGraphClustering {
+    let mut g = DynamicGraphClustering::new(N);
+    for &u in stream {
+        match u {
+            GraphUpdate::Insert { u, v, weight } => {
+                g.insert_edge(u, v, weight).expect("valid stream");
+            }
+            GraphUpdate::Delete { u, v } => {
+                g.delete_edge(u, v).expect("valid stream");
+            }
+            GraphUpdate::Reweight { u, v, weight } => {
+                g.update_weight(u, v, weight).expect("valid stream");
+            }
+        }
+    }
+    g
+}
+
+/// Engine path: buffer `flush_every` events, then flush as coalesced homogeneous batches.
+fn apply_engine(stream: &[GraphUpdate], flush_every: usize) -> ClusteringEngine {
+    let mut engine = ClusteringEngine::new(N);
+    for chunk in stream.chunks(flush_every) {
+        for &u in chunk {
+            engine.submit(u).expect("valid stream");
+        }
+        engine.flush().expect("validated at submit time");
+    }
+    engine
+}
+
+fn bench_engine_vs_naive(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("engine_throughput/sliding_window");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    group.bench_with_input(
+        BenchmarkId::new("naive_per_edge", stream.len()),
+        &stream,
+        |b, s| b.iter(|| apply_naive(s).num_graph_edges()),
+    );
+    for flush_every in [1usize, 64, 512, 4_096] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("engine_flush_every_{flush_every}"), stream.len()),
+            &stream,
+            |b, s| b.iter(|| apply_engine(s, flush_every).epoch()),
+        );
+    }
+    group.finish();
+}
+
+/// Coalescing effectiveness in isolation: a redundant churn stream (edges re-weighted and
+/// churned repeatedly) where the buffered path applies a fraction of the submitted events.
+fn bench_redundant_stream(c: &mut Criterion) {
+    let base = GraphWorkloadBuilder::new(N)
+        .weight_scale(100.0)
+        .churn_stream(WINDOW, 6_000, 7);
+    let mut group = c.benchmark_group("engine_throughput/churn_with_reweights");
+    group.throughput(Throughput::Elements(base.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("naive_per_edge", base.len()),
+        &base,
+        |b, s| b.iter(|| apply_naive(s).num_graph_edges()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("engine_single_flush", base.len()),
+        &base,
+        |b, s| b.iter(|| apply_engine(s, s.len()).epoch()),
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_engine_vs_naive, bench_redundant_stream
+}
+criterion_main!(benches);

@@ -13,7 +13,11 @@ use dynsld_msf::DynamicGraphClustering;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn build_graph(n: usize, m: usize, seed: u64) -> (DynamicGraphClustering, Vec<(VertexId, VertexId)>) {
+fn build_graph(
+    n: usize,
+    m: usize,
+    seed: u64,
+) -> (DynamicGraphClustering, Vec<(VertexId, VertexId)>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = DynamicGraphClustering::with_options(
         n,
@@ -33,7 +37,8 @@ fn build_graph(n: usize, m: usize, seed: u64) -> (DynamicGraphClustering, Vec<(V
         if g.edge_weight(u, v).is_some() {
             continue;
         }
-        g.insert_edge(u, v, rng.gen::<f64>() * 100.0).expect("valid");
+        g.insert_edge(u, v, rng.gen::<f64>() * 100.0)
+            .expect("valid");
         alive.push((u, v));
     }
     (g, alive)

@@ -94,14 +94,18 @@ fn bench_rc_forest(c: &mut Criterion) {
             })
         });
         // Recontraction-based cut + link (documented substitution: not O(log n)).
-        group.bench_with_input(BenchmarkId::new("cut_link_recontract", n), &n, |bench, _| {
-            bench.iter(|| {
-                let (u, v, w) = inst.edges[n / 2];
-                let e = rc.forest().find_edge(u, v).expect("edge present");
-                rc.cut(e);
-                rc.link(u, v, w);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cut_link_recontract", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    let (u, v, w) = inst.edges[n / 2];
+                    let e = rc.forest().find_edge(u, v).expect("edge present");
+                    rc.cut(e);
+                    rc.link(u, v, w);
+                })
+            },
+        );
         // Batch connectivity queries (Table 1, batch-parallel column).
         for &k in K_SWEEP {
             let pairs: Vec<(VertexId, VertexId)> = (0..k)

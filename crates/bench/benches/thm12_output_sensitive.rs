@@ -26,18 +26,26 @@ fn bench_vs_c(c: &mut Criterion) {
             lb.instance.build_forest(),
             DynSldOptions::with_strategy(UpdateStrategy::OutputSensitive),
         );
-        group.bench_with_input(BenchmarkId::new("height_bounded", target_c), &target_c, |b, _| {
-            b.iter(|| {
-                seq.insert(u, v, w).expect("acyclic");
-                seq.delete(u, v).expect("present");
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("output_sensitive", target_c), &target_c, |b, _| {
-            b.iter(|| {
-                os.insert(u, v, w).expect("acyclic");
-                os.delete(u, v).expect("present");
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("height_bounded", target_c),
+            &target_c,
+            |b, _| {
+                b.iter(|| {
+                    seq.insert(u, v, w).expect("acyclic");
+                    seq.delete(u, v).expect("present");
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("output_sensitive", target_c),
+            &target_c,
+            |b, _| {
+                b.iter(|| {
+                    os.insert(u, v, w).expect("acyclic");
+                    os.delete(u, v).expect("present");
+                })
+            },
+        );
     }
     group.finish();
 }

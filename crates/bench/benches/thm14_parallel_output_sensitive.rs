@@ -19,7 +19,10 @@ fn bench_parallel_output_sensitive(c: &mut Criterion) {
         let (u, v, w) = lb.update;
         for (name, strategy) in [
             ("output_sensitive_seq", UpdateStrategy::OutputSensitive),
-            ("output_sensitive_par", UpdateStrategy::ParallelOutputSensitive),
+            (
+                "output_sensitive_par",
+                UpdateStrategy::ParallelOutputSensitive,
+            ),
             ("height_bounded_par", UpdateStrategy::Parallel),
         ] {
             let mut sld = DynSld::from_forest(

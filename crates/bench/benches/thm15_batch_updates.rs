@@ -14,14 +14,12 @@ use dynsld_forest::{VertexId, Weight};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+type InsertBatch = Vec<(VertexId, VertexId, Weight)>;
+type DeleteBatch = Vec<(VertexId, VertexId)>;
+
 /// A star-shaped insertion batch of size k over a forest of disjoint random trees, plus the
 /// matching deletion batch.
-fn star_batch(
-    parts: usize,
-    part_size: usize,
-    k: usize,
-    seed: u64,
-) -> (Vec<(VertexId, VertexId, Weight)>, Vec<(VertexId, VertexId)>) {
+fn star_batch(parts: usize, part_size: usize, k: usize, seed: u64) -> (InsertBatch, DeleteBatch) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let inserts: Vec<(VertexId, VertexId, Weight)> = (1..=k)
         .map(|i| {
@@ -64,9 +62,11 @@ fn bench_batch_updates(c: &mut Criterion) {
                 }
             })
         });
-        group.bench_with_input(BenchmarkId::new("static_recompute_per_batch", k), &k, |b, _| {
-            b.iter(|| static_sld_kruskal(single.forest()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("static_recompute_per_batch", k),
+            &k,
+            |b, _| b.iter(|| static_sld_kruskal(single.forest())),
+        );
     }
     group.finish();
 }

@@ -103,11 +103,14 @@ impl DynSld {
             }
             // This round: every edge with at least one degree-1 endpoint (a leaf of the
             // incidence tree). A tree always has leaves, so progress is guaranteed.
-            let (this_round, rest): (Vec<usize>, Vec<usize>) =
-                remaining.iter().copied().partition(|&i| {
-                    degree[&incidence[i].0] == 1 || degree[&incidence[i].1] == 1
-                });
-            debug_assert!(!this_round.is_empty(), "an incidence tree always has a leaf");
+            let (this_round, rest): (Vec<usize>, Vec<usize>) = remaining
+                .iter()
+                .copied()
+                .partition(|&i| degree[&incidence[i].0] == 1 || degree[&incidence[i].1] == 1);
+            debug_assert!(
+                !this_round.is_empty(),
+                "an incidence tree always has a leaf"
+            );
             // Star-Merge: merge each leaf spine into its center. Within a round the merges are
             // applied in rank order for determinism.
             let mut round = this_round;
@@ -155,7 +158,9 @@ impl DynSld {
 
         self.stats.begin_update();
         // ---- phase 1: update the connectivity structures for the whole batch ---------------
-        let infos: Vec<(EdgeId, VertexId, VertexId, Option<EdgeId>, Option<EdgeId>)> = ids
+        // One record per deleted edge: (edge, u, v, e*_u, e*_v).
+        type DeleteInfo = (EdgeId, VertexId, VertexId, Option<EdgeId>, Option<EdgeId>);
+        let infos: Vec<DeleteInfo> = ids
             .iter()
             .map(|&e| {
                 let (u, v, eu, ev) = self.register_delete(e);
@@ -250,7 +255,9 @@ mod tests {
             let wb = WorkloadBuilder::new(inst.clone());
             let mut d = DynSld::new(inst.n);
             for batch in wb.insertion_batches(batch_size, 3) {
-                let UpdateBatch::Insertions(edges) = batch else { unreachable!() };
+                let UpdateBatch::Insertions(edges) = batch else {
+                    unreachable!()
+                };
                 d.batch_insert(&edges).unwrap();
                 assert_matches_static(&d);
             }
@@ -265,7 +272,9 @@ mod tests {
             let wb = WorkloadBuilder::new(inst.clone());
             let mut d = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
             for batch in wb.deletion_batches(batch_size, 11) {
-                let UpdateBatch::Deletions(pairs) = batch else { unreachable!() };
+                let UpdateBatch::Deletions(pairs) = batch else {
+                    unreachable!()
+                };
                 d.batch_delete(&pairs).unwrap();
                 assert_matches_static(&d);
             }
@@ -356,7 +365,11 @@ mod tests {
     fn overlapping_deletion_spines_stay_consistent() {
         // Delete several edges of one long path in a single batch: the characteristic spines
         // overlap heavily, exercising the "assignments agree" property.
-        for order in [WeightOrder::Increasing, WeightOrder::Random(4), WeightOrder::Balanced] {
+        for order in [
+            WeightOrder::Increasing,
+            WeightOrder::Random(4),
+            WeightOrder::Balanced,
+        ] {
             let inst = gen::path(80, order);
             let mut d = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
             let pairs: Vec<(VertexId, VertexId)> =
@@ -381,7 +394,8 @@ mod tests {
                 let (a, b) = d.forest().endpoints(e);
                 deleted.push((a, b, d.forest().weight(e)));
             }
-            let pairs: Vec<(VertexId, VertexId)> = deleted.iter().map(|&(a, b, _)| (a, b)).collect();
+            let pairs: Vec<(VertexId, VertexId)> =
+                deleted.iter().map(|&(a, b, _)| (a, b)).collect();
             d.batch_delete(&pairs).unwrap();
             assert_matches_static(&d);
             let reinsert: Vec<(VertexId, VertexId, Weight)> = deleted

@@ -70,11 +70,7 @@ impl CartesianTree {
         let mut forest = Forest::new(n);
         let mut edges = Vec::with_capacity(values.len());
         for (i, &w) in values.iter().enumerate() {
-            edges.push(forest.insert_edge(
-                VertexId::from_index(i),
-                VertexId::from_index(i + 1),
-                w,
-            ));
+            edges.push(forest.insert_edge(VertexId::from_index(i), VertexId::from_index(i + 1), w));
         }
         let sld = DynSld::from_forest(
             forest,
@@ -280,7 +276,10 @@ impl CartesianTree {
             }
             cur = self.sld.parent_of(cur).expect("l and r share a root");
         }
-        self.edges.iter().position(|&e| e == cur).expect("edge present")
+        self.edges
+            .iter()
+            .position(|&e| e == cur)
+            .expect("edge present")
     }
 }
 
@@ -294,7 +293,7 @@ pub fn static_parent_array(values: &[Weight]) -> Vec<Option<usize>> {
     let mut left: Vec<Option<usize>> = vec![None; n];
     let mut right: Vec<Option<usize>> = vec![None; n];
     let mut stack: Vec<usize> = Vec::new();
-    for i in 0..n {
+    for (i, slot) in left.iter_mut().enumerate() {
         while let Some(&top) = stack.last() {
             if key(top) < key(i) {
                 stack.pop();
@@ -302,11 +301,11 @@ pub fn static_parent_array(values: &[Weight]) -> Vec<Option<usize>> {
                 break;
             }
         }
-        left[i] = stack.last().copied();
+        *slot = stack.last().copied();
         stack.push(i);
     }
     stack.clear();
-    for i in (0..n).rev() {
+    for (i, slot) in right.iter_mut().enumerate().rev() {
         while let Some(&top) = stack.last() {
             if key(top) < key(i) {
                 stack.pop();
@@ -314,7 +313,7 @@ pub fn static_parent_array(values: &[Weight]) -> Vec<Option<usize>> {
                 break;
             }
         }
-        right[i] = stack.last().copied();
+        *slot = stack.last().copied();
         stack.push(i);
     }
     // Parent = the smaller of the two nearest greater values.

@@ -292,11 +292,7 @@ mod tests {
     fn path_forest(n: usize) -> Forest {
         let mut f = Forest::new(n);
         for i in 0..n - 1 {
-            f.insert_edge(
-                VertexId(i as u32),
-                VertexId(i as u32 + 1),
-                (i + 1) as f64,
-            );
+            f.insert_edge(VertexId(i as u32), VertexId(i as u32 + 1), (i + 1) as f64);
         }
         f
     }
@@ -321,7 +317,10 @@ mod tests {
         d.add_node(e(2));
         assert!(d.set_parent(e(0), Some(e(2))));
         assert!(d.set_parent(e(1), Some(e(2))));
-        assert!(!d.set_parent(e(1), Some(e(2))), "no-op change returns false");
+        assert!(
+            !d.set_parent(e(1), Some(e(2))),
+            "no-op change returns false"
+        );
         assert_eq!(d.parent(e(0)), Some(e(2)));
         let mut kids: Vec<_> = d.child_iter(e(2)).collect();
         kids.sort();

@@ -88,6 +88,9 @@ pub enum DynSldError {
     /// Two updates inside one batch conflict (e.g. two insertions linking the same pair of
     /// components, which would create a cycle).
     ConflictingBatch(VertexId, VertexId),
+    /// An edge between the two vertices already exists (graph layers do not support parallel
+    /// edges).
+    EdgeAlreadyExists(VertexId, VertexId),
 }
 
 impl fmt::Display for DynSldError {
@@ -104,7 +107,13 @@ impl fmt::Display for DynSldError {
                 "output-sensitive updates require DynSldOptions::maintain_spine_index"
             ),
             DynSldError::ConflictingBatch(u, v) => {
-                write!(f, "batch update ({u}, {v}) conflicts with an earlier update in the batch")
+                write!(
+                    f,
+                    "batch update ({u}, {v}) conflicts with an earlier update in the batch"
+                )
+            }
+            DynSldError::EdgeAlreadyExists(u, v) => {
+                write!(f, "an edge between {u} and {v} already exists")
             }
         }
     }
@@ -193,6 +202,10 @@ pub struct DynSld {
     pub(crate) spine: Option<SpineIndex>,
     pub(crate) options: DynSldOptions,
     pub(crate) stats: UpdateStats,
+    /// Monotone structural version: incremented once per edge insertion or deletion actually
+    /// applied (batch operations advance it once per edge). Serving layers (`dynsld-engine`)
+    /// use it to tag snapshots and detect staleness.
+    pub(crate) version: u64,
 }
 
 impl DynSld {
@@ -215,6 +228,7 @@ impl DynSld {
             spine: options.maintain_spine_index.then(SpineIndex::default),
             options,
             stats: UpdateStats::default(),
+            version: 0,
         }
     }
 
@@ -258,6 +272,7 @@ impl DynSld {
             spine,
             options,
             stats: UpdateStats::default(),
+            version: 0,
         }
     }
 
@@ -288,6 +303,15 @@ impl DynSld {
         &self.stats
     }
 
+    /// Monotone structural version counter: advances by one for every edge insertion or
+    /// deletion applied (a batch of `k` updates advances it by `k`) and for every
+    /// [`add_vertices`](Self::add_vertices) call. Two calls returning the same value bracket a
+    /// window with no structural change, which is what snapshot layers need to decide whether
+    /// a cached view is still current.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// The options the structure was built with.
     pub fn options(&self) -> DynSldOptions {
         self.options
@@ -313,8 +337,19 @@ impl DynSld {
         self.conn.component_size(v)
     }
 
+    /// An opaque identifier of the component containing `v`: two vertices have equal
+    /// representatives iff they are connected. Stable only until the next update — useful for
+    /// bucketing many vertices by component without `O(pairs)` connectivity queries (the batch
+    /// routing in `dynsld-msf`/`dynsld-engine` relies on this).
+    pub fn component_repr(&self, v: VertexId) -> usize {
+        self.conn.component_repr(v)
+    }
+
     /// Adds `k` isolated vertices and returns the first new vertex id.
     pub fn add_vertices(&mut self, k: usize) -> VertexId {
+        // Adding vertices changes what snapshots derive (component counts, singleton
+        // clusters), so it must advance the structural version like any other update.
+        self.version += 1;
         let first = self.forest.add_vertices(k);
         self.conn.add_vertices(k);
         for _ in 0..k {
@@ -332,7 +367,12 @@ impl DynSld {
 
     /// Inserts the edge `(u, v)` with weight `weight`, using the strategy configured in the
     /// options, and returns the new edge id.
-    pub fn insert(&mut self, u: VertexId, v: VertexId, weight: Weight) -> Result<EdgeId, DynSldError> {
+    pub fn insert(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        weight: Weight,
+    ) -> Result<EdgeId, DynSldError> {
         match self.options.strategy {
             UpdateStrategy::Sequential => self.insert_seq(u, v, weight),
             UpdateStrategy::OutputSensitive => self.insert_output_sensitive(u, v, weight),
@@ -357,11 +397,7 @@ impl DynSld {
     // ----- internal plumbing shared by the update algorithms --------------------------------
 
     /// Validates endpoints and returns an error if the insertion is illegal.
-    pub(crate) fn check_insert(
-        &self,
-        u: VertexId,
-        v: VertexId,
-    ) -> Result<(), DynSldError> {
+    pub(crate) fn check_insert(&self, u: VertexId, v: VertexId) -> Result<(), DynSldError> {
         if u == v {
             return Err(DynSldError::SelfLoop(u));
         }
@@ -385,6 +421,7 @@ impl DynSld {
         v: VertexId,
         weight: Weight,
     ) -> (EdgeId, Option<EdgeId>, Option<EdgeId>) {
+        self.version += 1;
         let e = self.forest.insert_edge(u, v, weight);
         let e_star_u = self.forest.min_incident_excluding(u, e);
         let e_star_v = self.forest.min_incident_excluding(v, e);
@@ -406,7 +443,11 @@ impl DynSld {
     /// repaired: removes the edge from the forest and from the connectivity/path structures
     /// (so connectivity queries reflect the post-deletion components) and returns the
     /// characteristic edges `e*_u` and `e*_v` of the two sides.
-    pub(crate) fn register_delete(&mut self, e: EdgeId) -> (VertexId, VertexId, Option<EdgeId>, Option<EdgeId>) {
+    pub(crate) fn register_delete(
+        &mut self,
+        e: EdgeId,
+    ) -> (VertexId, VertexId, Option<EdgeId>, Option<EdgeId>) {
+        self.version += 1;
         let (u, v) = self.forest.endpoints(e);
         let e_star_u = self.forest.min_incident_excluding(u, e);
         let e_star_v = self.forest.min_incident_excluding(v, e);

@@ -47,11 +47,7 @@ impl DynSld {
             let mut children = self.dendro.child_iter(e);
             let left_child = children.next();
             let right_child = children.next();
-            let below: usize = self
-                .dendro
-                .child_iter(e)
-                .map(|c| size[c.index()])
-                .sum();
+            let below: usize = self.dendro.child_iter(e).map(|c| size[c.index()]).sum();
             let num_children = self.dendro.child_iter(e).count();
             // The merge joins two clusters: each child node contributes its cluster size, each
             // missing child contributes a single vertex.
@@ -178,6 +174,7 @@ mod tests {
         assert_eq!(merges[0].cluster_size, 2); // {0,1}
         assert_eq!(merges[1].cluster_size, 2); // {2,3}
         assert_eq!(merges[2].cluster_size, 4); // all
+
         // The final merge has the two previous merges as children.
         let last = &merges[2];
         let mut kids = [last.left_child, last.right_child];
@@ -194,7 +191,10 @@ mod tests {
         // Every root merge covers its whole component.
         for m in &merges {
             if d.parent_of(m.edge).is_none() {
-                assert_eq!(m.cluster_size, d.component_size(d.forest().endpoints(m.edge).0));
+                assert_eq!(
+                    m.cluster_size,
+                    d.component_size(d.forest().endpoints(m.edge).0)
+                );
             }
             assert!(m.cluster_size >= 2);
         }

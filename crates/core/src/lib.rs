@@ -66,12 +66,14 @@ pub mod outsens_par;
 pub mod par;
 pub mod queries;
 pub mod seq;
+pub mod snapshot;
 pub mod static_sld;
 
 pub use cartesian::CartesianTree;
 pub use dendrogram::Dendrogram;
 pub use dynsld::{DynSld, DynSldError, DynSldOptions, UpdateStats, UpdateStrategy};
 pub use queries::FlatClustering;
+pub use snapshot::{DendrogramSnapshot, SnapshotNode};
 pub use static_sld::{static_sld_kruskal, static_sld_parallel};
 
 // Re-export the building-block crates so downstream users need a single dependency.

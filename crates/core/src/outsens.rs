@@ -142,7 +142,9 @@ mod tests {
             let wb = WorkloadBuilder::new(inst.clone());
             let mut d = DynSld::with_options(inst.n, opts());
             for up in wb.insertion_stream(seed + 50) {
-                let Update::Insert { u, v, weight } = up else { unreachable!() };
+                let Update::Insert { u, v, weight } = up else {
+                    unreachable!()
+                };
                 d.insert_output_sensitive(u, v, weight).unwrap();
             }
             assert_matches_static(&d);
@@ -161,7 +163,9 @@ mod tests {
             let wb = WorkloadBuilder::new(inst.clone());
             let mut d = DynSld::with_options(inst.n, opts());
             for up in wb.insertion_stream(9) {
-                let Update::Insert { u, v, weight } = up else { unreachable!() };
+                let Update::Insert { u, v, weight } = up else {
+                    unreachable!()
+                };
                 d.insert_output_sensitive(u, v, weight).unwrap();
                 assert_matches_static(&d);
             }
@@ -199,7 +203,9 @@ mod tests {
         let mut seq = DynSld::new(inst.n);
         let mut os = DynSld::with_options(inst.n, opts());
         for up in stream {
-            let Update::Insert { u, v, weight } = up else { unreachable!() };
+            let Update::Insert { u, v, weight } = up else {
+                unreachable!()
+            };
             seq.insert_seq(u, v, weight).unwrap();
             os.insert_output_sensitive(u, v, weight).unwrap();
             assert_eq!(

@@ -127,11 +127,25 @@ impl DynSld {
         }
         // Lower halves: big side up to m, small side up to x (if any node of `small` is < m).
         if let Some(x) = x {
-            self.plan_merge(SubSpine { lo: big.lo, hi: m }, SubSpine { lo: small.lo, hi: x }, out);
+            self.plan_merge(
+                SubSpine { lo: big.lo, hi: m },
+                SubSpine {
+                    lo: small.lo,
+                    hi: x,
+                },
+                out,
+            );
         }
         // Upper halves: big side from next_big, small side from y.
         if let (Some(nb), Some(y)) = (next_big, y) {
-            self.plan_merge(SubSpine { lo: nb, hi: big.hi }, SubSpine { lo: y, hi: small.hi }, out);
+            self.plan_merge(
+                SubSpine { lo: nb, hi: big.hi },
+                SubSpine {
+                    lo: y,
+                    hi: small.hi,
+                },
+                out,
+            );
         }
     }
 
@@ -170,9 +184,7 @@ impl DynSld {
     fn subspine_kth(&mut self, s: SubSpine, k: usize) -> EdgeId {
         self.stats.last_tree_queries += 1;
         let spine = self.spine.as_mut().expect("spine index required");
-        let id = spine
-            .lct
-            .subpath_kth(spine.node(s.lo), spine.node(s.hi), k);
+        let id = spine.lct.subpath_kth(spine.node(s.lo), spine.node(s.hi), k);
         spine.edge_of(id)
     }
 
@@ -239,7 +251,9 @@ mod tests {
             let wb = WorkloadBuilder::new(inst.clone());
             let mut d = DynSld::with_options(inst.n, opts());
             for up in wb.insertion_stream(17) {
-                let Update::Insert { u, v, weight } = up else { unreachable!() };
+                let Update::Insert { u, v, weight } = up else {
+                    unreachable!()
+                };
                 d.insert_output_sensitive_parallel(u, v, weight).unwrap();
                 assert_matches_static(&d);
             }

@@ -59,8 +59,7 @@ impl DynSld {
             let changes = {
                 let forest = &self.forest;
                 let dendro = &self.dendro;
-                let merged =
-                    par_merge_by_key(&spine_e, &spine_v, |&f: &EdgeId| forest.rank(f));
+                let merged = par_merge_by_key(&spine_e, &spine_v, |&f: &EdgeId| forest.rank(f));
                 // A node's new parent is its successor in the merged order; keep only real
                 // changes (order-preserving parallel filter).
                 let idx: Vec<usize> = (0..merged.len().saturating_sub(1)).collect();
@@ -176,7 +175,9 @@ mod tests {
             let wb = WorkloadBuilder::new(inst.clone());
             let mut d = DynSld::new(inst.n);
             for up in wb.insertion_stream(13) {
-                let Update::Insert { u, v, weight } = up else { unreachable!() };
+                let Update::Insert { u, v, weight } = up else {
+                    unreachable!()
+                };
                 d.insert_parallel(u, v, weight).unwrap();
                 assert_matches_static(&d);
             }
@@ -189,7 +190,9 @@ mod tests {
         let wb = WorkloadBuilder::new(inst.clone());
         let mut d = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
         for up in wb.deletion_stream(21) {
-            let Update::Delete { u, v } = up else { unreachable!() };
+            let Update::Delete { u, v } = up else {
+                unreachable!()
+            };
             d.delete_parallel(u, v).unwrap();
             assert_matches_static(&d);
         }
@@ -254,7 +257,8 @@ mod tests {
 
     #[test]
     fn strategy_dispatch_uses_parallel_algorithms() {
-        let mut d = DynSld::with_options(10, DynSldOptions::with_strategy(UpdateStrategy::Parallel));
+        let mut d =
+            DynSld::with_options(10, DynSldOptions::with_strategy(UpdateStrategy::Parallel));
         d.insert(VertexId(0), VertexId(1), 1.0).unwrap();
         d.insert(VertexId(1), VertexId(2), 2.0).unwrap();
         d.delete(VertexId(0), VertexId(1)).unwrap();

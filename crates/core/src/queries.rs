@@ -179,9 +179,9 @@ impl DynSld {
             clusters.push(members);
         }
         // Singletons.
-        for v in 0..n {
-            if labels[v] == usize::MAX {
-                labels[v] = clusters.len();
+        for (v, label) in labels.iter_mut().enumerate() {
+            if *label == usize::MAX {
+                *label = clusters.len();
                 clusters.push(vec![VertexId::from_index(v)]);
             }
         }
@@ -362,7 +362,7 @@ mod tests {
         for tau in [0.0, 1.5, 3.5, 10.0] {
             let fc = d.flat_clustering(tau);
             // Every vertex appears in exactly one cluster and labels agree with membership.
-            let mut count = vec![0usize; 6];
+            let mut count = [0usize; 6];
             for (c, members) in fc.clusters.iter().enumerate() {
                 for m in members {
                     count[m.index()] += 1;

@@ -142,7 +142,10 @@ mod tests {
             d.insert_seq(v(0), v(7), 3.0),
             Err(DynSldError::VertexOutOfRange(v(7)))
         );
-        assert_eq!(d.insert_seq(v(1), v(1), 3.0), Err(DynSldError::SelfLoop(v(1))));
+        assert_eq!(
+            d.insert_seq(v(1), v(1), 3.0),
+            Err(DynSldError::SelfLoop(v(1)))
+        );
         assert_eq!(
             d.delete_seq(v(0), v(2)),
             Err(DynSldError::EdgeNotFound(v(0), v(2)))
@@ -156,7 +159,9 @@ mod tests {
         let wb = WorkloadBuilder::new(inst.clone());
         let mut d = DynSld::new(inst.n);
         for up in wb.insertion_stream(7) {
-            let Update::Insert { u, v, weight } = up else { unreachable!() };
+            let Update::Insert { u, v, weight } = up else {
+                unreachable!()
+            };
             d.insert_seq(u, v, weight).unwrap();
             assert_matches_static(&d);
         }
@@ -170,7 +175,9 @@ mod tests {
             let wb = WorkloadBuilder::new(inst.clone());
             let mut d = DynSld::new(inst.n);
             for up in wb.insertion_stream(seed + 100) {
-                let Update::Insert { u, v, weight } = up else { unreachable!() };
+                let Update::Insert { u, v, weight } = up else {
+                    unreachable!()
+                };
                 d.insert_seq(u, v, weight).unwrap();
             }
             assert_matches_static(&d);
@@ -184,7 +191,9 @@ mod tests {
         let mut d = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
         assert_matches_static(&d);
         for up in wb.deletion_stream(4) {
-            let Update::Delete { u, v } = up else { unreachable!() };
+            let Update::Delete { u, v } = up else {
+                unreachable!()
+            };
             d.delete_seq(u, v).unwrap();
             assert_matches_static(&d);
         }
@@ -265,7 +274,10 @@ mod tests {
         // The paper counts 2h + 1 affected nodes; our counter counts parent-pointer *changes*
         // (the top of the second star keeps its pointer), i.e. Θ(h) either way.
         let c = d.stats().last_pointer_changes;
-        assert!((2 * h..=2 * h + 1).contains(&c), "expected ~2h changes, got {c}");
+        assert!(
+            (2 * h..=2 * h + 1).contains(&c),
+            "expected ~2h changes, got {c}"
+        );
         d.delete_seq(cu, cv).unwrap();
         assert_matches_static(&d);
         assert!(d.stats().last_pointer_changes >= 2 * h);

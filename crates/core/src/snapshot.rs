@@ -1,0 +1,277 @@
+//! Immutable dendrogram snapshots.
+//!
+//! [`DynSld`] is a mutable structure whose queries partly require `&mut self` (the link-cut
+//! trees splay on reads), so it cannot be shared with concurrent readers. A
+//! [`DendrogramSnapshot`] is a flat, self-contained copy of the current dendrogram — one record
+//! per alive edge with endpoints, weight, and dendrogram parent, sorted by rank — that answers
+//! the common clustering queries *immutably* (`&self`), is `Send + Sync`, and is cheap to ship
+//! across threads. The serving layer (`dynsld-engine`) publishes one snapshot per ingest epoch
+//! so that readers never observe a half-applied batch.
+
+use crate::dynsld::DynSld;
+use crate::queries::FlatClustering;
+use dynsld_forest::{EdgeId, VertexId, Weight};
+
+/// One dendrogram node in a snapshot: an input-forest edge plus its dendrogram parent.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SnapshotNode {
+    /// The edge id (identifies the dendrogram node).
+    pub edge: EdgeId,
+    /// First endpoint.
+    pub u: VertexId,
+    /// Second endpoint.
+    pub v: VertexId,
+    /// Edge weight (the merge height of this dendrogram node).
+    pub weight: Weight,
+    /// Dendrogram parent, if any.
+    pub parent: Option<EdgeId>,
+}
+
+/// Path-compressing find over a flat parent array — the union-find primitive shared by the
+/// snapshot queries.
+fn find(parent: &mut [u32], x: u32) -> u32 {
+    let mut root = x;
+    while parent[root as usize] != root {
+        root = parent[root as usize];
+    }
+    let mut cur = x;
+    while parent[cur as usize] != root {
+        let next = parent[cur as usize];
+        parent[cur as usize] = root;
+        cur = next;
+    }
+    root
+}
+
+/// A flat, immutable copy of a [`DynSld`] dendrogram at one structural version.
+///
+/// Nodes are sorted by rank (`(weight, edge id)` ascending), so a prefix of the node list is
+/// exactly the set of merges performed up to any threshold — threshold queries are prefix
+/// scans, and flat clusterings are a single union-find pass over the prefix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DendrogramSnapshot {
+    /// The [`DynSld::version`] at export time.
+    pub version: u64,
+    /// Number of vertices of the input forest.
+    pub num_vertices: usize,
+    /// All alive dendrogram nodes, sorted by rank.
+    pub nodes: Vec<SnapshotNode>,
+}
+
+impl DendrogramSnapshot {
+    /// Number of dendrogram nodes (= alive forest edges).
+    pub fn num_edges(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of connected components of the input forest (`n - m` for a forest).
+    pub fn num_components(&self) -> usize {
+        self.num_vertices - self.nodes.len()
+    }
+
+    /// The flat clustering at threshold `tau` (all merges of weight `<= tau` applied).
+    ///
+    /// Labels are canonical: clusters are numbered by their smallest member vertex, in
+    /// increasing order, and member lists are sorted — two snapshots of equal partitions
+    /// produce identical `FlatClustering` values. `O(n α(n))`.
+    pub fn flat_clustering(&self, tau: Weight) -> FlatClustering {
+        let n = self.num_vertices;
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        // Nodes are rank-sorted, so the merges below the threshold are a prefix.
+        for node in &self.nodes {
+            if node.weight > tau {
+                break;
+            }
+            let a = find(&mut parent, node.u.0);
+            let b = find(&mut parent, node.v.0);
+            if a != b {
+                // Union by smaller root id keeps the representative canonical (the smallest
+                // vertex of the cluster), which makes labels deterministic.
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                parent[hi as usize] = lo;
+            }
+        }
+        let mut labels = vec![usize::MAX; n];
+        let mut clusters: Vec<Vec<VertexId>> = Vec::new();
+        for x in 0..n as u32 {
+            let root = find(&mut parent, x) as usize;
+            let label = if labels[root] == usize::MAX {
+                let label = clusters.len();
+                labels[root] = label;
+                clusters.push(Vec::new());
+                label
+            } else {
+                labels[root]
+            };
+            labels[x as usize] = label;
+            clusters[label].push(VertexId(x));
+        }
+        FlatClustering { labels, clusters }
+    }
+
+    /// Whether `s` and `t` are in the same cluster at threshold `tau`, by bounded union-find.
+    /// `O(m α(n))` worst case — snapshots trade per-query speed for immutability; hot paths
+    /// should go through a cached [`FlatClustering`].
+    pub fn threshold_connected(&self, s: VertexId, t: VertexId, tau: Weight) -> bool {
+        if s == t {
+            return true;
+        }
+        let clustering = self.flat_clustering(tau);
+        clustering.same_cluster(s, t)
+    }
+
+    /// The single-linkage merge distance between `s` and `t` — the weight at which they first
+    /// share a cluster — or `None` if they are in different components. `O(m α(n))`.
+    pub fn merge_height_between(&self, s: VertexId, t: VertexId) -> Option<Weight> {
+        if s == t {
+            return Some(0.0);
+        }
+        let n = self.num_vertices;
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        for node in &self.nodes {
+            let a = find(&mut parent, node.u.0);
+            let b = find(&mut parent, node.v.0);
+            if a != b {
+                parent[a.max(b) as usize] = a.min(b);
+            }
+            if find(&mut parent, s.0) == find(&mut parent, t.0) {
+                return Some(node.weight);
+            }
+        }
+        None
+    }
+}
+
+impl DynSld {
+    /// Exports a flat immutable snapshot of the current dendrogram (see
+    /// [`DendrogramSnapshot`]). `O(m log m)`.
+    pub fn export_snapshot(&self) -> DendrogramSnapshot {
+        let mut nodes: Vec<SnapshotNode> = self
+            .dendrogram()
+            .nodes()
+            .map(|e| {
+                let (u, v) = self.forest.endpoints(e);
+                SnapshotNode {
+                    edge: e,
+                    u,
+                    v,
+                    weight: self.forest.weight(e),
+                    parent: self.dendrogram().parent(e),
+                }
+            })
+            .collect();
+        nodes.sort_by(|a, b| {
+            a.weight
+                .total_cmp(&b.weight)
+                .then_with(|| a.edge.cmp(&b.edge))
+        });
+        DendrogramSnapshot {
+            version: self.version(),
+            num_vertices: self.num_vertices(),
+            nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynsld::DynSldOptions;
+    use dynsld_forest::Forest;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Path 0-1-2-3-4-5 with weights 1, 5, 2, 4, 3.
+    fn example() -> DynSld {
+        let mut f = Forest::new(6);
+        for (i, w) in [1.0, 5.0, 2.0, 4.0, 3.0].iter().enumerate() {
+            f.insert_edge(v(i as u32), v(i as u32 + 1), *w);
+        }
+        DynSld::from_forest(f, DynSldOptions::default())
+    }
+
+    #[test]
+    fn snapshot_is_rank_sorted_and_counts_components() {
+        let d = example();
+        let s = d.export_snapshot();
+        assert_eq!(s.num_vertices, 6);
+        assert_eq!(s.num_edges(), 5);
+        assert_eq!(s.num_components(), 1);
+        let weights: Vec<f64> = s.nodes.iter().map(|x| x.weight).collect();
+        assert_eq!(weights, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn snapshot_flat_clustering_matches_live_partition() {
+        let mut d = example();
+        d.delete_seq(v(3), v(4)).unwrap();
+        let s = d.export_snapshot();
+        for tau in [0.0, 1.0, 2.5, 3.5, 10.0] {
+            let from_snapshot = s.flat_clustering(tau);
+            let live = d.flat_clustering(tau);
+            // Same partition (labels may differ): compare canonical member lists.
+            let canon = |fc: &FlatClustering| {
+                let mut cs: Vec<Vec<VertexId>> = fc
+                    .clusters
+                    .iter()
+                    .map(|c| {
+                        let mut c = c.clone();
+                        c.sort();
+                        c
+                    })
+                    .collect();
+                cs.sort();
+                cs
+            };
+            assert_eq!(canon(&from_snapshot), canon(&live), "tau={tau}");
+            // Snapshot labels are canonical: numbered by smallest member.
+            let mut mins: Vec<VertexId> = from_snapshot.clusters.iter().map(|c| c[0]).collect();
+            let mut sorted = mins.clone();
+            sorted.sort();
+            assert_eq!(mins, sorted);
+            mins.dedup();
+            assert_eq!(mins.len(), from_snapshot.num_clusters());
+        }
+    }
+
+    #[test]
+    fn snapshot_threshold_and_merge_height() {
+        let d = example();
+        let s = d.export_snapshot();
+        assert!(s.threshold_connected(v(0), v(1), 1.0));
+        assert!(!s.threshold_connected(v(0), v(2), 1.0));
+        assert!(s.threshold_connected(v(0), v(2), 5.0));
+        assert_eq!(s.merge_height_between(v(0), v(1)), Some(1.0));
+        assert_eq!(s.merge_height_between(v(0), v(5)), Some(5.0));
+        assert_eq!(s.merge_height_between(v(2), v(3)), Some(2.0));
+        assert_eq!(s.merge_height_between(v(4), v(4)), Some(0.0));
+        let disconnected = DynSld::new(2).export_snapshot();
+        assert_eq!(disconnected.merge_height_between(v(0), v(1)), None);
+        assert!(!disconnected.threshold_connected(v(0), v(1), f64::INFINITY));
+    }
+
+    #[test]
+    fn version_advances_once_per_edge_update() {
+        let mut d = DynSld::new(5);
+        assert_eq!(d.version(), 0);
+        d.insert_seq(v(0), v(1), 1.0).unwrap();
+        d.insert_seq(v(1), v(2), 2.0).unwrap();
+        assert_eq!(d.version(), 2);
+        d.delete_seq(v(0), v(1)).unwrap();
+        assert_eq!(d.version(), 3);
+        d.batch_insert(&[(v(0), v(1), 3.0), (v(3), v(4), 4.0)])
+            .unwrap();
+        assert_eq!(d.version(), 5);
+        d.batch_delete(&[(v(0), v(1)), (v(3), v(4))]).unwrap();
+        assert_eq!(d.version(), 7);
+        // A snapshot carries the version it was exported at.
+        assert_eq!(d.export_snapshot().version, 7);
+        // Vertex additions change derived state (components, singletons), so they advance the
+        // version too — a cached snapshot must read as stale afterwards.
+        d.add_vertices(3);
+        assert_eq!(d.version(), 8);
+        assert_eq!(d.export_snapshot().num_components(), 7);
+    }
+}

@@ -71,7 +71,10 @@ fn solve_base(num_vertices: usize, edges: &[SubEdge]) -> SubResult {
     let mut dsu = Dsu::new(num_vertices);
     let mut top: Vec<Option<EdgeId>> = vec![None; num_vertices];
     let mut parents = Vec::new();
-    debug_assert!(edges.windows(2).all(|w| w[0].1 < w[1].1), "edges must be rank-sorted");
+    debug_assert!(
+        edges.windows(2).all(|w| w[0].1 < w[1].1),
+        "edges must be rank-sorted"
+    );
     for &(id, _, u, v) in edges {
         let (u, v) = (VertexId(u), VertexId(v));
         let ru = dsu.find(u);
@@ -91,14 +94,14 @@ fn solve_base(num_vertices: usize, edges: &[SubEdge]) -> SubResult {
     let mut comp_of_vertex = vec![0u32; num_vertices];
     let mut top_of_component = Vec::new();
     let mut next = 0u32;
-    for v in 0..num_vertices {
+    for (v, comp) in comp_of_vertex.iter_mut().enumerate() {
         let r = dsu.find(VertexId(v as u32));
         if label[r.index()] == u32::MAX {
             label[r.index()] = next;
             top_of_component.push(top[r.index()]);
             next += 1;
         }
-        comp_of_vertex[v] = label[r.index()];
+        *comp = label[r.index()];
     }
     SubResult {
         parents,
@@ -123,13 +126,13 @@ fn solve(num_vertices: usize, edges: &[SubEdge]) -> SubResult {
     let mut label: Vec<u32> = vec![u32::MAX; num_vertices];
     let mut my_comp: Vec<u32> = vec![0; num_vertices];
     let mut next = 0u32;
-    for v in 0..num_vertices {
+    for (v, comp) in my_comp.iter_mut().enumerate() {
         let r = dsu.find(VertexId(v as u32));
         if label[r.index()] == u32::MAX {
             label[r.index()] = next;
             next += 1;
         }
-        my_comp[v] = label[r.index()];
+        *comp = label[r.index()];
     }
     let k = next as usize;
     let hi_edges: Vec<SubEdge> = hi
@@ -139,18 +142,15 @@ fn solve(num_vertices: usize, edges: &[SubEdge]) -> SubResult {
 
     // Solve both halves in parallel: the upper half only needs the lower half's *connectivity*,
     // which we just computed, not its dendrogram.
-    let (lo_res, hi_res) = rayon::join(
-        || solve(num_vertices, lo),
-        || solve(k, &hi_edges),
-    );
+    let (lo_res, hi_res) = rayon::join(|| solve(num_vertices, lo), || solve(k, &hi_edges));
 
     // Align this level's component labels with the lower child's labels and fetch the top node
     // of each lower component.
     let mut my_top: Vec<Option<EdgeId>> = vec![None; k];
-    for v in 0..num_vertices {
-        let c = my_comp[v] as usize;
-        if my_top[c].is_none() {
-            my_top[c] = lo_res.top_of_component[lo_res.comp_of_vertex[v] as usize];
+    for (v, &c) in my_comp.iter().enumerate() {
+        let slot = &mut my_top[c as usize];
+        if slot.is_none() {
+            *slot = lo_res.top_of_component[lo_res.comp_of_vertex[v] as usize];
         }
     }
 
@@ -177,10 +177,10 @@ fn solve(num_vertices: usize, edges: &[SubEdge]) -> SubResult {
         .map(|v| hi_res.comp_of_vertex[my_comp[v] as usize])
         .collect();
     let mut top_of_component = hi_res.top_of_component.clone();
-    for c in 0..k {
+    for (c, &mt) in my_top.iter().enumerate() {
         let hc = hi_res.comp_of_vertex[c] as usize;
         if top_of_component[hc].is_none() {
-            top_of_component[hc] = my_top[c];
+            top_of_component[hc] = mt;
         }
     }
     SubResult {
@@ -292,7 +292,10 @@ mod tests {
         let d = static_sld_kruskal(&f);
         d.validate(&f).unwrap();
         let h = d.height(&f);
-        assert!(h <= 12, "balanced dendrogram should have height ~log n, got {h}");
+        assert!(
+            h <= 12,
+            "balanced dendrogram should have height ~log n, got {h}"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ fn overlapping_deletions_increasing_path() {
 
 #[test]
 fn overlapping_deletions_random_and_balanced_paths() {
-    for (name, order) in [("random", WeightOrder::Random(4)), ("balanced", WeightOrder::Balanced)] {
+    for (name, order) in [
+        ("random", WeightOrder::Random(4)),
+        ("balanced", WeightOrder::Balanced),
+    ] {
         for n in [10usize, 15, 20, 30, 80] {
             let inst = gen::path(n, order);
             let mut d = DynSld::from_forest(inst.build_forest(), DynSldOptions::default());
@@ -32,8 +35,10 @@ fn overlapping_deletions_random_and_balanced_paths() {
                 .step_by(5)
                 .map(|i| (VertexId(i), VertexId(i + 1)))
                 .collect();
-            d.batch_delete(&pairs).unwrap_or_else(|e| panic!("{name} n={n}: {e}"));
-            d.check_invariants().unwrap_or_else(|e| panic!("{name} n={n}: {e}"));
+            d.batch_delete(&pairs)
+                .unwrap_or_else(|e| panic!("{name} n={n}: {e}"));
+            d.check_invariants()
+                .unwrap_or_else(|e| panic!("{name} n={n}: {e}"));
             assert_eq!(
                 d.dendrogram().canonical_parents(),
                 static_sld_kruskal(d.forest()).canonical_parents(),

@@ -299,7 +299,10 @@ impl EulerTourForest {
         if self.edge_arcs.len() <= e.index() {
             self.edge_arcs.resize(e.index() + 1, None);
         }
-        assert!(self.edge_arcs[e.index()].is_none(), "edge {e} already present");
+        assert!(
+            self.edge_arcs[e.index()].is_none(),
+            "edge {e} already present"
+        );
         let tour_u = self.reroot(u);
         let tour_v = self.reroot(v);
         let arc_uv = self.alloc(NONE);

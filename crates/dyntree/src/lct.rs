@@ -201,8 +201,7 @@ impl LinkCutTree {
     /// True if `x` is the root of its splay tree (its parent link, if any, is a path-parent).
     fn is_splay_root(&self, x: u32) -> bool {
         let p = self.nodes[x as usize].parent;
-        p == NONE
-            || (self.nodes[p as usize].left != x && self.nodes[p as usize].right != x)
+        p == NONE || (self.nodes[p as usize].left != x && self.nodes[p as usize].right != x)
     }
 
     fn rotate(&mut self, x: u32) {
@@ -358,7 +357,10 @@ impl LinkCutTree {
         let xi = x as u32;
         self.access(xi);
         let l = self.nodes[x].left;
-        assert!(l != NONE, "cut_from_parent: node is a represented-tree root");
+        assert!(
+            l != NONE,
+            "cut_from_parent: node is a represented-tree root"
+        );
         self.nodes[l as usize].parent = NONE;
         self.nodes[x].left = NONE;
         self.update(xi);
@@ -374,10 +376,12 @@ impl LinkCutTree {
         // After evert(u) and access(v), the splay tree holds the path u .. v with v as splay
         // root; u and v are adjacent iff v's left child is u and u has no right child.
         let ui = u as u32;
-        let ok = self.nodes[v].left == ui
-            && self.nodes[u].left == NONE
-            && self.nodes[u].right == NONE;
-        assert!(ok, "cut_edge: nodes are not adjacent in the represented tree");
+        let ok =
+            self.nodes[v].left == ui && self.nodes[u].left == NONE && self.nodes[u].right == NONE;
+        assert!(
+            ok,
+            "cut_edge: nodes are not adjacent in the represented tree"
+        );
         self.nodes[v].left = NONE;
         self.nodes[u].parent = NONE;
         self.update(v as u32);
@@ -1002,10 +1006,18 @@ mod tests {
                     "connectivity mismatch at step {step}"
                 );
                 let path = naive.path_to_root(x);
-                assert_eq!(lct.path_to_root_len(x), path.len(), "len mismatch at {step}");
+                assert_eq!(
+                    lct.path_to_root_len(x),
+                    path.len(),
+                    "len mismatch at {step}"
+                );
                 assert_eq!(lct.find_root(x), *path.last().expect("non-empty"));
                 let k = rng.gen_range(0..path.len());
-                assert_eq!(lct.path_to_root_kth(x, k), path[k], "kth mismatch at {step}");
+                assert_eq!(
+                    lct.path_to_root_kth(x, k),
+                    path[k],
+                    "kth mismatch at {step}"
+                );
                 // PWS against a scan, valid only when keys increase towards the root.
                 let increasing = path.windows(2).all(|w| naive.key[w[0]] < naive.key[w[1]]);
                 if increasing {

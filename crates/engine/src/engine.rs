@@ -1,0 +1,450 @@
+//! The [`ClusteringEngine`]: ingest, flush, publish.
+//!
+//! The engine is a classic single-writer / many-reader design. The write path —
+//! [`submit`](ClusteringEngine::submit) then [`flush`](ClusteringEngine::flush) — owns the
+//! mutable [`DynamicGraphClustering`] exclusively and is the only code that touches it. The
+//! read path never blocks on the writer: [`snapshot`](ClusteringEngine::snapshot) hands out the
+//! most recently *published* [`EngineSnapshot`], and a reader keeps getting answers for its
+//! epoch even while the writer is mid-flush on the next one. Consistency is therefore by
+//! construction, not by locking: a batch becomes visible atomically when the new snapshot is
+//! published at the end of `flush`, never piecemeal.
+
+use crate::coalesce::{CoalescedBatch, Coalescer, RejectReason};
+use crate::metrics::Metrics;
+use crate::snapshot::{CacheStats, EngineSnapshot};
+use dynsld::{DynSldError, DynSldOptions};
+use dynsld_forest::workload::GraphUpdate;
+use dynsld_forest::VertexId;
+use dynsld_msf::{DynamicGraphClustering, MsfChange};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// An event was inconsistent with the applied graph plus the pending buffer; it was not
+    /// ingested and the engine is unchanged.
+    Rejected {
+        /// The offending event.
+        event: GraphUpdate,
+        /// Why it was rejected.
+        reason: RejectReason,
+    },
+    /// The underlying structures rejected a batch. The coalescer's submit-time validation
+    /// makes this unreachable for streams ingested through [`ClusteringEngine::submit`]; it is
+    /// surfaced (rather than panicking) for defence in depth.
+    Apply(DynSldError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Rejected { event, reason } => {
+                write!(f, "event {event:?} rejected: {reason:?}")
+            }
+            EngineError::Apply(e) => write!(f, "batch application failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DynSldError> for EngineError {
+    fn from(e: DynSldError) -> Self {
+        EngineError::Apply(e)
+    }
+}
+
+/// What one [`ClusteringEngine::flush`] did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlushReport {
+    /// The epoch the flush published (snapshots taken from now on see this state).
+    pub epoch: u64,
+    /// Logical operations applied (after coalescing; a re-weight counts once).
+    pub ops_applied: usize,
+    /// How the MSF changed, in application order: all deletions, then all insertions. A
+    /// re-weighted edge contributes one entry in each half.
+    pub changes: Vec<MsfChange>,
+    /// Reserve edges promoted into the MSF by the deletion half.
+    pub promoted: Vec<(VertexId, VertexId)>,
+    /// Updates that rode the Theorem-1.5 batch fast paths.
+    pub fast_path: usize,
+    /// Updates applied through the per-edge fallback.
+    pub fallback: usize,
+    /// Wall-clock duration of the flush.
+    pub duration: Duration,
+}
+
+/// Running counters owned by the engine (the coalescer keeps its own).
+#[derive(Clone, Debug, Default)]
+struct Counters {
+    flushes: u64,
+    ops_applied: u64,
+    fast_path_ops: u64,
+    fallback_ops: u64,
+    edges_promoted: u64,
+    total_flush_time: Duration,
+    max_flush_time: Duration,
+}
+
+/// A streaming single-linkage clustering service over a dynamic weighted graph.
+///
+/// See the [crate docs](crate) for the architecture and a quick-start example.
+#[derive(Debug)]
+pub struct ClusteringEngine {
+    graph: DynamicGraphClustering,
+    coalescer: Coalescer,
+    epoch: u64,
+    published: EngineSnapshot,
+    counters: Counters,
+    cache_stats: Arc<CacheStats>,
+}
+
+impl ClusteringEngine {
+    /// An engine over `n` vertices with default [`DynSldOptions`].
+    pub fn new(n: usize) -> Self {
+        Self::with_options(n, DynSldOptions::default())
+    }
+
+    /// An engine over `n` vertices with the given dendrogram-maintenance options.
+    pub fn with_options(n: usize, options: DynSldOptions) -> Self {
+        let graph = DynamicGraphClustering::with_options(n, options);
+        let cache_stats = Arc::new(CacheStats::default());
+        let published = EngineSnapshot::publish(
+            0,
+            graph.sld().export_snapshot(),
+            0,
+            Arc::clone(&cache_stats),
+        );
+        ClusteringEngine {
+            graph,
+            coalescer: Coalescer::new(),
+            epoch: 0,
+            published,
+            counters: Counters::default(),
+            cache_stats,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// The current epoch (number of completed flushes).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Operations currently buffered (one per touched edge, thanks to coalescing).
+    pub fn pending_ops(&self) -> usize {
+        self.coalescer.pending_ops()
+    }
+
+    /// Read access to the applied graph state (the state as of the last flush).
+    pub fn graph(&self) -> &DynamicGraphClustering {
+        &self.graph
+    }
+
+    /// Buffers one event. Validation happens here, against the applied graph plus the pending
+    /// buffer, so that [`flush`](Self::flush) can never fail on a stream ingested through this
+    /// method. Rejected events leave the engine unchanged.
+    pub fn submit(&mut self, event: GraphUpdate) -> Result<(), EngineError> {
+        let (u, v) = event.endpoints();
+        if v.index() >= self.num_vertices() {
+            return Err(EngineError::Rejected {
+                event,
+                reason: RejectReason::VertexOutOfRange,
+            });
+        }
+        let alive = self.graph.edge_weight(u, v).is_some();
+        self.coalescer
+            .push(event, alive)
+            .map_err(|reason| EngineError::Rejected { event, reason })
+    }
+
+    /// Buffers every event of a stream, stopping at the first rejection. Returns the number of
+    /// events ingested; already-ingested events stay buffered either way.
+    pub fn submit_all(
+        &mut self,
+        events: impl IntoIterator<Item = GraphUpdate>,
+    ) -> Result<usize, EngineError> {
+        let mut count = 0;
+        for event in events {
+            self.submit(event)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Applies everything buffered as (at most) two homogeneous batches — deletions, then
+    /// insertions — advances the epoch, and publishes the new snapshot. Readers holding older
+    /// snapshots are unaffected.
+    ///
+    /// Flushing with an empty buffer is a no-op: the epoch does not advance and the published
+    /// snapshot is unchanged.
+    pub fn flush(&mut self) -> Result<FlushReport, EngineError> {
+        let batch = self.coalescer.drain();
+        if batch.is_empty() {
+            return Ok(FlushReport {
+                epoch: self.epoch,
+                ops_applied: 0,
+                changes: Vec::new(),
+                promoted: Vec::new(),
+                fast_path: 0,
+                fallback: 0,
+                duration: Duration::ZERO,
+            });
+        }
+        let started = Instant::now();
+        let ops_applied = batch.num_ops();
+        let CoalescedBatch {
+            deletions,
+            insertions,
+            reweights: _,
+        } = batch;
+
+        let mut changes = Vec::with_capacity(ops_applied);
+        let mut promoted = Vec::new();
+        let mut fast_path = 0usize;
+        let mut fallback = 0usize;
+        if !deletions.is_empty() {
+            let outcome = self.graph.batch_delete_edges(&deletions)?;
+            changes.extend(outcome.changes);
+            fast_path += outcome.fast_path;
+            fallback += outcome.fallback;
+            promoted = outcome.promoted;
+        }
+        if !insertions.is_empty() {
+            let outcome = self.graph.batch_insert_edges(&insertions)?;
+            changes.extend(outcome.changes);
+            fast_path += outcome.fast_path;
+            fallback += outcome.fallback;
+        }
+
+        self.epoch += 1;
+        self.published = EngineSnapshot::publish(
+            self.epoch,
+            self.graph.sld().export_snapshot(),
+            self.graph.num_graph_edges(),
+            Arc::clone(&self.cache_stats),
+        );
+        let duration = started.elapsed();
+        self.counters.flushes += 1;
+        self.counters.ops_applied += ops_applied as u64;
+        self.counters.fast_path_ops += fast_path as u64;
+        self.counters.fallback_ops += fallback as u64;
+        self.counters.edges_promoted += promoted.len() as u64;
+        self.counters.total_flush_time += duration;
+        self.counters.max_flush_time = self.counters.max_flush_time.max(duration);
+
+        Ok(FlushReport {
+            epoch: self.epoch,
+            ops_applied,
+            changes,
+            promoted,
+            fast_path,
+            fallback,
+            duration,
+        })
+    }
+
+    /// The most recently published snapshot. Cloning the returned value (or calling this again)
+    /// is cheap; the snapshot keeps answering for its epoch regardless of later flushes.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        self.published.clone()
+    }
+
+    /// A point-in-time export of all engine counters.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            events_submitted: self.coalescer.events_submitted(),
+            events_annihilated: self.coalescer.events_annihilated(),
+            events_collapsed: self.coalescer.events_collapsed(),
+            pending_ops: self.coalescer.pending_ops(),
+            flushes: self.counters.flushes,
+            ops_applied: self.counters.ops_applied,
+            fast_path_ops: self.counters.fast_path_ops,
+            fallback_ops: self.counters.fallback_ops,
+            edges_promoted: self.counters.edges_promoted,
+            total_pointer_changes: self.graph.sld().stats().total_pointer_changes,
+            total_flush_time: self.counters.total_flush_time,
+            max_flush_time: self.counters.max_flush_time,
+            snapshot_cache_hits: self.cache_stats.hits.load(Ordering::Relaxed),
+            snapshot_cache_misses: self.cache_stats.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn ins(a: u32, b: u32, w: f64) -> GraphUpdate {
+        GraphUpdate::Insert {
+            u: v(a),
+            v: v(b),
+            weight: w,
+        }
+    }
+
+    fn del(a: u32, b: u32) -> GraphUpdate {
+        GraphUpdate::Delete { u: v(a), v: v(b) }
+    }
+
+    fn rew(a: u32, b: u32, w: f64) -> GraphUpdate {
+        GraphUpdate::Reweight {
+            u: v(a),
+            v: v(b),
+            weight: w,
+        }
+    }
+
+    #[test]
+    fn flush_applies_coalesced_batches_and_advances_epoch() {
+        let mut engine = ClusteringEngine::new(6);
+        engine
+            .submit_all([
+                ins(0, 1, 1.0),
+                ins(1, 2, 2.0),
+                ins(3, 4, 3.0),
+                ins(4, 5, 9.0),
+                ins(2, 0, 8.0), // cycle-closing -> fallback
+            ])
+            .unwrap();
+        let report = engine.flush().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.ops_applied, 5);
+        assert_eq!(report.fast_path, 4);
+        assert_eq!(report.fallback, 1);
+        assert!(report.changes.contains(&MsfChange::StoredNonTree));
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.num_graph_edges(), 5);
+        assert_eq!(snap.num_tree_edges(), 4);
+        assert_eq!(snap.num_components(), 2);
+    }
+
+    #[test]
+    fn empty_flush_is_a_noop() {
+        let mut engine = ClusteringEngine::new(3);
+        let before = engine.snapshot();
+        let report = engine.flush().unwrap();
+        assert_eq!(report.epoch, 0);
+        assert_eq!(report.ops_applied, 0);
+        assert_eq!(engine.snapshot().epoch(), before.epoch());
+        assert_eq!(engine.metrics().flushes, 0);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_across_later_flushes() {
+        let mut engine = ClusteringEngine::new(4);
+        engine.submit(ins(0, 1, 1.0)).unwrap();
+        engine.flush().unwrap();
+        let old = engine.snapshot();
+        assert!(old.same_cluster(v(0), v(1), 1.0));
+
+        // Mid-batch: buffered events must not leak into reads.
+        engine.submit(del(0, 1)).unwrap();
+        engine.submit(ins(2, 3, 2.0)).unwrap();
+        assert_eq!(engine.snapshot().epoch(), 1);
+        assert!(engine.snapshot().same_cluster(v(0), v(1), 1.0));
+        assert!(!engine.snapshot().same_cluster(v(2), v(3), 99.0));
+
+        engine.flush().unwrap();
+        // The old snapshot still answers for epoch 1.
+        assert!(old.same_cluster(v(0), v(1), 1.0));
+        assert_eq!(old.num_graph_edges(), 1);
+        // The new one sees epoch 2.
+        let new = engine.snapshot();
+        assert_eq!(new.epoch(), 2);
+        assert!(!new.same_cluster(v(0), v(1), f64::INFINITY));
+        assert!(new.same_cluster(v(2), v(3), 2.0));
+    }
+
+    #[test]
+    fn rejected_events_leave_engine_unchanged() {
+        let mut engine = ClusteringEngine::new(3);
+        engine.submit(ins(0, 1, 1.0)).unwrap();
+        engine.flush().unwrap();
+        let err = engine.submit(ins(0, 1, 2.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Rejected {
+                reason: RejectReason::AlreadyPresent,
+                ..
+            }
+        ));
+        let err = engine.submit(del(1, 2)).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Rejected {
+                reason: RejectReason::NotPresent,
+                ..
+            }
+        ));
+        let err = engine.submit(ins(0, 7, 1.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Rejected {
+                reason: RejectReason::VertexOutOfRange,
+                ..
+            }
+        ));
+        assert_eq!(engine.pending_ops(), 0);
+        // Valid sequences spanning the buffer still work: delete + re-insert = reweight.
+        engine.submit(del(0, 1)).unwrap();
+        engine.submit(ins(0, 1, 5.0)).unwrap();
+        assert_eq!(engine.pending_ops(), 1);
+        let report = engine.flush().unwrap();
+        assert_eq!(report.ops_applied, 1); // one logical re-weight
+        assert_eq!(report.changes.len(), 2); // applied as delete + insert
+        assert_eq!(engine.graph().edge_weight(v(0), v(1)), Some(5.0));
+    }
+
+    #[test]
+    fn reweight_changes_weight_after_flush() {
+        let mut engine = ClusteringEngine::new(3);
+        engine.submit_all([ins(0, 1, 1.0), ins(1, 2, 2.0)]).unwrap();
+        engine.flush().unwrap();
+        engine.submit(rew(0, 1, 10.0)).unwrap();
+        engine.submit(rew(0, 1, 4.0)).unwrap(); // collapses; only 4.0 is applied
+        let report = engine.flush().unwrap();
+        assert_eq!(report.ops_applied, 1);
+        assert_eq!(engine.graph().edge_weight(v(0), v(1)), Some(4.0));
+        let m = engine.metrics();
+        assert_eq!(m.events_collapsed, 1);
+        assert!(engine.snapshot().same_cluster(v(0), v(1), 4.0));
+        assert!(!engine.snapshot().same_cluster(v(0), v(1), 3.0));
+    }
+
+    #[test]
+    fn metrics_track_coalescing_and_flushes() {
+        let mut engine = ClusteringEngine::new(8);
+        engine.submit(ins(0, 1, 1.0)).unwrap();
+        engine.submit(del(0, 1)).unwrap(); // annihilates
+        engine.submit(ins(2, 3, 2.0)).unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.events_submitted, 3);
+        assert_eq!(m.events_annihilated, 2);
+        assert_eq!(m.pending_ops, 1);
+        engine.flush().unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.flushes, 1);
+        assert_eq!(m.ops_applied, 1);
+        assert_eq!(m.pending_ops, 0);
+        assert!(m.total_flush_time > Duration::ZERO);
+        // Snapshot cache counters flow into metrics.
+        let snap = engine.snapshot();
+        let _ = snap.flat_clustering(5.0);
+        let _ = snap.flat_clustering(5.0);
+        let m = engine.metrics();
+        assert_eq!(m.snapshot_cache_misses, 1);
+        assert_eq!(m.snapshot_cache_hits, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! # dynsld-engine — a concurrent, snapshot-consistent streaming clustering engine
+//!
+//! The crates below this one are *libraries*: [`dynsld`] maintains the explicit single-linkage
+//! dendrogram of a dynamic forest, and [`dynsld_msf`] lifts it to arbitrary dynamic graphs
+//! through a dynamic minimum-spanning-forest front end. This crate turns them into a
+//! *service* — the ingestion and serving layer a clustering deployment actually runs:
+//!
+//! * **Update coalescing** ([`coalesce`]): edge events ([`GraphUpdate`]) are buffered and
+//!   deduplicated per edge — an insert followed by a delete annihilates, repeated re-weights
+//!   collapse to one, delete + insert becomes a re-weight — then split into homogeneous
+//!   deletion/insertion batches routed to the Theorem-1.5 batch fast paths of
+//!   [`dynsld_msf::DynamicGraphClustering`] (with automatic per-edge fallback for
+//!   cycle-closing insertions).
+//! * **Epoch-based snapshot queries** ([`snapshot`]): every flush publishes an immutable,
+//!   cheaply-cloneable [`EngineSnapshot`] tagged with an epoch. Readers — on any thread —
+//!   query flat clusterings, cluster sizes and component counts against *their* snapshot and
+//!   never observe a half-applied batch; repeated queries at one epoch and threshold hit a
+//!   per-snapshot cache.
+//! * **Instrumentation** ([`metrics`]): coalescing effectiveness, fast-path/fallback ratios,
+//!   flush latency, pointer-change totals (aggregating [`dynsld::UpdateStats`]) and snapshot
+//!   cache hit rates, exported as one [`Metrics`] value.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dynsld_engine::ClusteringEngine;
+//! use dynsld_forest::{GraphUpdate, VertexId};
+//!
+//! let mut engine = ClusteringEngine::new(5);
+//! let v = |i: u32| VertexId(i);
+//! engine.submit(GraphUpdate::Insert { u: v(0), v: v(1), weight: 1.0 }).unwrap();
+//! engine.submit(GraphUpdate::Insert { u: v(1), v: v(2), weight: 3.0 }).unwrap();
+//! engine.submit(GraphUpdate::Insert { u: v(0), v: v(2), weight: 2.0 }).unwrap();
+//!
+//! // Nothing is visible until the batch is flushed...
+//! assert_eq!(engine.snapshot().epoch(), 0);
+//! assert_eq!(engine.snapshot().num_components(), 5);
+//!
+//! let report = engine.flush().unwrap();
+//! assert_eq!(report.epoch, 1);
+//!
+//! // ...then the new epoch serves consistent reads; the weight-3 edge closed a cycle and
+//! // stayed out of the MSF.
+//! let snap = engine.snapshot();
+//! assert_eq!(snap.num_components(), 3);
+//! assert!(snap.same_cluster(v(0), v(2), 2.0));
+//! assert_eq!(snap.cluster_size(v(0), 1.5), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod engine;
+pub mod metrics;
+pub mod snapshot;
+
+pub use coalesce::{CoalescedBatch, Coalescer, RejectReason};
+pub use engine::{ClusteringEngine, EngineError, FlushReport};
+pub use metrics::Metrics;
+pub use snapshot::EngineSnapshot;
+
+// The event vocabulary is defined next to the workload generators so that generated streams
+// feed straight into the engine.
+pub use dynsld_forest::workload::GraphUpdate;

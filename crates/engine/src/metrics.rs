@@ -1,0 +1,140 @@
+//! Engine instrumentation.
+//!
+//! The engine keeps cheap running counters on its hot paths — ingest, flush, snapshot cache —
+//! and exposes them as one [`Metrics`] value per call to
+//! [`ClusteringEngine::metrics`](crate::ClusteringEngine::metrics). The counters aggregate the
+//! per-update [`dynsld::UpdateStats`] (pointer changes, the paper's parameter `c`) across every
+//! batch the engine has applied, so throughput claims can be correlated with the amount of
+//! structural change the stream actually caused.
+
+use std::time::Duration;
+
+/// A point-in-time export of every engine counter.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    /// Events accepted by [`submit`](crate::ClusteringEngine::submit) since construction.
+    pub events_submitted: u64,
+    /// Events that vanished in the coalescer because a buffered insert met a delete
+    /// (counted individually — one annihilation removes two events).
+    pub events_annihilated: u64,
+    /// Events merged into an existing pending operation (re-weight chains, delete+insert
+    /// fusions).
+    pub events_collapsed: u64,
+    /// Operations currently buffered (one per edge, by coalescing).
+    pub pending_ops: usize,
+    /// Completed flushes (= the current epoch).
+    pub flushes: u64,
+    /// Logical operations applied across all flushes (after coalescing).
+    pub ops_applied: u64,
+    /// Updates that rode the Theorem-1.5 batch fast paths (including promoted replacement
+    /// edges).
+    pub fast_path_ops: u64,
+    /// Updates applied through the per-edge fallback (cycle-closing insertions).
+    pub fallback_ops: u64,
+    /// Reserve edges promoted into the MSF by deletion batches.
+    pub edges_promoted: u64,
+    /// Dendrogram parent-pointer changes since construction (sum of the paper's `c` over all
+    /// updates), read from [`dynsld::UpdateStats`].
+    pub total_pointer_changes: u64,
+    /// Wall-clock time spent inside [`flush`](crate::ClusteringEngine::flush).
+    pub total_flush_time: Duration,
+    /// The slowest single flush.
+    pub max_flush_time: Duration,
+    /// Snapshot flat-clustering cache hits across all published snapshots.
+    pub snapshot_cache_hits: u64,
+    /// Snapshot flat-clustering cache misses (= clusterings actually computed).
+    pub snapshot_cache_misses: u64,
+}
+
+impl Metrics {
+    /// Events removed by coalescing before ever touching the structures.
+    pub fn events_saved(&self) -> u64 {
+        self.events_annihilated + self.events_collapsed
+    }
+
+    /// Fraction of submitted events that coalescing absorbed (0 when nothing was submitted).
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.events_submitted == 0 {
+            0.0
+        } else {
+            self.events_saved() as f64 / self.events_submitted as f64
+        }
+    }
+
+    /// Fraction of applied operations that rode a batch fast path.
+    pub fn fast_path_ratio(&self) -> f64 {
+        let total = self.fast_path_ops + self.fallback_ops;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_path_ops as f64 / total as f64
+        }
+    }
+
+    /// Applied operations per second of flush time (0 before the first flush).
+    pub fn ops_per_second(&self) -> f64 {
+        let secs = self.total_flush_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops_applied as f64 / secs
+        }
+    }
+
+    /// Mean flush latency (zero before the first flush).
+    pub fn mean_flush_time(&self) -> Duration {
+        if self.flushes == 0 {
+            Duration::ZERO
+        } else {
+            self.total_flush_time / u32::try_from(self.flushes).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// Snapshot cache hit rate (0 when no snapshot query ran).
+    pub fn snapshot_cache_hit_rate(&self) -> f64 {
+        let total = self.snapshot_cache_hits + self.snapshot_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.snapshot_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios_handle_zero_denominators() {
+        let m = Metrics::default();
+        assert_eq!(m.coalescing_ratio(), 0.0);
+        assert_eq!(m.fast_path_ratio(), 0.0);
+        assert_eq!(m.ops_per_second(), 0.0);
+        assert_eq!(m.snapshot_cache_hit_rate(), 0.0);
+        assert_eq!(m.mean_flush_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn derived_ratios_compute() {
+        let m = Metrics {
+            events_submitted: 10,
+            events_annihilated: 2,
+            events_collapsed: 3,
+            ops_applied: 100,
+            fast_path_ops: 75,
+            fallback_ops: 25,
+            flushes: 4,
+            total_flush_time: Duration::from_secs(2),
+            snapshot_cache_hits: 9,
+            snapshot_cache_misses: 1,
+            ..Metrics::default()
+        };
+        assert_eq!(m.events_saved(), 5);
+        assert!((m.coalescing_ratio() - 0.5).abs() < 1e-12);
+        assert!((m.fast_path_ratio() - 0.75).abs() < 1e-12);
+        assert!((m.ops_per_second() - 50.0).abs() < 1e-9);
+        assert_eq!(m.mean_flush_time(), Duration::from_millis(500));
+        assert!((m.snapshot_cache_hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! Epoch-tagged immutable read views.
+//!
+//! The engine's write path owns the mutable structures exclusively; readers never touch them.
+//! Instead, every flush publishes an [`EngineSnapshot`] — an `Arc` around a flat
+//! [`DendrogramSnapshot`] export plus an epoch tag and a per-snapshot query cache. Cloning a
+//! snapshot is one atomic increment, the clone is `Send + Sync`, and everything it answers is
+//! computed from data frozen at publish time: a reader holding epoch `e` sees exactly the
+//! state after flush `e`, no matter how many batches the writer applies concurrently.
+//!
+//! Flat clusterings are memoised per `(snapshot, threshold)`: the first query at a threshold
+//! pays one union-find pass, repeats are a map lookup returning a shared `Arc`.
+
+use dynsld::{DendrogramSnapshot, FlatClustering};
+use dynsld_forest::{VertexId, Weight};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared cache-effectiveness counters, aggregated across all snapshots of one engine.
+#[derive(Debug, Default)]
+pub(crate) struct CacheStats {
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct SnapshotInner {
+    epoch: u64,
+    dendro: DendrogramSnapshot,
+    num_graph_edges: usize,
+    /// Flat clusterings by threshold bit pattern.
+    cache: Mutex<HashMap<u64, Arc<FlatClustering>>>,
+    stats: Arc<CacheStats>,
+}
+
+/// An immutable, epoch-tagged view of the engine's clustering state.
+///
+/// Cheap to clone (`Arc`), `Send + Sync`, and always answers from the state as of its epoch.
+#[derive(Clone, Debug)]
+pub struct EngineSnapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+impl EngineSnapshot {
+    pub(crate) fn publish(
+        epoch: u64,
+        dendro: DendrogramSnapshot,
+        num_graph_edges: usize,
+        stats: Arc<CacheStats>,
+    ) -> Self {
+        EngineSnapshot {
+            inner: Arc::new(SnapshotInner {
+                epoch,
+                dendro,
+                num_graph_edges,
+                cache: Mutex::new(HashMap::new()),
+                stats,
+            }),
+        }
+    }
+
+    /// The flush epoch this snapshot was published at (0 = the empty initial state).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.inner.dendro.num_vertices
+    }
+
+    /// Number of alive graph edges (tree and non-tree) at this epoch.
+    pub fn num_graph_edges(&self) -> usize {
+        self.inner.num_graph_edges
+    }
+
+    /// Number of MSF (tree) edges at this epoch.
+    pub fn num_tree_edges(&self) -> usize {
+        self.inner.dendro.num_edges()
+    }
+
+    /// Number of connected components at this epoch.
+    pub fn num_components(&self) -> usize {
+        self.inner.dendro.num_components()
+    }
+
+    /// The underlying dendrogram export (sorted by rank; see [`DendrogramSnapshot`]).
+    pub fn dendrogram(&self) -> &DendrogramSnapshot {
+        &self.inner.dendro
+    }
+
+    /// The flat clustering at threshold `tau`, memoised per snapshot: repeated queries at the
+    /// same epoch and threshold return the same shared `Arc` without recomputation.
+    pub fn flat_clustering(&self, tau: Weight) -> Arc<FlatClustering> {
+        let key = tau.to_bits();
+        {
+            let cache = self.inner.cache.lock().expect("snapshot cache poisoned");
+            if let Some(hit) = cache.get(&key) {
+                self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        // Compute outside the lock: clustering construction is the expensive part, and two
+        // racing readers computing the same threshold is harmless — the values are equal and
+        // `or_insert` keeps the first one (the loser's computation is dropped).
+        let computed = Arc::new(self.inner.dendro.flat_clustering(tau));
+        self.inner.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.inner.cache.lock().expect("snapshot cache poisoned");
+        Arc::clone(cache.entry(key).or_insert(computed))
+    }
+
+    /// The cluster label of `v` at threshold `tau`. Labels are canonical within one
+    /// `(epoch, tau)` pair: numbered by smallest member vertex.
+    pub fn cluster_id(&self, v: VertexId, tau: Weight) -> usize {
+        self.flat_clustering(tau).labels[v.index()]
+    }
+
+    /// Size of the cluster containing `v` at threshold `tau`.
+    pub fn cluster_size(&self, v: VertexId, tau: Weight) -> usize {
+        let clustering = self.flat_clustering(tau);
+        clustering.clusters[clustering.labels[v.index()]].len()
+    }
+
+    /// Whether `u` and `v` share a cluster at threshold `tau`.
+    pub fn same_cluster(&self, u: VertexId, v: VertexId, tau: Weight) -> bool {
+        self.flat_clustering(tau).same_cluster(u, v)
+    }
+
+    /// Number of clusters at threshold `tau`.
+    pub fn num_clusters(&self, tau: Weight) -> usize {
+        self.flat_clustering(tau).num_clusters()
+    }
+
+    /// The single-linkage merge distance between `u` and `v`, or `None` if disconnected.
+    pub fn merge_height_between(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        self.inner.dendro.merge_height_between(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynsld::{DynSld, DynSldOptions};
+    use dynsld_forest::Forest;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn snapshot_of_path() -> EngineSnapshot {
+        let mut f = Forest::new(4);
+        f.insert_edge(v(0), v(1), 1.0);
+        f.insert_edge(v(1), v(2), 3.0);
+        f.insert_edge(v(2), v(3), 2.0);
+        let sld = DynSld::from_forest(f, DynSldOptions::default());
+        EngineSnapshot::publish(7, sld.export_snapshot(), 3, Arc::default())
+    }
+
+    #[test]
+    fn queries_answer_from_frozen_state() {
+        let snap = snapshot_of_path();
+        assert_eq!(snap.epoch(), 7);
+        assert_eq!(snap.num_vertices(), 4);
+        assert_eq!(snap.num_tree_edges(), 3);
+        assert_eq!(snap.num_components(), 1);
+        assert_eq!(snap.num_clusters(2.0), 2); // {0,1} ∪ {2,3}
+        assert!(snap.same_cluster(v(2), v(3), 2.0));
+        assert!(!snap.same_cluster(v(1), v(2), 2.0));
+        assert_eq!(snap.cluster_size(v(0), 3.0), 4);
+        assert_eq!(snap.merge_height_between(v(0), v(3)), Some(3.0));
+    }
+
+    #[test]
+    fn flat_clusterings_are_cached_per_threshold() {
+        let stats = Arc::new(CacheStats::default());
+        let mut f = Forest::new(3);
+        f.insert_edge(v(0), v(1), 1.0);
+        let sld = DynSld::from_forest(f, DynSldOptions::default());
+        let snap = EngineSnapshot::publish(1, sld.export_snapshot(), 1, Arc::clone(&stats));
+        let a = snap.flat_clustering(0.5);
+        let b = snap.flat_clustering(0.5);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same threshold must share the cached value"
+        );
+        let _ = snap.flat_clustering(1.5);
+        assert_eq!(stats.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn snapshots_are_send_sync_and_usable_across_threads() {
+        let snap = snapshot_of_path();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let snap = snap.clone();
+                std::thread::spawn(move || {
+                    let tau = 1.0 + i as f64;
+                    snap.flat_clustering(tau).num_clusters()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap() >= 1);
+        }
+    }
+}

@@ -77,9 +77,7 @@ pub fn path(n: usize, order: WeightOrder) -> TreeInstance {
     assert!(n >= 1);
     let m = n.saturating_sub(1);
     let weights = path_weights(m, order);
-    let edges = (0..m)
-        .map(|i| (vid(i), vid(i + 1), weights[i]))
-        .collect();
+    let edges = (0..m).map(|i| (vid(i), vid(i + 1), weights[i])).collect();
     TreeInstance { n, edges }
 }
 
@@ -133,12 +131,10 @@ pub fn path_with_height(n: usize, target_h: usize) -> TreeInstance {
     balanced_assign(&mut weights[t..m], 0, suffix, &mut next);
     // Chain weights for the prefix [0 .. t): all larger than the suffix, increasing towards
     // index 0 so the edge adjacent to the suffix merges first.
-    for i in 0..t {
-        weights[i] = suffix as Weight + (t - i) as Weight;
+    for (i, w) in weights[..t].iter_mut().enumerate() {
+        *w = suffix as Weight + (t - i) as Weight;
     }
-    let edges = (0..m)
-        .map(|i| (vid(i), vid(i + 1), weights[i]))
-        .collect();
+    let edges = (0..m).map(|i| (vid(i), vid(i + 1), weights[i])).collect();
     TreeInstance { n, edges }
 }
 
@@ -348,11 +344,7 @@ mod tests {
         assert_eq!(lb.instance.num_edges(), 16);
         assert!(lb.instance.build_forest().is_forest());
         // Update weight 0 is smaller than all instance weights.
-        assert!(lb
-            .instance
-            .edges
-            .iter()
-            .all(|e| e.2 > lb.update.2));
+        assert!(lb.instance.edges.iter().all(|e| e.2 > lb.update.2));
         // Centers of the first two stars.
         assert_eq!(lb.update.0, VertexId(0));
         assert_eq!(lb.update.1, VertexId(5));

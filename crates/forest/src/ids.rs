@@ -53,6 +53,17 @@ impl EdgeId {
     }
 }
 
+/// The normalised (smaller-id-first) endpoint pair — the canonical identity of an undirected
+/// edge used by the graph layers (`dynsld-msf`, `dynsld-engine`) and the workload generators.
+#[inline]
+pub fn ordered_pair(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
 impl fmt::Debug for VertexId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "v{}", self.0)

@@ -27,6 +27,6 @@ pub mod workload;
 
 pub use dsu::Dsu;
 pub use forest::{EdgeData, Forest};
-pub use ids::{EdgeId, VertexId};
+pub use ids::{ordered_pair, EdgeId, VertexId};
 pub use weight::{RankKey, Weight};
-pub use workload::{Update, UpdateBatch, WorkloadBuilder};
+pub use workload::{GraphUpdate, GraphWorkloadBuilder, Update, UpdateBatch, WorkloadBuilder};

@@ -96,7 +96,7 @@ mod tests {
 
     #[test]
     fn sorting_a_vec_of_keys_is_total() {
-        let mut keys = vec![
+        let mut keys = [
             RankKey::new(3.0, EdgeId(0)),
             RankKey::new(1.0, EdgeId(2)),
             RankKey::new(1.0, EdgeId(1)),

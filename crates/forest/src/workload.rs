@@ -148,11 +148,9 @@ impl WorkloadBuilder {
         for &(u, v, weight) in edges.iter().take(window) {
             stream.push(Update::Insert { u, v, weight });
         }
-        let mut oldest = 0usize;
-        for &(u, v, weight) in edges.iter().skip(window) {
-            let (du, dv, _) = edges[oldest];
+        // Each admitted edge evicts the oldest live one: pair edge `window + i` with edge `i`.
+        for (&(u, v, weight), &(du, dv, _)) in edges.iter().skip(window).zip(edges.iter()) {
             stream.push(Update::Delete { u: du, v: dv });
-            oldest += 1;
             stream.push(Update::Insert { u, v, weight });
         }
         stream
@@ -175,9 +173,7 @@ impl WorkloadBuilder {
         self.instance
             .shuffled_edges(seed)
             .chunks(batch_size)
-            .map(|chunk| {
-                UpdateBatch::Deletions(chunk.iter().map(|&(u, v, _)| (u, v)).collect())
-            })
+            .map(|chunk| UpdateBatch::Deletions(chunk.iter().map(|&(u, v, _)| (u, v)).collect()))
             .collect()
     }
 
@@ -199,16 +195,223 @@ impl WorkloadBuilder {
     }
 }
 
+/// A single *graph* update. Unlike [`Update`], graph updates may close cycles (the MSF layer
+/// decides which edges become tree edges) and may re-weight existing edges.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum GraphUpdate {
+    /// Insert graph edge `{u, v}` with the given weight. The edge must be absent.
+    Insert {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+        /// Weight of the inserted edge.
+        weight: Weight,
+    },
+    /// Delete the graph edge `{u, v}`. The edge must be present.
+    Delete {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+    },
+    /// Change the weight of the present graph edge `{u, v}`.
+    Reweight {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+        /// The new weight.
+        weight: Weight,
+    },
+}
+
+impl GraphUpdate {
+    /// The normalised endpoint pair the update addresses.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        let (u, v) = match *self {
+            GraphUpdate::Insert { u, v, .. }
+            | GraphUpdate::Delete { u, v }
+            | GraphUpdate::Reweight { u, v, .. } => (u, v),
+        };
+        crate::ids::ordered_pair(u, v)
+    }
+}
+
+/// Builds streams of *graph* updates (insertions, deletions, re-weights over an arbitrary
+/// graph, cycles included) — the workload shape of the fully-dynamic clustering problem
+/// (Problem 2) and of the `dynsld-engine` ingest path, complementing [`WorkloadBuilder`]'s
+/// forest-only streams (Problem 1).
+///
+/// All generated streams are *valid*: an edge is inserted only while absent, deleted or
+/// re-weighted only while present, and every prefix respects this discipline.
+#[derive(Clone, Debug)]
+pub struct GraphWorkloadBuilder {
+    n: usize,
+    weight_scale: Weight,
+}
+
+impl GraphWorkloadBuilder {
+    /// A builder over vertices `0..n` with weights drawn uniformly from `(0, 10)`.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`: no valid graph edge exists on fewer than two vertices, so every
+    /// stream generator would spin without producing an operation.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "graph workloads need at least two vertices");
+        GraphWorkloadBuilder {
+            n,
+            weight_scale: 10.0,
+        }
+    }
+
+    /// Sets the weight scale: weights are drawn uniformly from `(0, scale)`.
+    pub fn weight_scale(mut self, scale: Weight) -> Self {
+        self.weight_scale = scale;
+        self
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn random_absent_pair(
+        &self,
+        rng: &mut SmallRng,
+        present: &std::collections::HashSet<(VertexId, VertexId)>,
+    ) -> Option<(VertexId, VertexId)> {
+        // Rejection sampling; bail out on very dense graphs.
+        for _ in 0..64 {
+            let a = VertexId(rng.gen_range(0..self.n as u32));
+            let b = VertexId(rng.gen_range(0..self.n as u32));
+            if a == b {
+                continue;
+            }
+            let key = crate::ids::ordered_pair(a, b);
+            if !present.contains(&key) {
+                return Some(key);
+            }
+        }
+        None
+    }
+
+    /// A mixed churn stream of `num_ops` updates: the edge set first grows towards
+    /// `target_edges`, after which inserts, deletes and re-weights are drawn with roughly
+    /// equal probability (subject to validity).
+    pub fn churn_stream(&self, target_edges: usize, num_ops: usize, seed: u64) -> Vec<GraphUpdate> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut present: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut present_set: std::collections::HashSet<(VertexId, VertexId)> =
+            std::collections::HashSet::new();
+        let mut stream = Vec::with_capacity(num_ops);
+        while stream.len() < num_ops {
+            let roll: f64 = rng.gen();
+            let insert_p = if present.len() < target_edges {
+                0.7
+            } else {
+                0.2
+            };
+            if present.is_empty() || roll < insert_p {
+                let Some((u, v)) = self.random_absent_pair(&mut rng, &present_set) else {
+                    // Graph saturated: fall through to a deletion next iteration.
+                    continue;
+                };
+                let weight = rng.gen::<Weight>() * self.weight_scale;
+                present.push((u, v));
+                present_set.insert((u, v));
+                stream.push(GraphUpdate::Insert { u, v, weight });
+            } else if roll < insert_p + 0.15 && !present.is_empty() {
+                let idx = rng.gen_range(0..present.len());
+                let (u, v) = present[idx];
+                let weight = rng.gen::<Weight>() * self.weight_scale;
+                stream.push(GraphUpdate::Reweight { u, v, weight });
+            } else {
+                let idx = rng.gen_range(0..present.len());
+                let (u, v) = present.swap_remove(idx);
+                present_set.remove(&(u, v));
+                stream.push(GraphUpdate::Delete { u, v });
+            }
+        }
+        stream
+    }
+
+    /// A sliding-window stream over `num_edges` random distinct edges: insert the first
+    /// `window` edges, then alternately delete the oldest live edge and insert the next unseen
+    /// one — the serving scenario of `examples/streaming_clustering.rs` lifted from forests to
+    /// graphs.
+    pub fn sliding_window_stream(
+        &self,
+        num_edges: usize,
+        window: usize,
+        seed: u64,
+    ) -> Vec<GraphUpdate> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(num_edges);
+        let mut seen = std::collections::HashSet::new();
+        while edges.len() < num_edges {
+            let Some((u, v)) = self.random_absent_pair(&mut rng, &seen) else {
+                break; // complete graph reached
+            };
+            seen.insert((u, v));
+            edges.push((u, v, rng.gen::<Weight>() * self.weight_scale));
+        }
+        let window = window.min(edges.len());
+        let mut stream = Vec::with_capacity(2 * edges.len());
+        for &(u, v, weight) in edges.iter().take(window) {
+            stream.push(GraphUpdate::Insert { u, v, weight });
+        }
+        // Each admitted edge evicts the oldest live one: pair edge `window + i` with edge `i`.
+        for (&(u, v, weight), &(du, dv, _)) in edges.iter().skip(window).zip(edges.iter()) {
+            stream.push(GraphUpdate::Delete { u: du, v: dv });
+            stream.push(GraphUpdate::Insert { u, v, weight });
+        }
+        stream
+    }
+}
+
+/// Validates that `stream` is a well-formed graph-update stream starting from an empty graph:
+/// inserts address absent edges, deletes/re-weights address present edges, and no self loops.
+/// Returns the number of updates validated.
+pub fn validate_graph_stream(n: usize, stream: &[GraphUpdate]) -> Result<usize, String> {
+    let mut present: std::collections::HashSet<(VertexId, VertexId)> =
+        std::collections::HashSet::new();
+    for (i, up) in stream.iter().enumerate() {
+        let (u, v) = up.endpoints();
+        if u == v {
+            return Err(format!("update {i} is a self loop"));
+        }
+        if v.index() >= n {
+            return Err(format!("update {i} addresses out-of-range vertex {v}"));
+        }
+        match *up {
+            GraphUpdate::Insert { .. } => {
+                if !present.insert((u, v)) {
+                    return Err(format!("update {i} inserts a present edge"));
+                }
+            }
+            GraphUpdate::Delete { .. } => {
+                if !present.remove(&(u, v)) {
+                    return Err(format!("update {i} deletes an absent edge"));
+                }
+            }
+            GraphUpdate::Reweight { .. } => {
+                if !present.contains(&(u, v)) {
+                    return Err(format!("update {i} re-weights an absent edge"));
+                }
+            }
+        }
+    }
+    Ok(stream.len())
+}
+
 /// Validates that applying `stream` on top of `initial` (which must itself be a forest) keeps
 /// the edge set a forest after every update. Returns the number of updates validated.
 ///
 /// Deletions of absent edges are rejected. Used by tests of the generators themselves.
 pub fn validate_stream(initial: &TreeInstance, stream: &[Update]) -> Result<usize, String> {
-    let mut edges: Vec<(VertexId, VertexId)> = initial
-        .edges
-        .iter()
-        .map(|&(u, v, _)| (u, v))
-        .collect();
+    let mut edges: Vec<(VertexId, VertexId)> =
+        initial.edges.iter().map(|&(u, v, _)| (u, v)).collect();
     let check_forest = |edges: &[(VertexId, VertexId)]| -> bool {
         let mut dsu = Dsu::new(initial.n);
         edges.iter().all(|&(u, v)| dsu.union(u, v))
@@ -289,7 +492,10 @@ mod tests {
         let t = random_tree(80, 8);
         let wb = WorkloadBuilder::new(t.clone());
         let stream = wb.sliding_window_stream(20, 4);
-        assert_eq!(validate_stream(&empty_instance(t.n), &stream), Ok(stream.len()));
+        assert_eq!(
+            validate_stream(&empty_instance(t.n), &stream),
+            Ok(stream.len())
+        );
         // Window phase: 20 inserts, then (79 - 20) delete/insert pairs.
         assert_eq!(stream.len(), 20 + 2 * (79 - 20));
     }
@@ -329,13 +535,105 @@ mod tests {
     fn validate_stream_rejects_cycles_and_absent_deletes() {
         let t = empty_instance(3);
         let bad_cycle = vec![
-            Update::Insert { u: VertexId(0), v: VertexId(1), weight: 1.0 },
-            Update::Insert { u: VertexId(1), v: VertexId(2), weight: 1.0 },
-            Update::Insert { u: VertexId(2), v: VertexId(0), weight: 1.0 },
+            Update::Insert {
+                u: VertexId(0),
+                v: VertexId(1),
+                weight: 1.0,
+            },
+            Update::Insert {
+                u: VertexId(1),
+                v: VertexId(2),
+                weight: 1.0,
+            },
+            Update::Insert {
+                u: VertexId(2),
+                v: VertexId(0),
+                weight: 1.0,
+            },
         ];
         assert!(validate_stream(&t, &bad_cycle).is_err());
-        let bad_delete = vec![Update::Delete { u: VertexId(0), v: VertexId(1) }];
+        let bad_delete = vec![Update::Delete {
+            u: VertexId(0),
+            v: VertexId(1),
+        }];
         assert!(validate_stream(&t, &bad_delete).is_err());
+    }
+
+    #[test]
+    fn graph_churn_stream_is_valid_and_mixed() {
+        let wb = GraphWorkloadBuilder::new(30).weight_scale(5.0);
+        let stream = wb.churn_stream(60, 400, 11);
+        assert_eq!(stream.len(), 400);
+        assert_eq!(validate_graph_stream(30, &stream), Ok(400));
+        let inserts = stream
+            .iter()
+            .filter(|u| matches!(u, GraphUpdate::Insert { .. }))
+            .count();
+        let deletes = stream
+            .iter()
+            .filter(|u| matches!(u, GraphUpdate::Delete { .. }))
+            .count();
+        let reweights = stream
+            .iter()
+            .filter(|u| matches!(u, GraphUpdate::Reweight { .. }))
+            .count();
+        assert!(
+            inserts > 0 && deletes > 0 && reweights > 0,
+            "{inserts}/{deletes}/{reweights}"
+        );
+        assert!(stream.iter().all(|u| match *u {
+            GraphUpdate::Insert { weight, .. } | GraphUpdate::Reweight { weight, .. } =>
+                (0.0..5.0).contains(&weight),
+            GraphUpdate::Delete { .. } => true,
+        }));
+    }
+
+    #[test]
+    fn graph_sliding_window_stream_is_valid() {
+        let wb = GraphWorkloadBuilder::new(40);
+        let stream = wb.sliding_window_stream(100, 25, 3);
+        assert_eq!(stream.len(), 25 + 2 * 75);
+        assert_eq!(validate_graph_stream(40, &stream), Ok(stream.len()));
+        // The live edge count never exceeds the window.
+        let mut live = 0usize;
+        let mut max_live = 0usize;
+        for up in &stream {
+            match up {
+                GraphUpdate::Insert { .. } => live += 1,
+                GraphUpdate::Delete { .. } => live -= 1,
+                GraphUpdate::Reweight { .. } => {}
+            }
+            max_live = max_live.max(live);
+        }
+        assert_eq!(max_live, 25); // the oldest edge is evicted before each new insertion
+        assert_eq!(live, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vertices")]
+    fn graph_workloads_reject_degenerate_vertex_counts() {
+        // With < 2 vertices no edge can exist, so every generator would spin forever.
+        let _ = GraphWorkloadBuilder::new(1);
+    }
+
+    #[test]
+    fn validate_graph_stream_rejects_invalid_streams() {
+        let u = VertexId(0);
+        let v = VertexId(1);
+        let ins = GraphUpdate::Insert { u, v, weight: 1.0 };
+        assert!(validate_graph_stream(2, &[ins, ins]).is_err());
+        assert!(validate_graph_stream(2, &[GraphUpdate::Delete { u, v }]).is_err());
+        assert!(validate_graph_stream(2, &[GraphUpdate::Reweight { u, v, weight: 2.0 }]).is_err());
+        assert!(validate_graph_stream(1, &[ins]).is_err());
+        assert!(validate_graph_stream(
+            2,
+            &[GraphUpdate::Insert {
+                u,
+                v: u,
+                weight: 1.0
+            }]
+        )
+        .is_err());
     }
 
     #[test]

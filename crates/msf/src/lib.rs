@@ -28,14 +28,12 @@ use dynsld::{DynSld, DynSldError, DynSldOptions};
 use dynsld_forest::{VertexId, Weight};
 use std::collections::{HashMap, HashSet};
 
+mod batch;
+
+pub use batch::BatchOutcome;
+
 /// Normalised vertex pair used as the identity of a graph edge.
-fn pair(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
-    if u <= v {
-        (u, v)
-    } else {
-        (v, u)
-    }
-}
+pub(crate) use dynsld_forest::ordered_pair as pair;
 
 /// How an update changed the minimum spanning forest (and hence the dendrogram).
 #[derive(Clone, Debug, PartialEq)]
@@ -65,13 +63,13 @@ pub enum MsfChange {
 /// end feeding the DynSLD dendrogram maintenance algorithms.
 #[derive(Clone, Debug)]
 pub struct DynamicGraphClustering {
-    sld: DynSld,
+    pub(crate) sld: DynSld,
     /// All alive graph edges by endpoint pair: `true` if currently a tree (MSF) edge.
-    membership: HashMap<(VertexId, VertexId), bool>,
+    pub(crate) membership: HashMap<(VertexId, VertexId), bool>,
     /// Weights of all alive graph edges.
-    weights: HashMap<(VertexId, VertexId), Weight>,
+    pub(crate) weights: HashMap<(VertexId, VertexId), Weight>,
     /// Non-tree edges indexed per vertex (both endpoints), for replacement-edge search.
-    reserve: Vec<HashSet<(VertexId, VertexId)>>,
+    pub(crate) reserve: Vec<HashSet<(VertexId, VertexId)>>,
 }
 
 impl DynamicGraphClustering {
@@ -168,8 +166,8 @@ impl DynamicGraphClustering {
         }
         let key = pair(u, v);
         if self.membership.contains_key(&key) {
-            // Parallel edges are not supported; treat as a conflicting update.
-            return Err(DynSldError::ConflictingBatch(u, v));
+            // Parallel edges are not supported.
+            return Err(DynSldError::EdgeAlreadyExists(u, v));
         }
         if !self.sld.connected(u, v) {
             self.sld.insert(u, v, weight)?;
@@ -224,11 +222,10 @@ impl DynamicGraphClustering {
             for &(a, b) in &self.reserve[member.index()] {
                 let w = self.weights[&pair(a, b)];
                 // The edge reconnects the cut iff exactly one endpoint lies on the small side.
-                if self.sld.connected(a, small) != self.sld.connected(b, small) {
-                    let candidate = (w, pair(a, b));
-                    if best.is_none() || candidate.0 < best.as_ref().expect("set").0 {
-                        best = Some(candidate);
-                    }
+                if self.sld.connected(a, small) != self.sld.connected(b, small)
+                    && Self::replacement_beats(best.as_ref(), w, pair(a, b))
+                {
+                    best = Some((w, pair(a, b)));
                 }
             }
         }
@@ -252,6 +249,26 @@ impl DynamicGraphClustering {
     ) -> Result<MsfChange, DynSldError> {
         self.delete_edge(u, v)?;
         self.insert_edge(u, v, weight)
+    }
+
+    /// Deterministic replacement-edge order: strictly cheaper wins, ties break on the
+    /// normalised endpoint pair. The reserve sets are hash sets with nondeterministic
+    /// iteration order, so without the tie-break the promoted edge among equal-weight
+    /// candidates would vary from run to run — this keeps engine-level tests and benchmark
+    /// traces reproducible.
+    fn replacement_beats(
+        best: Option<&(Weight, (VertexId, VertexId))>,
+        w: Weight,
+        key: (VertexId, VertexId),
+    ) -> bool {
+        match best {
+            None => true,
+            Some(&(bw, bkey)) => match w.total_cmp(&bw) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => key < bkey,
+                std::cmp::Ordering::Greater => false,
+            },
+        }
     }
 
     /// The vertices of the MSF component containing `v`.
@@ -318,7 +335,11 @@ mod tests {
             .map(|(a, b, _, _)| pair(a, b))
             .collect();
         tree.sort();
-        assert_eq!(tree, msf_oracle(g.num_vertices(), alive), "MSF edge set diverged");
+        assert_eq!(
+            tree,
+            msf_oracle(g.num_vertices(), alive),
+            "MSF edge set diverged"
+        );
         // The dendrogram must equal static recomputation on the maintained forest.
         assert_eq!(
             g.sld().dendrogram().canonical_parents(),
@@ -336,14 +357,16 @@ mod tests {
         // 0-2 with weight 1 closes a cycle and evicts the heaviest cycle edge (0-1, weight 5).
         assert_eq!(
             g.insert_edge(v(0), v(2), 1.0).unwrap(),
-            MsfChange::Replaced { evicted: (v(0), v(1)) }
+            MsfChange::Replaced {
+                evicted: (v(0), v(1))
+            }
         );
         assert!(!g.is_tree_edge(v(0), v(1)));
         assert!(g.is_tree_edge(v(0), v(2)));
         // A heavy edge on a cycle stays non-tree.
         assert_eq!(
             g.insert_edge(v(1), v(0), 100.0),
-            Err(DynSldError::ConflictingBatch(v(1), v(0)))
+            Err(DynSldError::EdgeAlreadyExists(v(1), v(0)))
         );
         assert_eq!(g.insert_edge(v(2), v(3), 2.0).unwrap(), MsfChange::Inserted);
         assert_eq!(
@@ -363,7 +386,9 @@ mod tests {
         g.insert_edge(v(0), v(3), 10.0).unwrap(); // non-tree reserve
         assert_eq!(
             g.delete_edge(v(1), v(2)).unwrap(),
-            MsfChange::RemovedWithReplacement { promoted: (v(0), v(3)) }
+            MsfChange::RemovedWithReplacement {
+                promoted: (v(0), v(3))
+            }
         );
         assert!(g.is_tree_edge(v(0), v(3)));
         // Deleting a non-tree edge leaves the MSF untouched.
@@ -383,7 +408,10 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         let mut g = DynamicGraphClustering::new(3);
-        assert_eq!(g.insert_edge(v(0), v(0), 1.0), Err(DynSldError::SelfLoop(v(0))));
+        assert_eq!(
+            g.insert_edge(v(0), v(0), 1.0),
+            Err(DynSldError::SelfLoop(v(0)))
+        );
         assert_eq!(
             g.insert_edge(v(0), v(5), 1.0),
             Err(DynSldError::VertexOutOfRange(v(5)))
@@ -414,7 +442,8 @@ mod tests {
         let mut g = DynamicGraphClustering::new(n);
         let mut alive: Vec<(VertexId, VertexId, Weight)> = Vec::new();
         for step in 0..600 {
-            let do_insert = alive.is_empty() || (alive.len() < candidates.len() && rng.gen_bool(0.55));
+            let do_insert =
+                alive.is_empty() || (alive.len() < candidates.len() && rng.gen_bool(0.55));
             if do_insert {
                 // Insert a candidate that is not alive yet.
                 let next = candidates
@@ -446,11 +475,7 @@ mod tests {
         g.update_weight(v(0), v(2), 0.5).unwrap();
         assert!(g.is_tree_edge(v(0), v(2)));
         assert!(!g.is_tree_edge(v(1), v(2)));
-        let alive = vec![
-            (v(0), v(1), 1.0),
-            (v(1), v(2), 2.0),
-            (v(0), v(2), 0.5),
-        ];
+        let alive = vec![(v(0), v(1), 1.0), (v(1), v(2), 2.0), (v(0), v(2), 0.5)];
         assert_msf_matches(&g, &alive);
     }
 

@@ -31,13 +31,13 @@ where
     F: Fn(&T) -> Option<U> + Sync,
 {
     if input.len() <= SEQ_CUTOFF {
-        return input.iter().filter_map(|x| f(x)).collect();
+        return input.iter().filter_map(&f).collect();
     }
     let chunk_size = (input.len() / (rayon::current_num_threads() * 4)).max(SEQ_CUTOFF / 4);
     // Phase 1: map each chunk, keeping per-chunk results.
     let per_chunk: Vec<Vec<U>> = input
         .par_chunks(chunk_size)
-        .map(|chunk| chunk.iter().filter_map(|x| f(x)).collect())
+        .map(|chunk| chunk.iter().filter_map(&f).collect())
         .collect();
     // Phase 2: exclusive scan of chunk sizes to find output offsets.
     let counts: Vec<usize> = per_chunk.iter().map(Vec::len).collect();

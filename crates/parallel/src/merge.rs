@@ -176,7 +176,10 @@ mod tests {
         for w in merged.windows(2) {
             assert!(w[0].0 <= w[1].0);
             if w[0].0 == w[1].0 && w[0].1 != w[1].1 {
-                assert!(w[0].1 <= w[1].1, "a-elements must precede b-elements on ties");
+                assert!(
+                    w[0].1 <= w[1].1,
+                    "a-elements must precede b-elements on ties"
+                );
             }
         }
         assert_eq!(merged.len(), a.len() + b.len());

@@ -135,11 +135,7 @@ impl RcForest {
     /// `O(log n)` with high probability.
     pub fn height(&self) -> usize {
         let mut best = 0;
-        for &leaf in self
-            .leaf_of_vertex
-            .iter()
-            .chain(self.leaf_of_edge.values())
-        {
+        for &leaf in self.leaf_of_vertex.iter().chain(self.leaf_of_edge.values()) {
             let mut depth = 0;
             let mut cur = leaf;
             while let Some(p) = self.clusters[cur].parent {
@@ -280,8 +276,7 @@ impl RcForest {
         // Unary clusters raked onto each live vertex, waiting to be absorbed.
         let mut pending: HashMap<VertexId, Vec<ClusterId>> = HashMap::new();
         // Random priorities for the independent-set selection.
-        let priority: HashMap<VertexId, u64> =
-            vertices.iter().map(|&v| (v, rng.gen())).collect();
+        let priority: HashMap<VertexId, u64> = vertices.iter().map(|&v| (v, rng.gen())).collect();
         let mut live: Vec<VertexId> = vertices.to_vec();
         let mut round = 0usize;
 
@@ -298,9 +293,8 @@ impl RcForest {
                     if nbrs.len() > 2 {
                         return false;
                     }
-                    nbrs.iter().all(|&(w, _)| {
-                        adj[&w].len() > 2 || priority[&w] < priority[&v]
-                    })
+                    nbrs.iter()
+                        .all(|&(w, _)| adj[&w].len() > 2 || priority[&w] < priority[&v])
                 })
                 .collect();
             debug_assert!(!chosen.is_empty(), "contraction must make progress");
@@ -356,8 +350,7 @@ impl RcForest {
                         children.push(ec1);
                         children.push(ec2);
                         let agg = self.aggregate(&children);
-                        let path_len =
-                            self.clusters[ec1].path_len + self.clusters[ec2].path_len;
+                        let path_len = self.clusters[ec1].path_len + self.clusters[ec2].path_len;
                         let id = self.new_cluster(Cluster {
                             kind: ClusterKind::Binary,
                             parent: None,
@@ -433,7 +426,11 @@ mod tests {
         }
         for a in 0..forest.num_vertices() {
             let a = VertexId::from_index(a);
-            assert_eq!(rc.component_size(a), dsu.set_size(a), "size mismatch at {a}");
+            assert_eq!(
+                rc.component_size(a),
+                dsu.set_size(a),
+                "size mismatch at {a}"
+            );
             for b in [0, forest.num_vertices() / 2, forest.num_vertices() - 1] {
                 let b = VertexId::from_index(b);
                 assert_eq!(rc.connected(a, b), dsu.connected(a, b));
@@ -475,7 +472,10 @@ mod tests {
             let rc = RcForest::build(inst.build_forest());
             let h = rc.height();
             let bound = 6 * (n as f64).log2() as usize + 10;
-            assert!(h <= bound, "RC tree height {h} exceeds O(log n) bound {bound}");
+            assert!(
+                h <= bound,
+                "RC tree height {h} exceeds O(log n) bound {bound}"
+            );
             assert!(rc.num_rounds() <= bound);
         }
     }

@@ -1,0 +1,172 @@
+//! Offline stand-in for the slice of the `rayon` API this workspace uses.
+//!
+//! The build environment has no network access, so this shim provides the
+//! `rayon` entry points the workspace calls — [`join`], [`current_num_threads`]
+//! and the `par_*` iterator adaptors in [`prelude`] — with *sequential*
+//! semantics: `par_iter()` is the plain slice iterator, `join(a, b)` runs `a`
+//! then `b` on the calling thread. Every algorithm keeps its work bound; the
+//! paper's span bounds simply collapse to the work bound until a real thread
+//! pool is substituted back in. The adaptors return standard library iterator
+//! types, so downstream combinator chains (`map`, `zip`, `sum`, `collect`, …)
+//! compile unchanged.
+
+/// Runs both closures and returns their results. Sequential in the shim:
+/// `a` first, then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// Number of worker threads in the (shim) pool: always 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    //! Parallel-iterator extension traits, sequential in the shim.
+
+    /// `rayon::iter::IntoParallelIterator`: anything iterable can be "parallel"
+    /// iterated; the shim hands back the plain sequential iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Converts `self` into a (sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// Shared-slice adaptors (`par_iter`, `par_chunks`, `par_windows`).
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_windows`.
+        fn par_windows(&self, window_size: usize) -> std::slice::Windows<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+
+        fn par_windows(&self, window_size: usize) -> std::slice::Windows<'_, T> {
+            self.windows(window_size)
+        }
+    }
+
+    /// Mutable-slice adaptors (`par_iter_mut`, `par_chunks_mut`, `par_sort_*`).
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        /// Sequential stand-in for `rayon`'s `par_sort`.
+        fn par_sort(&mut self)
+        where
+            T: Ord;
+        /// Sequential stand-in for `rayon`'s `par_sort_unstable`.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        /// Sequential stand-in for `rayon`'s `par_sort_by`.
+        fn par_sort_by<F>(&mut self, compare: F)
+        where
+            F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+        /// Sequential stand-in for `rayon`'s `par_sort_unstable_by`.
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+        /// Sequential stand-in for `rayon`'s `par_sort_unstable_by_key`.
+        fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
+        where
+            F: Fn(&T) -> K + Sync;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+
+        fn par_sort(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort();
+        }
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+
+        fn par_sort_by<F>(&mut self, compare: F)
+        where
+            F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+        {
+            self.sort_by(compare);
+        }
+
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+        {
+            self.sort_unstable_by(compare);
+        }
+
+        fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
+        where
+            F: Fn(&T) -> K + Sync,
+        {
+            self.sort_unstable_by_key(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+        assert_eq!(super::current_num_threads(), 1);
+    }
+
+    #[test]
+    fn adaptors_behave_like_sequential_iterators() {
+        let v = [3, 1, 2];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+        let chunks: Vec<usize> = v.par_chunks(2).map(<[i32]>::len).collect();
+        assert_eq!(chunks, vec![2, 1]);
+        let mut w = vec![3, 1, 2];
+        w.par_sort_unstable_by(|a, b| a.cmp(b));
+        assert_eq!(w, vec![1, 2, 3]);
+        let mut out = [0i32; 3];
+        out.par_chunks_mut(1)
+            .zip(v.par_chunks(1))
+            .for_each(|(o, i)| o[0] = i[0] * 10);
+        assert_eq!(out, [30, 10, 20]);
+    }
+}

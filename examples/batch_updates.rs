@@ -41,7 +41,9 @@ fn main() {
     let mut batch_sld = DynSld::from_forest(instance.build_forest(), DynSldOptions::default());
     let t = Instant::now();
     for burst in &bursts {
-        let UpdateBatch::Insertions(edges) = burst else { unreachable!() };
+        let UpdateBatch::Insertions(edges) = burst else {
+            unreachable!()
+        };
         batch_sld.batch_insert(edges).expect("valid burst");
     }
     let batch_time = t.elapsed();
@@ -56,7 +58,9 @@ fn main() {
     let mut single_sld = DynSld::from_forest(instance.build_forest(), DynSldOptions::default());
     let t = Instant::now();
     for burst in &bursts {
-        let UpdateBatch::Insertions(edges) = burst else { unreachable!() };
+        let UpdateBatch::Insertions(edges) = burst else {
+            unreachable!()
+        };
         for &(u, v, w) in edges {
             single_sld.insert(u, v, w).expect("valid edge");
         }
@@ -68,14 +72,19 @@ fn main() {
     let mut forest = instance.build_forest();
     let t = Instant::now();
     for burst in &bursts {
-        let UpdateBatch::Insertions(edges) = burst else { unreachable!() };
+        let UpdateBatch::Insertions(edges) = burst else {
+            unreachable!()
+        };
         for &(u, v, w) in edges {
             forest.insert_edge(u, v, w);
         }
         let _ = static_sld_kruskal(&forest);
     }
     let static_time = t.elapsed();
-    println!("static recompute: {:>9.2?} (Kruskal after every burst)", static_time);
+    println!(
+        "static recompute: {:>9.2?} (Kruskal after every burst)",
+        static_time
+    );
 
     assert_eq!(
         batch_sld.dendrogram().canonical_parents(),
@@ -88,7 +97,9 @@ fn main() {
     let t = Instant::now();
     let mut rounds = 0usize;
     for burst in workload.deletion_batches(BATCH, 9) {
-        let UpdateBatch::Deletions(pairs) = burst else { unreachable!() };
+        let UpdateBatch::Deletions(pairs) = burst else {
+            unreachable!()
+        };
         // Only delete edges still present (the inter-component links stay).
         let pairs: Vec<_> = pairs
             .into_iter()
@@ -97,7 +108,9 @@ fn main() {
         if pairs.is_empty() {
             continue;
         }
-        batch_sld.batch_delete(&pairs).expect("valid deletion burst");
+        batch_sld
+            .batch_delete(&pairs)
+            .expect("valid deletion burst");
         rounds += 1;
     }
     println!(

@@ -50,7 +50,10 @@ fn main() {
         tree.sld().stats().last_pointer_changes
     );
     let root = tree.root_index().expect("non-empty");
-    println!("new worst latency: {:.1} ms at position {root}", tree.value(root));
+    println!(
+        "new worst latency: {:.1} ms at position {root}",
+        tree.value(root)
+    );
 
     // The dynamically maintained tree always equals the statically built one.
     assert_eq!(tree.to_parent_array(), static_parent_array(tree.values()));

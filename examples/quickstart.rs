@@ -16,7 +16,7 @@ fn print_dendrogram(title: &str, sld: &DynSld) {
     println!("\n{title}");
     println!("{:<8} {:<8} {:<8}", "edge", "weight", "parent");
     let mut nodes: Vec<_> = sld.dendrogram().nodes().collect();
-    nodes.sort_by(|&a, &b| sld.rank(a).cmp(&sld.rank(b)));
+    nodes.sort_by_key(|&a| sld.rank(a));
     for e in nodes {
         let (u, v) = sld.forest().endpoints(e);
         let label = format!("{}-{}", name(u.0), name(v.0));
@@ -51,7 +51,8 @@ fn main() {
 
     // Choose the sequential height-bounded algorithms (Theorem 1.1); other strategies:
     // OutputSensitive (Thm 1.2), Parallel (Thm 1.3), ParallelOutputSensitive (Thm 1.4).
-    let mut sld = DynSld::with_options(12, DynSldOptions::with_strategy(UpdateStrategy::Sequential));
+    let mut sld =
+        DynSld::with_options(12, DynSldOptions::with_strategy(UpdateStrategy::Sequential));
     for (u, v, w) in edges {
         sld.insert(idx(u), idx(v), w).expect("forest edge");
     }
@@ -62,7 +63,11 @@ fn main() {
     println!(
         "\nafter deleting (e, h): {} pointer changes, e and h are now {}connected",
         sld.stats().last_pointer_changes,
-        if sld.connected(idx('e'), idx('h')) { "" } else { "dis" }
+        if sld.connected(idx('e'), idx('h')) {
+            ""
+        } else {
+            "dis"
+        }
     );
     print_dendrogram("Dendrogram after deleting (e, h)", &sld);
 

@@ -42,7 +42,8 @@ fn main() {
     for (i, update) in stream.iter().enumerate() {
         match *update {
             Update::Insert { u, v, weight } => {
-                sld.insert(u, v, weight).expect("stream keeps the forest acyclic");
+                sld.insert(u, v, weight)
+                    .expect("stream keeps the forest acyclic");
             }
             Update::Delete { u, v } => {
                 sld.delete(u, v).expect("stream deletes present edges");

@@ -67,7 +67,9 @@ fn batch_pipeline_large_star_and_teardown() {
     let wb = WorkloadBuilder::new(inst.clone());
     let mut sld = DynSld::new(inst.n);
     for batch in wb.insertion_batches(512, 7) {
-        let UpdateBatch::Insertions(edges) = batch else { unreachable!() };
+        let UpdateBatch::Insertions(edges) = batch else {
+            unreachable!()
+        };
         sld.batch_insert(&edges).unwrap();
     }
     assert_eq!(sld.num_edges(), inst.num_edges());
@@ -77,7 +79,9 @@ fn batch_pipeline_large_star_and_teardown() {
     );
     let mut deleted = 0;
     for batch in wb.deletion_batches(256, 11) {
-        let UpdateBatch::Deletions(pairs) = batch else { unreachable!() };
+        let UpdateBatch::Deletions(pairs) = batch else {
+            unreachable!()
+        };
         sld.batch_delete(&pairs).unwrap();
         deleted += pairs.len();
         if deleted > inst.num_edges() / 2 {
@@ -126,7 +130,12 @@ fn graph_pipeline_queries_track_msf_changes() {
     // Threshold queries must agree with a from-scratch bounded search on the maintained MSF,
     // and cross-block connectivity at a light threshold requires a light path, which the planted
     // weights never provide.
-    for (a, b, tau) in [(0u32, 20u32, 2.0), (0, 70, 2.0), (0, 70, 20.0), (13, 487, 0.5)] {
+    for (a, b, tau) in [
+        (0u32, 20u32, 2.0),
+        (0, 70, 2.0),
+        (0, 70, 20.0),
+        (13, 487, 0.5),
+    ] {
         let expected = dynsld::queries::msf_baseline::threshold_connected(
             graph.sld().forest(),
             v(a),
@@ -211,7 +220,10 @@ fn height_regimes_behave_as_expected() {
         DynSldOptions::default(),
     );
     let h = controlled.height();
-    assert!((100..200).contains(&h), "target-height generator produced h = {h}");
+    assert!(
+        (100..200).contains(&h),
+        "target-height generator produced h = {h}"
+    );
 }
 
 #[test]

@@ -1,0 +1,266 @@
+//! Engine-level correctness: the `ClusteringEngine`'s served clusterings must equal static
+//! recomputation after every flush, and snapshots must be consistent — a reader never observes
+//! a half-applied batch, mid-batch queries reflect exactly the pre-batch epoch, and old
+//! snapshots keep answering for their epoch after later flushes.
+
+use dynsld::static_sld_kruskal;
+use dynsld_engine::{ClusteringEngine, GraphUpdate};
+use dynsld_forest::workload::{validate_graph_stream, GraphWorkloadBuilder};
+use dynsld_forest::{Dsu, VertexId, Weight};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Canonical partition of `0..n` induced by merging all edges of weight `<= tau`: sorted
+/// member lists, sorted by first member.
+fn oracle_partition(
+    n: usize,
+    alive: &[(VertexId, VertexId, Weight)],
+    tau: Weight,
+) -> Vec<Vec<VertexId>> {
+    let mut dsu = Dsu::new(n);
+    for &(a, b, w) in alive {
+        if w <= tau {
+            dsu.union(a, b);
+        }
+    }
+    let mut by_root: std::collections::BTreeMap<u32, Vec<VertexId>> = Default::default();
+    for i in 0..n as u32 {
+        by_root
+            .entry(dsu.find(VertexId(i)).0)
+            .or_default()
+            .push(VertexId(i));
+    }
+    let mut out: Vec<Vec<VertexId>> = by_root.into_values().collect();
+    for c in &mut out {
+        c.sort();
+    }
+    out.sort();
+    out
+}
+
+fn snapshot_partition(snap: &dynsld_engine::EngineSnapshot, tau: Weight) -> Vec<Vec<VertexId>> {
+    let fc = snap.flat_clustering(tau);
+    let mut out: Vec<Vec<VertexId>> = fc
+        .clusters
+        .iter()
+        .map(|c| {
+            let mut c = c.clone();
+            c.sort();
+            c
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The oracle check the issue asks for: after every flush, the engine's flat clustering at
+/// several thresholds equals the independent union-find oracle over the alive graph edges, and
+/// the maintained dendrogram equals `static_sld_kruskal` on the current MSF.
+#[test]
+fn randomized_stream_matches_static_oracle_after_every_flush() {
+    let n = 48usize;
+    let thresholds = [0.5, 1.5, 2.5, 4.0, 6.5, 10.0, f64::INFINITY];
+    let builder = GraphWorkloadBuilder::new(n).weight_scale(8.0);
+    let stream = builder.churn_stream(90, 900, 0xD1CE);
+    assert_eq!(validate_graph_stream(n, &stream), Ok(900));
+
+    let mut engine = ClusteringEngine::new(n);
+    let mut alive: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut flushes = 0usize;
+    for (i, &update) in stream.iter().enumerate() {
+        // Track the reference edge set.
+        match update {
+            GraphUpdate::Insert { u, v, weight } => alive.push((u, v, weight)),
+            GraphUpdate::Delete { u, v } => {
+                let key = if u <= v { (u, v) } else { (v, u) };
+                let pos = alive
+                    .iter()
+                    .position(|&(a, b, _)| (a.min(b), a.max(b)) == key)
+                    .expect("stream deletes present edges");
+                alive.swap_remove(pos);
+            }
+            GraphUpdate::Reweight { u, v, weight } => {
+                let key = if u <= v { (u, v) } else { (v, u) };
+                let entry = alive
+                    .iter_mut()
+                    .find(|&&mut (a, b, _)| (a.min(b), a.max(b)) == key)
+                    .expect("stream re-weights present edges");
+                entry.2 = weight;
+            }
+        }
+        engine.submit(update).expect("generated stream is valid");
+
+        // Flush at random batch boundaries (and at the end).
+        if rng.gen_bool(0.08) || i + 1 == stream.len() {
+            engine
+                .flush()
+                .expect("flush cannot fail on validated input");
+            flushes += 1;
+            let snap = engine.snapshot();
+            assert_eq!(snap.num_graph_edges(), alive.len());
+            for &tau in &thresholds {
+                assert_eq!(
+                    snapshot_partition(&snap, tau),
+                    oracle_partition(n, &alive, tau),
+                    "partition diverged at flush {flushes}, tau={tau}"
+                );
+            }
+            // The dendrogram served by the engine equals static recomputation on the MSF.
+            let sld = engine.graph().sld();
+            assert_eq!(
+                sld.dendrogram().canonical_parents(),
+                static_sld_kruskal(sld.forest()).canonical_parents(),
+                "dendrogram diverged from static recomputation at flush {flushes}"
+            );
+            sld.check_invariants().expect("invariants");
+        }
+    }
+    assert!(
+        flushes > 10,
+        "the test should exercise many flushes, got {flushes}"
+    );
+    let m = engine.metrics();
+    assert_eq!(m.ops_applied + m.events_saved(), m.events_submitted);
+    assert!(m.fast_path_ops > 0, "batches should ride the fast path");
+}
+
+/// Snapshot consistency: queries taken mid-batch reflect exactly the pre-batch epoch, and a
+/// snapshot keeps answering for its epoch after arbitrarily many later flushes.
+#[test]
+fn snapshots_reflect_exactly_the_pre_batch_epoch() {
+    let n = 30usize;
+    let builder = GraphWorkloadBuilder::new(n).weight_scale(5.0);
+    let stream = builder.churn_stream(50, 400, 7);
+    let mut engine = ClusteringEngine::new(n);
+    let thresholds = [1.0, 2.5, 4.0];
+
+    let mut held: Vec<(dynsld_engine::EngineSnapshot, Vec<Vec<Vec<VertexId>>>)> = Vec::new();
+    for chunk in stream.chunks(40) {
+        // Pre-batch reference: what the published snapshot answers right now.
+        let pre = engine.snapshot();
+        let pre_answers: Vec<Vec<Vec<VertexId>>> = thresholds
+            .iter()
+            .map(|&tau| snapshot_partition(&pre, tau))
+            .collect();
+        let pre_epoch = pre.epoch();
+
+        // Mid-batch: submit without flushing; the snapshot must not move.
+        for &u in chunk {
+            engine.submit(u).unwrap();
+        }
+        assert_eq!(
+            engine.snapshot().epoch(),
+            pre_epoch,
+            "epoch moved mid-batch"
+        );
+        for (i, &tau) in thresholds.iter().enumerate() {
+            assert_eq!(
+                snapshot_partition(&engine.snapshot(), tau),
+                pre_answers[i],
+                "mid-batch query diverged from the pre-batch epoch"
+            );
+        }
+
+        engine.flush().unwrap();
+        assert_eq!(engine.snapshot().epoch(), pre_epoch + 1);
+        // The pre-batch snapshot is frozen forever; remember it and re-check later.
+        held.push((pre, pre_answers));
+    }
+    // Every historical snapshot still answers exactly as it did when current.
+    for (snap, answers) in &held {
+        for (i, &tau) in thresholds.iter().enumerate() {
+            assert_eq!(&snapshot_partition(snap, tau), &answers[i]);
+        }
+    }
+    // Epochs are dense and ordered.
+    let epochs: Vec<u64> = held.iter().map(|(s, _)| s.epoch()).collect();
+    assert_eq!(epochs, (0..held.len() as u64).collect::<Vec<_>>());
+}
+
+/// Concurrent readers on snapshot clones while the writer keeps flushing: every reader must
+/// see an internally consistent frozen state (partition covers all vertices; cluster count at
+/// +inf equals the component count; epoch never changes under its feet).
+#[test]
+fn concurrent_readers_never_observe_partial_batches() {
+    let n = 40usize;
+    let builder = GraphWorkloadBuilder::new(n).weight_scale(6.0);
+    let stream = builder.churn_stream(70, 600, 21);
+    let mut engine = ClusteringEngine::new(n);
+
+    let mut handles = Vec::new();
+    for chunk in stream.chunks(30) {
+        for &u in chunk {
+            engine.submit(u).unwrap();
+        }
+        engine.flush().unwrap();
+        let snap = engine.snapshot();
+        // Hand the snapshot to a reader thread that interrogates it while the main thread
+        // keeps mutating the engine.
+        handles.push(std::thread::spawn(move || {
+            let epoch = snap.epoch();
+            for tau in [0.5, 2.0, 3.5, 5.0, f64::INFINITY] {
+                let fc = snap.flat_clustering(tau);
+                let total: usize = fc.clusters.iter().map(Vec::len).sum();
+                assert_eq!(
+                    total,
+                    snap.num_vertices(),
+                    "partition must cover all vertices"
+                );
+                assert!(fc.num_clusters() >= snap.num_components());
+            }
+            assert_eq!(
+                snap.num_clusters(f64::INFINITY),
+                snap.num_components(),
+                "at tau=inf clusters are exactly the components"
+            );
+            assert_eq!(snap.epoch(), epoch, "snapshot epoch drifted");
+            epoch
+        }));
+    }
+    let mut epochs: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    epochs.dedup();
+    assert_eq!(epochs.len(), 20, "one distinct epoch per flush");
+}
+
+/// Coalescing correctness at the engine level: a stream with heavy redundancy produces the
+/// same final state as its net effect, while applying far fewer operations.
+#[test]
+fn coalesced_and_naive_application_converge() {
+    let n = 26usize;
+    let builder = GraphWorkloadBuilder::new(n).weight_scale(9.0);
+    let stream = builder.churn_stream(40, 500, 3);
+
+    // Naive: one engine flushed after every event (no coalescing effect).
+    let mut naive = ClusteringEngine::new(n);
+    for &u in &stream {
+        naive.submit(u).unwrap();
+        naive.flush().unwrap();
+    }
+    // Coalesced: one engine flushed once at the end.
+    let mut coalesced = ClusteringEngine::new(n);
+    for &u in &stream {
+        coalesced.submit(u).unwrap();
+    }
+    coalesced.flush().unwrap();
+
+    assert!(
+        coalesced.metrics().ops_applied < naive.metrics().ops_applied,
+        "coalescing must reduce applied operations ({} vs {})",
+        coalesced.metrics().ops_applied,
+        naive.metrics().ops_applied,
+    );
+    for tau in [1.0, 3.0, 5.0, 8.0, f64::INFINITY] {
+        assert_eq!(
+            snapshot_partition(&naive.snapshot(), tau),
+            snapshot_partition(&coalesced.snapshot(), tau),
+            "final clusterings diverged at tau={tau}"
+        );
+    }
+    let canon = |e: &ClusteringEngine| {
+        let mut edges = e.graph().graph_edges();
+        edges.sort_by_key(|a| (a.0.min(a.1), a.0.max(a.1)));
+        edges
+    };
+    assert_eq!(canon(&naive), canon(&coalesced));
+}

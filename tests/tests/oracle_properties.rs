@@ -18,8 +18,7 @@ struct Script {
 fn script_strategy(max_n: usize, max_ops: usize) -> impl Strategy<Value = Script> {
     (2..max_n).prop_flat_map(move |n| {
         let op = (0..n, 0..n, 0.0..100.0f64, any::<bool>());
-        proptest::collection::vec(op, 1..max_ops)
-            .prop_map(move |ops| Script { n, ops })
+        proptest::collection::vec(op, 1..max_ops).prop_map(move |ops| Script { n, ops })
     })
 }
 
@@ -63,12 +62,13 @@ where
     applied
 }
 
+/// A dendrogram node keyed by its edge's endpoints, paired with its parent's endpoints.
+type SemanticParent = ((VertexId, VertexId), Option<(VertexId, VertexId)>);
+
 /// Parent assignment keyed by edge *endpoints* rather than edge ids, so that two structures
 /// that assigned ids in a different order (e.g. batch vs. single updates) can be compared.
 /// Valid whenever edge weights are distinct (the generated weights are random `f64`s).
-fn semantic_parents(
-    sld: &DynSld,
-) -> Vec<((VertexId, VertexId), Option<(VertexId, VertexId)>)> {
+fn semantic_parents(sld: &DynSld) -> Vec<SemanticParent> {
     let norm = |a: VertexId, b: VertexId| if a <= b { (a, b) } else { (b, a) };
     let mut out: Vec<_> = sld
         .dendrogram()
@@ -88,12 +88,18 @@ fn semantic_parents(
 
 fn all_strategies() -> Vec<(&'static str, DynSldOptions)> {
     vec![
-        ("sequential", DynSldOptions::with_strategy(UpdateStrategy::Sequential)),
+        (
+            "sequential",
+            DynSldOptions::with_strategy(UpdateStrategy::Sequential),
+        ),
         (
             "output-sensitive",
             DynSldOptions::with_strategy(UpdateStrategy::OutputSensitive),
         ),
-        ("parallel", DynSldOptions::with_strategy(UpdateStrategy::Parallel)),
+        (
+            "parallel",
+            DynSldOptions::with_strategy(UpdateStrategy::Parallel),
+        ),
         (
             "parallel-output-sensitive",
             DynSldOptions::with_strategy(UpdateStrategy::ParallelOutputSensitive),
