@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dynsld_bench::config;
-use dynsld_engine::ClusteringEngine;
+use dynsld_engine::{ClusterService, ClusteringEngine, ServiceBuilder};
 use dynsld_forest::workload::{GraphUpdate, GraphWorkloadBuilder};
 use dynsld_msf::DynamicGraphClustering;
 
@@ -96,9 +96,46 @@ fn bench_redundant_stream(c: &mut Criterion) {
     group.finish();
 }
 
+/// Service path: the same stream routed across `shards` partitioned engines (plus the spill
+/// shard when sharded), ticked every `flush_every` events.
+fn apply_service(stream: &[GraphUpdate], shards: usize, flush_every: usize) -> ClusterService {
+    let mut service = ServiceBuilder::new().shards(shards).build(N);
+    for chunk in stream.chunks(flush_every) {
+        for &u in chunk {
+            service.submit(u).expect("valid stream");
+        }
+        service.flush().expect("validated at submit time");
+    }
+    service
+}
+
+/// Sharding overhead/speedup: 1 vs 4 shards over the identical workload. With the sequential
+/// `rayon` shim the per-shard flushes still run one after another, so today this measures the
+/// router + merge overhead; once real parallelism lands, the 4-shard variant is where the
+/// speedup becomes visible (smaller per-shard structures already help: update costs are
+/// `O(log n)` in the shard's tree sizes).
+fn bench_sharded_service(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("engine_throughput/sharded_service");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("shards_{shards}"), stream.len()),
+            &stream,
+            |b, s| {
+                b.iter(|| {
+                    let service = apply_service(s, shards, 512);
+                    service.published().num_graph_edges()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_engine_vs_naive, bench_redundant_stream
+    targets = bench_engine_vs_naive, bench_redundant_stream, bench_sharded_service
 }
 criterion_main!(benches);

@@ -2,14 +2,14 @@
 //!
 //! The Cartesian tree of an array `A` is the binary tree with the maximum element at the root
 //! (the paper assumes max-heap order; negate values for the min-heap convention) whose in-order
-//! traversal is `A`. Dhulipala et al. [19] observed that the Cartesian tree of an array equals
+//! traversal is `A`. Dhulipala et al. \[19\] observed that the Cartesian tree of an array equals
 //! the single-linkage dendrogram of a path graph whose edge weights are the array entries; this
 //! module exploits exactly that equivalence to support **dynamic** Cartesian trees on top of
 //! [`DynSld`]:
 //!
 //! * leaf updates (append / pop at either end) in worst-case `O(log n)` time via the
 //!   output-sensitive insertion algorithm (`c = O(1)`), improving on the amortized bounds of
-//!   Demaine et al. [16];
+//!   Demaine et al. \[16\];
 //! * arbitrary-position insertions and deletions, each realized as at most three forest updates
 //!   (the paper's vertex split / edge contraction).
 

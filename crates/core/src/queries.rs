@@ -190,7 +190,7 @@ impl DynSld {
 }
 
 /// Query implementations that use **only** the input forest (what a dynamic-MSF-only solution,
-/// such as Tseng et al. [48], can answer) — the comparison column of Table 2.
+/// such as Tseng et al. \[48\], can answer) — the comparison column of Table 2.
 pub mod msf_baseline {
     use dynsld_forest::{Forest, VertexId, Weight};
     use std::collections::VecDeque;

@@ -10,7 +10,7 @@
 //!   rank-sorted edge list in half, solve the lower half on the original vertices and the upper
 //!   half on the lower half's contracted components *in parallel*, then stitch the lower-half
 //!   component roots below the minimum-rank upper-half edge incident to their component.
-//!   `O(n log n)` work. (The paper's optimal static algorithm [19] achieves `O(n log h)`; this
+//!   `O(n log n)` work. (The paper's optimal static algorithm \[19\] achieves `O(n log h)`; this
 //!   simpler algorithm serves as the parallel static-recomputation baseline — see DESIGN.md.)
 
 use crate::dendrogram::Dendrogram;

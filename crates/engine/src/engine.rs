@@ -132,7 +132,8 @@ impl ClusteringEngine {
         self.graph.num_vertices()
     }
 
-    /// The current epoch (number of completed flushes).
+    /// The current epoch (number of published states: completed non-empty flushes plus
+    /// vertex-set growths).
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
@@ -248,6 +249,28 @@ impl ClusteringEngine {
             fallback,
             duration,
         })
+    }
+
+    /// Grows the vertex set by `k` isolated vertices and returns the first new id.
+    ///
+    /// The growth is visible immediately: the engine publishes a fresh snapshot at a bumped
+    /// epoch (vertex-set growth is a structural change like any flush, so epochs stay
+    /// strictly increasing across published states and held snapshots stay frozen). Edges
+    /// touching the new vertices can be submitted right away. `k == 0` is a no-op that
+    /// returns the would-be next id without publishing.
+    pub fn add_vertices(&mut self, k: usize) -> VertexId {
+        let first = self.graph.add_vertices(k);
+        if k == 0 {
+            return first;
+        }
+        self.epoch += 1;
+        self.published = EngineSnapshot::publish(
+            self.epoch,
+            self.graph.sld().export_snapshot(),
+            self.graph.num_graph_edges(),
+            Arc::clone(&self.cache_stats),
+        );
+        first
     }
 
     /// The most recently published snapshot. Cloning the returned value (or calling this again)
@@ -421,6 +444,42 @@ mod tests {
         assert_eq!(m.events_collapsed, 1);
         assert!(engine.snapshot().same_cluster(v(0), v(1), 4.0));
         assert!(!engine.snapshot().same_cluster(v(0), v(1), 3.0));
+    }
+
+    #[test]
+    fn add_vertices_publishes_grown_state_and_accepts_new_edges() {
+        let mut engine = ClusteringEngine::new(3);
+        engine.submit(ins(0, 1, 1.0)).unwrap();
+        engine.flush().unwrap();
+        let old = engine.snapshot();
+
+        // Out-of-range before the growth...
+        assert!(matches!(
+            engine.submit(ins(2, 4, 1.0)),
+            Err(EngineError::Rejected {
+                reason: RejectReason::VertexOutOfRange,
+                ..
+            })
+        ));
+        let first = engine.add_vertices(2);
+        assert_eq!(first, v(3));
+        assert_eq!(engine.num_vertices(), 5);
+        // ...the growth publishes immediately at a bumped epoch...
+        let grown = engine.snapshot();
+        assert_eq!(grown.epoch(), 2);
+        assert_eq!(grown.num_vertices(), 5);
+        assert_eq!(grown.num_components(), 4);
+        // ...held snapshots stay frozen...
+        assert_eq!(old.num_vertices(), 3);
+        assert_eq!(old.epoch(), 1);
+        // ...and the new ids accept edges right away.
+        engine.submit(ins(2, 4, 1.0)).unwrap();
+        engine.submit(ins(3, 4, 2.0)).unwrap();
+        engine.flush().unwrap();
+        assert!(engine.snapshot().same_cluster(v(2), v(3), 2.0));
+        // k == 0 is a no-op that names the next id.
+        assert_eq!(engine.add_vertices(0), v(5));
+        assert_eq!(engine.snapshot().epoch(), 3);
     }
 
     #[test]

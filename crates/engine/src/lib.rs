@@ -1,10 +1,16 @@
-//! # dynsld-engine — a concurrent, snapshot-consistent streaming clustering engine
+//! # dynsld-engine — a shard-routed, snapshot-consistent streaming clustering service
 //!
 //! The crates below this one are *libraries*: [`dynsld`] maintains the explicit single-linkage
 //! dendrogram of a dynamic forest, and [`dynsld_msf`] lifts it to arbitrary dynamic graphs
 //! through a dynamic minimum-spanning-forest front end. This crate turns them into a
 //! *service* — the ingestion and serving layer a clustering deployment actually runs:
 //!
+//! * **Shard-routed facade** ([`service`]): a [`ServiceBuilder`] configures shard count, a
+//!   [`Partitioner`] (default: [`HashPartitioner`]) and a [`FlushPolicy`], and builds a
+//!   [`ClusterService`] of independent per-shard engines plus a spill shard for cross-shard
+//!   edges. Reads go through a [`ServiceSnapshot`] that lazily merges the per-shard views —
+//!   exactly the answers a single engine would give, behind a surface that later scaling
+//!   steps (parallel flush pools, async ingest, wire protocols) plug into unchanged.
 //! * **Update coalescing** ([`coalesce`]): edge events ([`GraphUpdate`]) are buffered and
 //!   deduplicated per edge — an insert followed by a delete annihilates, repeated re-weights
 //!   collapse to one, delete + insert becomes a re-weight — then split into homogeneous
@@ -15,48 +21,70 @@
 //!   cheaply-cloneable [`EngineSnapshot`] tagged with an epoch. Readers — on any thread —
 //!   query flat clusterings, cluster sizes and component counts against *their* snapshot and
 //!   never observe a half-applied batch; repeated queries at one epoch and threshold hit a
-//!   per-snapshot cache.
+//!   per-snapshot cache, and merged service views are memoised the same way.
 //! * **Instrumentation** ([`metrics`]): coalescing effectiveness, fast-path/fallback ratios,
 //!   flush latency, pointer-change totals (aggregating [`dynsld::UpdateStats`]) and snapshot
-//!   cache hit rates, exported as one [`Metrics`] value.
+//!   cache hit rates, exported as one [`Metrics`] value per shard and merged across shards
+//!   with [`Metrics::merge`].
 //!
 //! ## Quick start
 //!
 //! ```
-//! use dynsld_engine::ClusteringEngine;
+//! use dynsld_engine::{FlushPolicy, ServiceBuilder};
 //! use dynsld_forest::{GraphUpdate, VertexId};
 //!
-//! let mut engine = ClusteringEngine::new(5);
+//! // Four endpoint-partitioned shards + a spill shard for cross-shard edges; every shard
+//! // flushes itself once 64 coalesced ops are pending.
+//! let mut service = ServiceBuilder::new()
+//!     .shards(4)
+//!     .flush_policy(FlushPolicy::EveryNOps(64))
+//!     .build(5);
+//!
 //! let v = |i: u32| VertexId(i);
-//! engine.submit(GraphUpdate::Insert { u: v(0), v: v(1), weight: 1.0 }).unwrap();
-//! engine.submit(GraphUpdate::Insert { u: v(1), v: v(2), weight: 3.0 }).unwrap();
-//! engine.submit(GraphUpdate::Insert { u: v(0), v: v(2), weight: 2.0 }).unwrap();
+//! service.submit(GraphUpdate::Insert { u: v(0), v: v(1), weight: 1.0 }).unwrap();
+//! service.submit(GraphUpdate::Insert { u: v(1), v: v(2), weight: 3.0 }).unwrap();
+//! service.submit(GraphUpdate::Insert { u: v(0), v: v(2), weight: 2.0 }).unwrap();
 //!
-//! // Nothing is visible until the batch is flushed...
-//! assert_eq!(engine.snapshot().epoch(), 0);
-//! assert_eq!(engine.snapshot().num_components(), 5);
+//! // Nothing is visible until the shards flush (explicitly here; or per policy)...
+//! assert_eq!(service.published().num_components(), 5);
 //!
-//! let report = engine.flush().unwrap();
-//! assert_eq!(report.epoch, 1);
+//! let report = service.flush().unwrap();
+//! assert_eq!(report.ops_applied(), 3);
 //!
-//! // ...then the new epoch serves consistent reads; the weight-3 edge closed a cycle and
-//! // stayed out of the MSF.
-//! let snap = engine.snapshot();
+//! // ...then the merged view serves consistent reads across all shards: 0 and 2 join at
+//! // weight 2, and the weight-3 edge never lowers a merge height — no matter which shards
+//! // the router sent the three edges to.
+//! let snap = service.snapshot().unwrap();
 //! assert_eq!(snap.num_components(), 3);
 //! assert!(snap.same_cluster(v(0), v(2), 2.0));
 //! assert_eq!(snap.cluster_size(v(0), 1.5), 2);
+//!
+//! // The vertex set can grow while the service runs.
+//! let first_new = service.add_vertices(3);
+//! assert_eq!(first_new, v(5));
+//! assert_eq!(service.snapshot().unwrap().num_vertices(), 8);
 //! ```
+//!
+//! Migrating from the PR-1 single-engine surface: [`ClusterService::single_shard`] is the
+//! drop-in successor of `ClusteringEngine::new` (the engine itself stays public as the
+//! per-shard building block).
 
 #![warn(missing_docs)]
 
 pub mod coalesce;
 pub mod engine;
 pub mod metrics;
+pub mod partition;
+pub mod service;
 pub mod snapshot;
 
 pub use coalesce::{CoalescedBatch, Coalescer, RejectReason};
 pub use engine::{ClusteringEngine, EngineError, FlushReport};
 pub use metrics::Metrics;
+pub use partition::{BlockPartitioner, HashPartitioner, Partitioner, ShardId};
+pub use service::{
+    ClusterService, FlushPolicy, ServiceBuilder, ServiceError, ServiceFlushReport, ServiceSnapshot,
+};
 pub use snapshot::EngineSnapshot;
 
 // The event vocabulary is defined next to the workload generators so that generated streams

@@ -47,6 +47,34 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Merges per-shard metrics into one cross-shard aggregate: every counter is summed,
+    /// except `max_flush_time`, which keeps the maximum (the slowest single flush anywhere is
+    /// still the slowest single flush of the aggregate — summing it would fabricate a latency
+    /// no flush ever had).
+    ///
+    /// The merge is associative with [`Metrics::default`] as the identity, so shard counters
+    /// can be aggregated incrementally or hierarchically in any grouping.
+    pub fn merge(parts: &[Metrics]) -> Metrics {
+        let mut out = Metrics::default();
+        for m in parts {
+            out.events_submitted += m.events_submitted;
+            out.events_annihilated += m.events_annihilated;
+            out.events_collapsed += m.events_collapsed;
+            out.pending_ops += m.pending_ops;
+            out.flushes += m.flushes;
+            out.ops_applied += m.ops_applied;
+            out.fast_path_ops += m.fast_path_ops;
+            out.fallback_ops += m.fallback_ops;
+            out.edges_promoted += m.edges_promoted;
+            out.total_pointer_changes += m.total_pointer_changes;
+            out.total_flush_time += m.total_flush_time;
+            out.max_flush_time = out.max_flush_time.max(m.max_flush_time);
+            out.snapshot_cache_hits += m.snapshot_cache_hits;
+            out.snapshot_cache_misses += m.snapshot_cache_misses;
+        }
+        out
+    }
+
     /// Events removed by coalescing before ever touching the structures.
     pub fn events_saved(&self) -> u64 {
         self.events_annihilated + self.events_collapsed
@@ -113,6 +141,63 @@ mod tests {
         assert_eq!(m.ops_per_second(), 0.0);
         assert_eq!(m.snapshot_cache_hit_rate(), 0.0);
         assert_eq!(m.mean_flush_time(), Duration::ZERO);
+    }
+
+    /// A fully populated, shard-distinct sample so that every field participates in the
+    /// merge checks below.
+    fn sample(k: u64) -> Metrics {
+        Metrics {
+            events_submitted: 10 + k,
+            events_annihilated: 2 * k,
+            events_collapsed: 3 + k,
+            pending_ops: 1 + k as usize,
+            flushes: 4 + k,
+            ops_applied: 100 * (k + 1),
+            fast_path_ops: 75 + k,
+            fallback_ops: 25 + k,
+            edges_promoted: 7 * k,
+            total_pointer_changes: 1000 + k,
+            total_flush_time: Duration::from_millis(100 * (k + 1)),
+            max_flush_time: Duration::from_millis(40 + 13 * k),
+            snapshot_cache_hits: 9 + k,
+            snapshot_cache_misses: 1 + k,
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_flush_latency_maxima() {
+        let merged = Metrics::merge(&[sample(0), sample(1), sample(2)]);
+        assert_eq!(merged.events_submitted, 10 + 11 + 12);
+        assert_eq!(merged.events_annihilated, 2 + 4);
+        assert_eq!(merged.events_collapsed, 3 + 4 + 5);
+        assert_eq!(merged.pending_ops, 1 + 2 + 3);
+        assert_eq!(merged.flushes, 4 + 5 + 6);
+        assert_eq!(merged.ops_applied, 100 + 200 + 300);
+        assert_eq!(merged.fast_path_ops, 75 + 76 + 77);
+        assert_eq!(merged.fallback_ops, 25 + 26 + 27);
+        assert_eq!(merged.edges_promoted, 7 + 14);
+        assert_eq!(merged.total_pointer_changes, 1000 + 1001 + 1002);
+        // Total time sums, the slowest single flush is kept — NOT summed.
+        assert_eq!(merged.total_flush_time, Duration::from_millis(600));
+        assert_eq!(merged.max_flush_time, Duration::from_millis(66));
+        assert_eq!(merged.snapshot_cache_hits, 9 + 10 + 11);
+        assert_eq!(merged.snapshot_cache_misses, 1 + 2 + 3);
+    }
+
+    #[test]
+    fn merge_is_associative_with_default_identity() {
+        let (a, b, c) = (sample(3), sample(5), sample(8));
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+        let left = Metrics::merge(&[Metrics::merge(&[a.clone(), b.clone()]), c.clone()]);
+        let right = Metrics::merge(&[a.clone(), Metrics::merge(&[b.clone(), c.clone()])]);
+        assert_eq!(left, right);
+        // Grouping one-by-one (a fold) agrees with the flat merge.
+        let flat = Metrics::merge(&[a.clone(), b.clone(), c.clone()]);
+        assert_eq!(left, flat);
+        // Default is the identity on both sides.
+        assert_eq!(Metrics::merge(&[Metrics::default(), a.clone()]), a);
+        assert_eq!(Metrics::merge(&[a.clone(), Metrics::default()]), a);
+        assert_eq!(Metrics::merge(&[]), Metrics::default());
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Vertex partitioning: how the service router assigns vertices (and hence edges) to shards.
+//!
+//! A [`Partitioner`] is a *pure* function from vertex id to shard index. The
+//! [`ClusterService`](crate::ClusterService) router derives an edge's home from its two
+//! endpoint assignments: if both endpoints map to the same shard the edge lives there, and
+//! otherwise it is routed to the dedicated *spill shard* that holds every cross-shard edge
+//! (see [`ShardId`]). Because the function is pure, an edge always routes to the same shard
+//! for its whole lifetime — which is what makes per-shard submit-time validation sound.
+//!
+//! The default [`HashPartitioner`] scrambles vertex ids with a Fibonacci multiplicative hash
+//! so that range-correlated workloads (windowed streams, blocked generators) still spread
+//! evenly across shards. Deployments with a known community structure can implement
+//! [`Partitioner`] themselves to keep dense neighbourhoods together and the spill shard small.
+
+use dynsld_forest::VertexId;
+
+/// Identifies one partition of a [`ClusterService`](crate::ClusterService).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShardId {
+    /// One of the endpoint-partitioned shards, indexed `0..num_shards`.
+    Routed(usize),
+    /// The dedicated shard holding every cross-shard edge. Only exists when the service has
+    /// more than one routed shard.
+    Spill,
+}
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardId::Routed(i) => write!(f, "shard {i}"),
+            ShardId::Spill => write!(f, "spill shard"),
+        }
+    }
+}
+
+/// A pure assignment of vertices to shards.
+///
+/// Implementations must be deterministic: the router consults the partitioner on every event,
+/// and an edge is only applied consistently if both consultations of its endpoints always
+/// return the same shards. `shard_of` must return a value in `0..num_shards`.
+pub trait Partitioner: std::fmt::Debug + Send + Sync {
+    /// The shard (in `0..num_shards`) that owns vertex `v`.
+    fn shard_of(&self, v: VertexId, num_shards: usize) -> usize;
+
+    /// The home of edge `{u, v}`: the common shard of its endpoints, or [`ShardId::Spill`]
+    /// when they disagree.
+    fn route_edge(&self, u: VertexId, v: VertexId, num_shards: usize) -> ShardId {
+        let su = self.shard_of(u, num_shards);
+        let sv = self.shard_of(v, num_shards);
+        if su == sv {
+            ShardId::Routed(su)
+        } else {
+            ShardId::Spill
+        }
+    }
+}
+
+/// The default partitioner: a Fibonacci multiplicative hash of the vertex id, reduced modulo
+/// the shard count.
+///
+/// The multiplication by `2^64 / φ` diffuses low-order id locality, so consecutively numbered
+/// vertices (the common case for generated workloads) land on different shards instead of
+/// filling one shard at a time.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn shard_of(&self, v: VertexId, num_shards: usize) -> usize {
+        debug_assert!(num_shards > 0, "a service always has at least one shard");
+        // Fibonacci hashing: 2^64 / golden ratio, odd, full-period under multiplication.
+        // The range reduction stays in u64 so 32-bit targets neither overflow the multiply
+        // nor shift a usize by its full width.
+        let h = u64::from(v.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (((h >> 32) * num_shards as u64) >> 32) as usize
+    }
+}
+
+/// A partitioner that assigns contiguous vertex-id blocks to shards (`v / block_size`), for
+/// workloads whose communities are laid out in id ranges (e.g. the blocked generators of
+/// `dynsld-forest`). Ids past the covered range wrap around modulo the shard count.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BlockPartitioner {
+    /// Number of consecutive vertex ids per block.
+    pub block_size: usize,
+}
+
+impl Partitioner for BlockPartitioner {
+    fn shard_of(&self, v: VertexId, num_shards: usize) -> usize {
+        debug_assert!(self.block_size > 0, "block size must be positive");
+        (v.index() / self.block_size.max(1)) % num_shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_is_deterministic_and_in_range() {
+        let p = HashPartitioner;
+        for shards in [1usize, 2, 3, 8] {
+            for i in 0..500u32 {
+                let s = p.shard_of(VertexId(i), shards);
+                assert!(s < shards);
+                assert_eq!(s, p.shard_of(VertexId(i), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_consecutive_ids() {
+        let p = HashPartitioner;
+        let shards = 4usize;
+        let mut counts = vec![0usize; shards];
+        for i in 0..1000u32 {
+            counts[p.shard_of(VertexId(i), shards)] += 1;
+        }
+        // Each shard should get a substantial share of a consecutive id range.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 150, "shard {i} underfilled: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn route_edge_spills_exactly_on_disagreement() {
+        let p = BlockPartitioner { block_size: 10 };
+        assert_eq!(
+            p.route_edge(VertexId(0), VertexId(9), 3),
+            ShardId::Routed(0)
+        );
+        assert_eq!(
+            p.route_edge(VertexId(10), VertexId(19), 3),
+            ShardId::Routed(1)
+        );
+        assert_eq!(p.route_edge(VertexId(0), VertexId(10), 3), ShardId::Spill);
+        // Wrap-around past the covered range.
+        assert_eq!(
+            p.route_edge(VertexId(30), VertexId(31), 3),
+            ShardId::Routed(0)
+        );
+    }
+
+    #[test]
+    fn single_shard_routes_everything_locally() {
+        let p = HashPartitioner;
+        for i in 0..50u32 {
+            assert_eq!(
+                p.route_edge(VertexId(i), VertexId(i + 1), 1),
+                ShardId::Routed(0)
+            );
+        }
+    }
+}

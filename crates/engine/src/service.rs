@@ -1,0 +1,820 @@
+//! The [`ClusterService`]: a shard-routed facade over partitioned [`ClusteringEngine`]s.
+//!
+//! One [`ClusteringEngine`] is a single-writer pipeline — one core of ingest, however fast the
+//! Theorem-1.5 batch paths are. The service scales the *surface* first: a [`ServiceBuilder`]
+//! constructs `num_shards` independent engines plus (when sharded) one *spill* engine, and a
+//! router splits the event stream by endpoint partition:
+//!
+//! * an edge whose endpoints share a shard (per the [`Partitioner`]) lives in that shard;
+//! * a cross-shard edge lives in the spill shard.
+//!
+//! Because the partitioner is pure, an edge routes to the same shard for its whole lifetime,
+//! so per-shard submit-time validation stays sound and the shard edge sets *partition* the
+//! graph's edge set. That partition is what makes reads exact: connectivity at any threshold
+//! in the full graph is the transitive closure of per-shard connectivity, so a
+//! [`ServiceSnapshot`] can lazily merge per-shard [`EngineSnapshot`]s with one union-find pass
+//! and answer every clustering query the single engine answered — same numbers, shard count
+//! notwithstanding. Flushes are driven per shard by a [`FlushPolicy`]; each shard keeps its
+//! own epoch counter, exposed as the snapshot's epoch vector.
+//!
+//! The sharding is *logical* in this PR — flushes still run sequentially on the caller's
+//! thread — but every later scaling step (work-stealing flush pools, async ingest, a wire
+//! protocol) plugs in behind this facade without touching its callers.
+
+use crate::coalesce::RejectReason;
+use crate::engine::{ClusteringEngine, EngineError, FlushReport};
+use crate::metrics::Metrics;
+use crate::partition::{HashPartitioner, Partitioner, ShardId};
+use crate::snapshot::EngineSnapshot;
+use dynsld::{DynSldError, DynSldOptions, FlatClustering};
+use dynsld_forest::workload::GraphUpdate;
+use dynsld_forest::{Dsu, VertexId, Weight};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Errors surfaced by the service — the union of everything the routed engines can report,
+/// tagged with the shard that reported it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// An event was inconsistent with its home shard's applied state plus pending buffer; it
+    /// was not ingested and the service is unchanged.
+    Rejected {
+        /// The shard the event was routed to.
+        shard: ShardId,
+        /// The offending event.
+        event: GraphUpdate,
+        /// Why the shard rejected it.
+        reason: RejectReason,
+    },
+    /// A shard's underlying structures rejected a batch. Unreachable for streams ingested
+    /// through [`ClusterService::submit`] (validation happens at submit time); surfaced for
+    /// defence in depth.
+    Apply {
+        /// The shard whose flush failed.
+        shard: ShardId,
+        /// The underlying error.
+        error: DynSldError,
+    },
+}
+
+impl ServiceError {
+    fn from_engine(shard: ShardId, error: EngineError) -> Self {
+        match error {
+            EngineError::Rejected { event, reason } => ServiceError::Rejected {
+                shard,
+                event,
+                reason,
+            },
+            EngineError::Apply(error) => ServiceError::Apply { shard, error },
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Rejected {
+                shard,
+                event,
+                reason,
+            } => write!(f, "event {event:?} rejected by {shard}: {reason:?}"),
+            ServiceError::Apply { shard, error } => {
+                write!(f, "batch application failed on {shard}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// When the service flushes a shard's pending buffer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Only on explicit [`ClusterService::flush`] / [`ClusterService::flush_shard`] calls.
+    Manual,
+    /// A shard is flushed as soon as its pending buffer reaches `n` coalesced operations
+    /// (checked after every submit). `n` is clamped to at least 1.
+    EveryNOps(usize),
+    /// Pending buffers are flushed by [`ClusterService::snapshot`] before it builds the view,
+    /// so reads always observe every submitted event.
+    OnRead,
+}
+
+/// Configuration for a [`ClusterService`]; built with the builder pattern.
+///
+/// ```
+/// use dynsld_engine::{FlushPolicy, ServiceBuilder};
+///
+/// let service = ServiceBuilder::new()
+///     .shards(4)
+///     .flush_policy(FlushPolicy::EveryNOps(256))
+///     .build(10_000);
+/// assert_eq!(service.num_shards(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServiceBuilder {
+    num_shards: usize,
+    partitioner: Arc<dyn Partitioner>,
+    policy: FlushPolicy,
+    options: DynSldOptions,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder {
+            num_shards: 1,
+            partitioner: Arc::new(HashPartitioner),
+            policy: FlushPolicy::Manual,
+            options: DynSldOptions::default(),
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// A builder with the defaults: one shard, [`HashPartitioner`], [`FlushPolicy::Manual`],
+    /// default [`DynSldOptions`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of endpoint-partitioned shards (≥ 1). With more than one shard, a dedicated
+    /// spill shard for cross-shard edges is added on top.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a service needs at least one shard");
+        self.num_shards = n;
+        self
+    }
+
+    /// The vertex-to-shard assignment. Must be a pure function of the vertex id (see
+    /// [`Partitioner`]).
+    pub fn partitioner(mut self, p: impl Partitioner + 'static) -> Self {
+        self.partitioner = Arc::new(p);
+        self
+    }
+
+    /// When shards flush their pending buffers.
+    pub fn flush_policy(mut self, policy: FlushPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Dendrogram-maintenance options passed to every shard engine.
+    pub fn options(mut self, options: DynSldOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Builds the service over vertices `0..n`. Every shard engine covers the full vertex
+    /// range (the partitioner splits *edges*, not vertex storage), so any shard can validate
+    /// and apply any edge it is routed.
+    pub fn build(self, n: usize) -> ClusterService {
+        let num_engines = if self.num_shards == 1 {
+            1
+        } else {
+            self.num_shards + 1 // + the spill shard
+        };
+        let engines: Vec<ClusteringEngine> = (0..num_engines)
+            .map(|_| ClusteringEngine::with_options(n, self.options))
+            .collect();
+        let published =
+            ServiceSnapshot::merge(engines.iter().map(ClusteringEngine::snapshot).collect());
+        ClusterService {
+            engines,
+            num_shards: self.num_shards,
+            partitioner: self.partitioner,
+            policy: self.policy,
+            published,
+        }
+    }
+}
+
+/// What one [`ClusterService::flush`] did: one [`FlushReport`] per shard, in shard order
+/// (routed shards first, spill shard last).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceFlushReport {
+    /// Per-shard reports. Shards with an empty pending buffer contribute a no-op report
+    /// (zero ops, epoch unchanged).
+    pub reports: Vec<(ShardId, FlushReport)>,
+}
+
+impl ServiceFlushReport {
+    /// Logical operations applied across all shards (after coalescing).
+    pub fn ops_applied(&self) -> usize {
+        self.reports.iter().map(|(_, r)| r.ops_applied).sum()
+    }
+
+    /// Operations that rode the Theorem-1.5 batch fast paths, summed over shards.
+    pub fn fast_path(&self) -> usize {
+        self.reports.iter().map(|(_, r)| r.fast_path).sum()
+    }
+
+    /// Operations applied through the per-edge fallback, summed over shards.
+    pub fn fallback(&self) -> usize {
+        self.reports.iter().map(|(_, r)| r.fallback).sum()
+    }
+
+    /// The epoch vector after the flush, in shard order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.reports.iter().map(|(_, r)| r.epoch).collect()
+    }
+
+    /// Number of shards that actually applied operations.
+    pub fn shards_flushed(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|(_, r)| r.ops_applied > 0)
+            .count()
+    }
+}
+
+/// A shard-routed clustering service: the unified facade over N partitioned
+/// [`ClusteringEngine`]s plus a spill engine for cross-shard edges.
+///
+/// See the [module docs](self) for the routing and merge design, and the
+/// [crate docs](crate) for a quick-start example.
+#[derive(Debug)]
+pub struct ClusterService {
+    /// Routed shards `0..num_shards`, then (iff `num_shards > 1`) the spill shard.
+    engines: Vec<ClusteringEngine>,
+    num_shards: usize,
+    partitioner: Arc<dyn Partitioner>,
+    policy: FlushPolicy,
+    /// The merged view over the shards' last published states. Kept so that repeated reads at
+    /// one epoch vector share a single merged-clustering cache; refreshed only when a shard
+    /// publishes a new state (flush with work, vertex growth).
+    published: ServiceSnapshot,
+}
+
+impl ClusterService {
+    /// A builder with the default configuration.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+
+    /// The single-shard service over `n` vertices — the drop-in successor of the PR-1
+    /// `ClusteringEngine::new(n)` surface. One engine, no spill shard, manual flushes.
+    pub fn single_shard(n: usize) -> Self {
+        ServiceBuilder::new().build(n)
+    }
+
+    /// Number of endpoint-partitioned (routed) shards, excluding the spill shard.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// True if the service maintains a spill shard (i.e. it has more than one routed shard).
+    pub fn has_spill_shard(&self) -> bool {
+        self.num_shards > 1
+    }
+
+    /// Number of vertices (identical across shards).
+    pub fn num_vertices(&self) -> usize {
+        self.engines[0].num_vertices()
+    }
+
+    /// The flush policy the service was built with.
+    pub fn flush_policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// All shard ids, routed shards first, then the spill shard when present.
+    pub fn shard_ids(&self) -> Vec<ShardId> {
+        let mut ids: Vec<ShardId> = (0..self.num_shards).map(ShardId::Routed).collect();
+        if self.has_spill_shard() {
+            ids.push(ShardId::Spill);
+        }
+        ids
+    }
+
+    /// Read access to one shard's engine (for introspection and tests).
+    ///
+    /// # Panics
+    /// Panics if `id` is [`ShardId::Spill`] on a single-shard service, or a routed index out
+    /// of range.
+    pub fn shard(&self, id: ShardId) -> &ClusteringEngine {
+        &self.engines[self.index_of(id)]
+    }
+
+    /// Coalesced operations currently buffered across all shards.
+    pub fn pending_ops(&self) -> usize {
+        self.engines.iter().map(ClusteringEngine::pending_ops).sum()
+    }
+
+    /// The per-shard epoch vector (routed shards first, spill shard last).
+    pub fn epochs(&self) -> Vec<u64> {
+        self.engines.iter().map(ClusteringEngine::epoch).collect()
+    }
+
+    fn index_of(&self, id: ShardId) -> usize {
+        match id {
+            ShardId::Routed(i) => {
+                assert!(i < self.num_shards, "routed shard {i} out of range");
+                i
+            }
+            ShardId::Spill => {
+                assert!(self.has_spill_shard(), "single-shard service has no spill");
+                self.num_shards
+            }
+        }
+    }
+
+    fn id_of(&self, index: usize) -> ShardId {
+        if index < self.num_shards {
+            ShardId::Routed(index)
+        } else {
+            ShardId::Spill
+        }
+    }
+
+    /// The home shard of edge `{u, v}` under this service's partitioner.
+    pub fn route(&self, u: VertexId, v: VertexId) -> ShardId {
+        if self.num_shards == 1 {
+            ShardId::Routed(0)
+        } else {
+            self.partitioner.route_edge(u, v, self.num_shards)
+        }
+    }
+
+    /// Routes one event to its home shard and buffers it there. Validation happens at submit
+    /// time against that shard's applied state plus pending buffer, so flushes never fail on
+    /// streams ingested through this method. Returns the shard the event landed on.
+    ///
+    /// Under [`FlushPolicy::EveryNOps`], the home shard is flushed when its buffer reaches
+    /// the threshold.
+    pub fn submit(&mut self, event: GraphUpdate) -> Result<ShardId, ServiceError> {
+        let (u, v) = event.endpoints();
+        let id = self.route(u, v);
+        let idx = self.index_of(id);
+        self.engines[idx]
+            .submit(event)
+            .map_err(|e| ServiceError::from_engine(id, e))?;
+        if let FlushPolicy::EveryNOps(n) = self.policy {
+            if self.engines[idx].pending_ops() >= n.max(1) {
+                self.flush_shard(id)?;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Submits every event of a stream, stopping at the first rejection. Returns the number
+    /// of events ingested; already-ingested events stay buffered (or flushed, per policy)
+    /// either way.
+    pub fn submit_all(
+        &mut self,
+        events: impl IntoIterator<Item = GraphUpdate>,
+    ) -> Result<usize, ServiceError> {
+        let mut count = 0;
+        for event in events {
+            self.submit(event)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Rebuilds the cached merged view iff some shard published a new state since the last
+    /// rebuild. Keeping the same [`ServiceSnapshot`] across no-op flushes and pure reads lets
+    /// repeated queries at one epoch vector share one merged-clustering cache.
+    fn refresh_published(&mut self) {
+        let current: Vec<u64> = self.engines.iter().map(ClusteringEngine::epoch).collect();
+        if self.published.epochs() != current {
+            self.published = ServiceSnapshot::merge(
+                self.engines
+                    .iter()
+                    .map(ClusteringEngine::snapshot)
+                    .collect(),
+            );
+        }
+    }
+
+    /// Flushes one shard's pending buffer, advancing its epoch (no-op when empty).
+    pub fn flush_shard(&mut self, id: ShardId) -> Result<FlushReport, ServiceError> {
+        let idx = self.index_of(id);
+        let result = self.engines[idx]
+            .flush()
+            .map_err(|e| ServiceError::from_engine(id, e));
+        // Refresh even on failure: the engine may have published before erroring, and served
+        // views must track whatever per-shard states actually exist.
+        self.refresh_published();
+        result
+    }
+
+    /// Flushes every shard's pending buffer (routed shards first, spill shard last) and
+    /// reports what each did. Shards with nothing pending contribute a no-op report.
+    pub fn flush(&mut self) -> Result<ServiceFlushReport, ServiceError> {
+        let mut reports = Vec::with_capacity(self.engines.len());
+        let mut failure = None;
+        for idx in 0..self.engines.len() {
+            let id = self.id_of(idx);
+            match self.engines[idx].flush() {
+                Ok(report) => reports.push((id, report)),
+                Err(e) => {
+                    failure = Some(ServiceError::from_engine(id, e));
+                    break;
+                }
+            }
+        }
+        // Refresh even on a mid-loop failure: shards flushed before the failing one have
+        // already published new states, and served views must reflect them.
+        self.refresh_published();
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(ServiceFlushReport { reports }),
+        }
+    }
+
+    /// The service's merged read view. Under [`FlushPolicy::OnRead`], pending buffers are
+    /// flushed first so the view observes every submitted event; under the other policies
+    /// this is a pure read of the last published per-shard states (see
+    /// [`published`](Self::published)).
+    pub fn snapshot(&mut self) -> Result<ServiceSnapshot, ServiceError> {
+        if self.policy == FlushPolicy::OnRead && self.pending_ops() > 0 {
+            self.flush()?;
+        }
+        Ok(self.published())
+    }
+
+    /// The last *published* merged view, without flushing anything — one `Arc` clone, `&self`,
+    /// and safe to call concurrently with a reader holding older snapshots. Repeated reads at
+    /// the same epoch vector share the same merged-clustering cache. Buffered events are not
+    /// visible until their shard flushes.
+    pub fn published(&self) -> ServiceSnapshot {
+        self.published.clone()
+    }
+
+    /// Grows the vertex set of every shard by `k` isolated vertices and returns the first new
+    /// id (identical across shards). New vertices are visible to snapshots immediately: each
+    /// shard publishes a fresh state at a bumped epoch.
+    pub fn add_vertices(&mut self, k: usize) -> VertexId {
+        let mut first = VertexId(self.num_vertices() as u32);
+        for engine in &mut self.engines {
+            first = engine.add_vertices(k);
+        }
+        self.refresh_published();
+        first
+    }
+
+    /// Cross-shard aggregated counters: the per-shard [`Metrics`] merged with
+    /// [`Metrics::merge`] (counters summed, flush-latency maxima kept).
+    pub fn metrics(&self) -> Metrics {
+        let parts: Vec<Metrics> = self.engines.iter().map(ClusteringEngine::metrics).collect();
+        Metrics::merge(&parts)
+    }
+
+    /// One shard's counters, unmerged.
+    pub fn shard_metrics(&self, id: ShardId) -> Metrics {
+        self.engines[self.index_of(id)].metrics()
+    }
+}
+
+#[derive(Debug)]
+struct ServiceSnapshotInner {
+    /// Per-shard snapshots, routed shards first, spill shard last.
+    shards: Vec<EngineSnapshot>,
+    /// Merged flat clusterings by threshold bit pattern.
+    merged: Mutex<HashMap<u64, Arc<FlatClustering>>>,
+}
+
+/// An immutable merged view over one [`EngineSnapshot`] per shard.
+///
+/// Cheap to clone (`Arc`), `Send + Sync`, and frozen: it keeps answering from the per-shard
+/// states it was built from, no matter what the service does afterwards. Merged flat
+/// clusterings are computed lazily — the first query at a threshold pays one union-find pass
+/// over the per-shard clusterings, repeats hit a per-snapshot cache. Because the shard edge
+/// sets partition the graph's edges, the merged answers are *exactly* those of a single
+/// engine fed the same stream.
+#[derive(Clone, Debug)]
+pub struct ServiceSnapshot {
+    inner: Arc<ServiceSnapshotInner>,
+}
+
+impl ServiceSnapshot {
+    fn merge(shards: Vec<EngineSnapshot>) -> Self {
+        debug_assert!(!shards.is_empty());
+        debug_assert!(
+            shards
+                .windows(2)
+                .all(|w| w[0].num_vertices() == w[1].num_vertices()),
+            "shards must agree on the vertex set"
+        );
+        ServiceSnapshot {
+            inner: Arc::new(ServiceSnapshotInner {
+                shards,
+                merged: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The per-shard epoch vector this view was taken at (routed shards first, spill last).
+    pub fn epochs(&self) -> Vec<u64> {
+        self.inner
+            .shards
+            .iter()
+            .map(EngineSnapshot::epoch)
+            .collect()
+    }
+
+    /// The per-shard snapshots backing this view, in shard order.
+    pub fn shard_snapshots(&self) -> &[EngineSnapshot] {
+        &self.inner.shards
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.inner.shards[0].num_vertices()
+    }
+
+    /// Number of alive graph edges across all shards (the shard edge sets are disjoint, so
+    /// this is exactly the full graph's edge count).
+    pub fn num_graph_edges(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(EngineSnapshot::num_graph_edges)
+            .sum()
+    }
+
+    /// Number of connected components of the full graph (all shards merged).
+    pub fn num_components(&self) -> usize {
+        self.flat_clustering(f64::INFINITY).num_clusters()
+    }
+
+    /// The merged flat clustering at threshold `tau`, memoised per snapshot. Labels are
+    /// canonical within one (epoch vector, `tau`) pair: numbered by smallest member vertex,
+    /// member lists sorted ascending.
+    pub fn flat_clustering(&self, tau: Weight) -> Arc<FlatClustering> {
+        if self.inner.shards.len() == 1 {
+            // Single shard: the engine's own (already canonical, already cached) clustering.
+            return self.inner.shards[0].flat_clustering(tau);
+        }
+        let key = tau.to_bits();
+        {
+            let merged = self.inner.merged.lock().expect("merged cache poisoned");
+            if let Some(hit) = merged.get(&key) {
+                return Arc::clone(hit);
+            }
+        }
+        // Compute outside the lock (racing readers compute equal values; first insert wins).
+        let computed = Arc::new(self.merge_clustering(tau));
+        let mut merged = self.inner.merged.lock().expect("merged cache poisoned");
+        Arc::clone(merged.entry(key).or_insert(computed))
+    }
+
+    /// One union-find pass over the per-shard clusterings: since the shard edge sets
+    /// partition the graph's edges, gluing per-shard clusters together yields exactly the
+    /// connected components of the full graph restricted to edges of weight `<= tau`.
+    fn merge_clustering(&self, tau: Weight) -> FlatClustering {
+        let n = self.num_vertices();
+        let mut dsu = Dsu::new(n);
+        for shard in &self.inner.shards {
+            let fc = shard.flat_clustering(tau);
+            for cluster in &fc.clusters {
+                let (&first, rest) = cluster
+                    .split_first()
+                    .expect("flat clusterings have no empty clusters");
+                for &member in rest {
+                    dsu.union(first, member);
+                }
+            }
+        }
+        let mut label_of_root: HashMap<u32, usize> = HashMap::new();
+        let mut labels = Vec::with_capacity(n);
+        let mut clusters: Vec<Vec<VertexId>> = Vec::new();
+        for i in 0..n as u32 {
+            let v = VertexId(i);
+            let root = dsu.find(v);
+            let label = *label_of_root.entry(root.0).or_insert_with(|| {
+                clusters.push(Vec::new());
+                clusters.len() - 1
+            });
+            labels.push(label);
+            clusters[label].push(v);
+        }
+        FlatClustering { labels, clusters }
+    }
+
+    /// The cluster label of `v` at threshold `tau` (canonical per epoch vector and `tau`).
+    pub fn cluster_id(&self, v: VertexId, tau: Weight) -> usize {
+        self.flat_clustering(tau).labels[v.index()]
+    }
+
+    /// Size of the cluster containing `v` at threshold `tau`.
+    pub fn cluster_size(&self, v: VertexId, tau: Weight) -> usize {
+        let clustering = self.flat_clustering(tau);
+        clustering.clusters[clustering.labels[v.index()]].len()
+    }
+
+    /// Whether `u` and `v` share a cluster at threshold `tau`.
+    pub fn same_cluster(&self, u: VertexId, v: VertexId, tau: Weight) -> bool {
+        self.flat_clustering(tau).same_cluster(u, v)
+    }
+
+    /// Number of clusters at threshold `tau`.
+    pub fn num_clusters(&self, tau: Weight) -> usize {
+        self.flat_clustering(tau).num_clusters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::BlockPartitioner;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn ins(a: u32, b: u32, w: f64) -> GraphUpdate {
+        GraphUpdate::Insert {
+            u: v(a),
+            v: v(b),
+            weight: w,
+        }
+    }
+
+    fn del(a: u32, b: u32) -> GraphUpdate {
+        GraphUpdate::Delete { u: v(a), v: v(b) }
+    }
+
+    /// Blocks of 4 vertices per shard so routing is easy to reason about in tests.
+    fn blocked(shards: usize, n: usize, policy: FlushPolicy) -> ClusterService {
+        ServiceBuilder::new()
+            .shards(shards)
+            .partitioner(BlockPartitioner { block_size: 4 })
+            .flush_policy(policy)
+            .build(n)
+    }
+
+    #[test]
+    fn router_splits_by_endpoint_partition() {
+        let mut svc = blocked(2, 8, FlushPolicy::Manual);
+        assert_eq!(
+            svc.shard_ids(),
+            vec![ShardId::Routed(0), ShardId::Routed(1), ShardId::Spill]
+        );
+        assert_eq!(svc.submit(ins(0, 1, 1.0)).unwrap(), ShardId::Routed(0));
+        assert_eq!(svc.submit(ins(4, 5, 1.0)).unwrap(), ShardId::Routed(1));
+        assert_eq!(svc.submit(ins(1, 4, 2.0)).unwrap(), ShardId::Spill);
+        assert_eq!(svc.pending_ops(), 3);
+        let report = svc.flush().unwrap();
+        assert_eq!(report.ops_applied(), 3);
+        assert_eq!(report.shards_flushed(), 3);
+        assert_eq!(svc.epochs(), vec![1, 1, 1]);
+        assert_eq!(svc.shard(ShardId::Spill).num_vertices(), 8);
+
+        let snap = svc.snapshot().unwrap();
+        assert_eq!(snap.num_graph_edges(), 3);
+        // 0-1 and 4-5 live in different shards but 1-4 (spill) glues them together.
+        assert!(snap.same_cluster(v(0), v(5), 2.0));
+        assert_eq!(snap.cluster_size(v(0), 2.0), 4);
+        assert_eq!(snap.num_components(), 8 - 3);
+    }
+
+    #[test]
+    fn single_shard_has_no_spill_and_matches_engine_surface() {
+        let mut svc = ClusterService::single_shard(4);
+        assert_eq!(svc.num_shards(), 1);
+        assert!(!svc.has_spill_shard());
+        assert_eq!(svc.shard_ids(), vec![ShardId::Routed(0)]);
+        // Every edge routes to shard 0, even ones a hash partitioner would split.
+        assert_eq!(svc.submit(ins(0, 3, 1.0)).unwrap(), ShardId::Routed(0));
+        svc.flush().unwrap();
+        let snap = svc.snapshot().unwrap();
+        assert_eq!(snap.epochs(), vec![1]);
+        assert!(snap.same_cluster(v(0), v(3), 1.0));
+        assert_eq!(snap.num_components(), 3);
+    }
+
+    #[test]
+    fn rejections_name_the_shard_and_leave_state_unchanged() {
+        let mut svc = blocked(2, 8, FlushPolicy::Manual);
+        svc.submit(ins(1, 4, 1.0)).unwrap();
+        svc.flush().unwrap();
+        let err = svc.submit(ins(4, 1, 2.0)).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::Rejected {
+                shard: ShardId::Spill,
+                event: ins(4, 1, 2.0),
+                reason: RejectReason::AlreadyPresent,
+            }
+        );
+        let err = svc.submit(del(0, 1)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Rejected {
+                shard: ShardId::Routed(0),
+                reason: RejectReason::NotPresent,
+                ..
+            }
+        ));
+        assert_eq!(svc.pending_ops(), 0);
+    }
+
+    #[test]
+    fn every_n_ops_policy_flushes_the_filling_shard_only() {
+        let mut svc = blocked(2, 8, FlushPolicy::EveryNOps(2));
+        svc.submit(ins(0, 1, 1.0)).unwrap();
+        assert_eq!(svc.epochs(), vec![0, 0, 0]);
+        svc.submit(ins(1, 2, 1.0)).unwrap(); // shard 0 reaches 2 pending -> auto flush
+        assert_eq!(svc.epochs(), vec![1, 0, 0]);
+        assert_eq!(svc.pending_ops(), 0);
+        svc.submit(ins(4, 5, 1.0)).unwrap(); // shard 1 stays buffered
+        assert_eq!(svc.epochs(), vec![1, 0, 0]);
+        assert_eq!(svc.pending_ops(), 1);
+    }
+
+    #[test]
+    fn on_read_policy_makes_snapshots_observe_everything() {
+        let mut svc = blocked(2, 8, FlushPolicy::OnRead);
+        svc.submit(ins(0, 1, 1.0)).unwrap();
+        svc.submit(ins(1, 4, 1.5)).unwrap();
+        // `published` is a pure read: nothing flushed yet.
+        assert_eq!(svc.published().num_graph_edges(), 0);
+        // `snapshot` honours OnRead: flush, then read.
+        let snap = svc.snapshot().unwrap();
+        assert_eq!(snap.num_graph_edges(), 2);
+        assert!(snap.same_cluster(v(0), v(4), 1.5));
+        assert_eq!(svc.pending_ops(), 0);
+    }
+
+    #[test]
+    fn snapshots_stay_frozen_across_later_flushes() {
+        let mut svc = blocked(2, 8, FlushPolicy::Manual);
+        svc.submit(ins(0, 4, 1.0)).unwrap();
+        svc.flush().unwrap();
+        let old = svc.snapshot().unwrap();
+        assert!(old.same_cluster(v(0), v(4), 1.0));
+
+        svc.submit(del(0, 4)).unwrap();
+        svc.flush().unwrap();
+        let new = svc.snapshot().unwrap();
+        assert!(!new.same_cluster(v(0), v(4), f64::INFINITY));
+        // The held view keeps answering for its epoch vector.
+        assert!(old.same_cluster(v(0), v(4), 1.0));
+        assert_eq!(old.num_graph_edges(), 1);
+        // Only the spill shard (home of edge 0-4) published new states.
+        assert_eq!(old.epochs(), vec![0, 0, 1]);
+        assert_eq!(new.epochs(), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn merged_clusterings_are_cached_and_canonical() {
+        let mut svc = blocked(2, 8, FlushPolicy::Manual);
+        svc.submit_all([ins(0, 1, 1.0), ins(4, 5, 1.0), ins(1, 4, 2.0)])
+            .unwrap();
+        svc.flush().unwrap();
+        let snap = svc.snapshot().unwrap();
+        let a = snap.flat_clustering(2.0);
+        let b = snap.flat_clustering(2.0);
+        assert!(Arc::ptr_eq(&a, &b), "merged clusterings must be memoised");
+        // Separate reads at the same epoch vector share one merged cache, even across no-op
+        // flushes.
+        svc.flush().unwrap();
+        let c = svc.snapshot().unwrap().flat_clustering(2.0);
+        assert!(
+            Arc::ptr_eq(&a, &c),
+            "repeated reads at one epoch vector must share the merged cache"
+        );
+        // Canonical: labels numbered by smallest member, members ascending.
+        assert_eq!(a.clusters[a.labels[0]], vec![v(0), v(1), v(4), v(5)]);
+        let total: usize = a.clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn add_vertices_grows_every_shard_and_is_immediately_visible() {
+        let mut svc = blocked(2, 8, FlushPolicy::Manual);
+        svc.submit(ins(0, 1, 1.0)).unwrap();
+        svc.flush().unwrap();
+        let first = svc.add_vertices(2);
+        assert_eq!(first, v(8));
+        assert_eq!(svc.num_vertices(), 10);
+        for id in svc.shard_ids() {
+            assert_eq!(svc.shard(id).num_vertices(), 10);
+        }
+        let snap = svc.snapshot().unwrap();
+        assert_eq!(snap.num_vertices(), 10);
+        assert_eq!(snap.num_components(), 9); // 10 vertices, one merged pair
+                                              // New vertices accept edges right away.
+        svc.submit(ins(8, 9, 1.0)).unwrap();
+        svc.flush().unwrap();
+        assert!(svc.snapshot().unwrap().same_cluster(v(8), v(9), 1.0));
+    }
+
+    #[test]
+    fn metrics_merge_across_shards() {
+        let mut svc = blocked(2, 8, FlushPolicy::Manual);
+        svc.submit_all([ins(0, 1, 1.0), ins(4, 5, 1.0), ins(1, 4, 2.0)])
+            .unwrap();
+        svc.flush().unwrap();
+        let m = svc.metrics();
+        assert_eq!(m.events_submitted, 3);
+        assert_eq!(m.ops_applied, 3);
+        assert_eq!(m.flushes, 3); // one per non-empty shard
+        let spill = svc.shard_metrics(ShardId::Spill);
+        assert_eq!(spill.ops_applied, 1);
+    }
+}

@@ -1,7 +1,7 @@
 //! Update-stream (workload) generation.
 //!
 //! The dynamic SLD problem receives a sequence of edge insertions and deletions in the input
-//! forest (Problem 1). This module turns a static [`TreeInstance`](crate::gen::TreeInstance)
+//! forest (Problem 1). This module turns a static [`TreeInstance`]
 //! into streams of valid updates — valid meaning the edge set is a forest at every prefix of
 //! the stream — in the patterns used by the examples, tests, and benchmark harness.
 
@@ -370,6 +370,72 @@ impl GraphWorkloadBuilder {
     }
 }
 
+/// A graph-update stream split by endpoint partition: one sub-stream per part for updates
+/// whose endpoints share a part, plus the cross-part remainder. Produced by
+/// [`split_graph_stream`]; mirrors the shard routing of the `dynsld-engine` service so
+/// workloads can be pre-split for per-shard replay, benchmarking, or distribution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SplitStream {
+    /// `parts[i]` holds the updates both of whose endpoints map to part `i`, in stream order.
+    pub parts: Vec<Vec<GraphUpdate>>,
+    /// Updates whose endpoints map to different parts (the "spill" stream), in stream order.
+    pub cross: Vec<GraphUpdate>,
+}
+
+impl SplitStream {
+    /// Total number of updates across all sub-streams (equals the input stream's length).
+    pub fn len(&self) -> usize {
+        self.cross.len() + self.parts.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// True if every sub-stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of updates that landed in the cross-part stream (0 for an empty input).
+    pub fn cross_fraction(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.cross.len() as f64 / self.len() as f64
+        }
+    }
+}
+
+/// Splits a graph-update stream by endpoint partition: an update addressing edge `{u, v}`
+/// goes to `parts[p]` when `part_of(u) == part_of(v) == p`, and to `cross` otherwise.
+///
+/// `part_of` must be a pure function returning values in `0..num_parts` (out-of-range values
+/// panic). Each sub-stream preserves the relative order of its updates, and because an edge
+/// always maps to the same sub-stream, each sub-stream is itself a valid stream whenever the
+/// input is: the per-edge insert/delete/re-weight discipline is untouched by the split.
+pub fn split_graph_stream(
+    stream: &[GraphUpdate],
+    num_parts: usize,
+    part_of: impl Fn(VertexId) -> usize,
+) -> SplitStream {
+    assert!(num_parts >= 1, "need at least one part");
+    let mut split = SplitStream {
+        parts: vec![Vec::new(); num_parts],
+        cross: Vec::new(),
+    };
+    for &update in stream {
+        let (u, v) = update.endpoints();
+        let (pu, pv) = (part_of(u), part_of(v));
+        assert!(
+            pu < num_parts && pv < num_parts,
+            "part_of returned a part out of range 0..{num_parts}"
+        );
+        if pu == pv {
+            split.parts[pu].push(update);
+        } else {
+            split.cross.push(update);
+        }
+    }
+    split
+}
+
 /// Validates that `stream` is a well-formed graph-update stream starting from an empty graph:
 /// inserts address absent edges, deletes/re-weights address present edges, and no self loops.
 /// Returns the number of updates validated.
@@ -614,6 +680,57 @@ mod tests {
     fn graph_workloads_reject_degenerate_vertex_counts() {
         // With < 2 vertices no edge can exist, so every generator would spin forever.
         let _ = GraphWorkloadBuilder::new(1);
+    }
+
+    #[test]
+    fn split_graph_stream_partitions_and_preserves_validity() {
+        let n = 36usize;
+        let wb = GraphWorkloadBuilder::new(n).weight_scale(4.0);
+        let stream = wb.churn_stream(50, 500, 17);
+        assert_eq!(validate_graph_stream(n, &stream), Ok(500));
+
+        let num_parts = 3usize;
+        let part_of = |v: VertexId| v.index() % num_parts;
+        let split = split_graph_stream(&stream, num_parts, part_of);
+
+        // Nothing lost, nothing duplicated.
+        assert_eq!(split.len(), stream.len());
+        assert_eq!(split.parts.len(), num_parts);
+        assert!(!split.is_empty());
+        assert!((0.0..=1.0).contains(&split.cross_fraction()));
+
+        // Each sub-stream is itself a valid stream from empty...
+        for part in &split.parts {
+            assert_eq!(validate_graph_stream(n, part), Ok(part.len()));
+        }
+        assert_eq!(
+            validate_graph_stream(n, &split.cross),
+            Ok(split.cross.len())
+        );
+        // ...and addresses only its own part (or crosses parts, for the remainder).
+        for (i, part) in split.parts.iter().enumerate() {
+            for up in part {
+                let (u, v) = up.endpoints();
+                assert_eq!((part_of(u), part_of(v)), (i, i));
+            }
+        }
+        for up in &split.cross {
+            let (u, v) = up.endpoints();
+            assert_ne!(part_of(u), part_of(v));
+        }
+        // A random-endpoint workload over 3 parts should actually produce cross traffic.
+        assert!(!split.cross.is_empty());
+    }
+
+    #[test]
+    fn split_graph_stream_single_part_is_the_identity() {
+        let wb = GraphWorkloadBuilder::new(10);
+        let stream = wb.churn_stream(12, 60, 5);
+        let split = split_graph_stream(&stream, 1, |_| 0);
+        assert_eq!(split.parts[0], stream);
+        assert!(split.cross.is_empty());
+        assert_eq!(split.cross_fraction(), 0.0);
+        assert_eq!(SplitStream::default().cross_fraction(), 0.0);
     }
 
     #[test]

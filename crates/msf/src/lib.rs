@@ -16,7 +16,7 @@
 //!   MSF.
 //!
 //! Substitution note (DESIGN.md, substitution 5): the paper points to Holm–de Lichtenberg–Thorup
-//! [33] or the batch-parallel MSF of Tseng et al. [48] for this component. This implementation
+//! \[33\] or the batch-parallel MSF of Tseng et al. \[48\] for this component. This implementation
 //! is *exact* but searches for a replacement edge by scanning the non-tree edges incident to the
 //! smaller side of the cut, so a deletion costs `O(min-side non-tree degree · log n)` rather
 //! than HDT's polylogarithmic amortized bound. Every MSF change is still propagated to DynSLD

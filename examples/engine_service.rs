@@ -1,14 +1,16 @@
-//! The streaming clustering *service*: `dynsld-engine` end to end.
+//! The streaming clustering *service*: the shard-routed `ClusterService` facade end to end.
 //!
 //! Run with `cargo run --release --example engine_service`.
 //!
 //! The scenario extends `examples/streaming_clustering.rs` from a forest stream to a full
-//! graph stream served concurrently: similarity measurements arrive as graph-edge events
-//! (insert / delete / re-weight, cycles included), the engine ingests them in ticks —
-//! coalescing redundant events and applying each tick as homogeneous batches — and epoch-
-//! tagged snapshots answer clustering queries the whole time without blocking the writer.
+//! graph stream served through the sharded facade: similarity measurements arrive as
+//! graph-edge events (insert / delete / re-weight, cycles included), the router splits them
+//! across endpoint-partitioned shards (cross-shard edges go to the spill shard), each tick
+//! flushes every shard — coalescing redundant events and applying homogeneous batches per
+//! shard — and merged, epoch-vector-tagged snapshots answer clustering queries the whole time
+//! without blocking the writer.
 
-use dynsld_engine::ClusteringEngine;
+use dynsld_engine::{FlushPolicy, ServiceBuilder, ShardId};
 use dynsld_forest::workload::GraphWorkloadBuilder;
 use dynsld_forest::VertexId;
 use std::time::Instant;
@@ -17,37 +19,44 @@ const N: usize = 10_000;
 const WINDOW: usize = 4_000;
 const NUM_EDGES: usize = 20_000;
 const TICK: usize = 2_000;
+const SHARDS: usize = 4;
 
 fn main() {
     let stream = GraphWorkloadBuilder::new(N)
         .weight_scale(100.0)
         .sliding_window_stream(NUM_EDGES, WINDOW, 7);
     println!(
-        "serving {} graph-edge events over {N} vertices (window = {WINDOW} edges, tick = {TICK})",
+        "serving {} graph-edge events over {N} vertices across {SHARDS} shards \
+         (window = {WINDOW} edges, tick = {TICK})",
         stream.len()
     );
 
-    let mut engine = ClusteringEngine::new(N);
+    let mut service = ServiceBuilder::new()
+        .shards(SHARDS)
+        .flush_policy(FlushPolicy::Manual) // ticks drive the flushes below
+        .build(N);
     let probe = VertexId(0);
     let start = Instant::now();
 
     for (tick, chunk) in stream.chunks(TICK).enumerate() {
         for &event in chunk {
-            engine.submit(event).expect("generated stream is valid");
+            service.submit(event).expect("generated stream is valid");
         }
-        let report = engine.flush().expect("validated at submit time");
+        let report = service.flush().expect("validated at submit time");
 
-        // Publish-then-read: these queries run against the epoch the flush just published;
-        // clones of this snapshot could be handed to any number of reader threads.
-        let snap = engine.snapshot();
+        // Publish-then-read: the merged view glues the per-shard states the flush just
+        // published; clones of it could be handed to any number of reader threads.
+        let snap = service
+            .snapshot()
+            .expect("manual flushes cannot fail on read");
         println!(
-            "tick {tick:>3}  epoch={:<3} applied={:<5} fast-path={:<5} fallback={:<4} \
-             promoted={:<3} edges={:<5} clusters(t=25)={:<5} |cluster(v0, t=25)|={}",
-            report.epoch,
-            report.ops_applied,
-            report.fast_path,
-            report.fallback,
-            report.promoted.len(),
+            "tick {tick:>3}  epochs={:?} applied={:<5} fast-path={:<5} fallback={:<4} \
+             shards-flushed={} edges={:<5} clusters(t=25)={:<5} |cluster(v0, t=25)|={}",
+            snap.epochs(),
+            report.ops_applied(),
+            report.fast_path(),
+            report.fallback(),
+            report.shards_flushed(),
             snap.num_graph_edges(),
             snap.num_clusters(25.0),
             snap.cluster_size(probe, 25.0),
@@ -55,8 +64,8 @@ fn main() {
     }
 
     let elapsed = start.elapsed();
-    let m = engine.metrics();
-    println!("\n--- metrics after {elapsed:.2?} ---");
+    let m = service.metrics(); // Metrics::merge over all shards
+    println!("\n--- merged metrics after {elapsed:.2?} ---");
     println!(
         "events: {} submitted, {} coalesced away ({:.1}%)",
         m.events_submitted,
@@ -64,7 +73,7 @@ fn main() {
         100.0 * m.coalescing_ratio()
     );
     println!(
-        "applied: {} ops in {} flushes ({:.1}% fast path, {} promotions)",
+        "applied: {} ops in {} shard flushes ({:.1}% fast path, {} promotions)",
         m.ops_applied,
         m.flushes,
         100.0 * m.fast_path_ratio(),
@@ -82,11 +91,30 @@ fn main() {
         m.total_pointer_changes as f64 / m.ops_applied.max(1) as f64
     );
 
-    // A held snapshot is immutable: later flushes do not move it.
-    let held = engine.snapshot();
+    // How the router spread the load: per-shard applied ops, spill last.
+    let per_shard: Vec<String> = service
+        .shard_ids()
+        .into_iter()
+        .map(|id| format!("{id}: {}", service.shard_metrics(id).ops_applied))
+        .collect();
+    println!("router split (applied ops): {}", per_shard.join(", "));
+    let spill_share =
+        service.shard_metrics(ShardId::Spill).ops_applied as f64 / m.ops_applied.max(1) as f64;
+    println!("spill share: {:.1}% of applied ops", 100.0 * spill_share);
+
+    // The vertex set can grow while the service runs.
+    let first_new = service.add_vertices(100);
     println!(
-        "\nheld snapshot at epoch {} keeps serving: {} clusters at t=25",
-        held.epoch(),
+        "grew the vertex set to {} (first new id {first_new}), components now {}",
+        service.num_vertices(),
+        service.published().num_components()
+    );
+
+    // A held merged snapshot is immutable: later flushes do not move it.
+    let held = service.published();
+    println!(
+        "held snapshot at epochs {:?} keeps serving: {} clusters at t=25",
+        held.epochs(),
         held.num_clusters(25.0)
     );
 }

@@ -1,10 +1,15 @@
-//! Engine-level correctness: the `ClusteringEngine`'s served clusterings must equal static
-//! recomputation after every flush, and snapshots must be consistent — a reader never observes
-//! a half-applied batch, mid-batch queries reflect exactly the pre-batch epoch, and old
-//! snapshots keep answering for their epoch after later flushes.
+//! Engine-level correctness: the served clusterings must equal static recomputation after
+//! every flush, and snapshots must be consistent — a reader never observes a half-applied
+//! batch, mid-batch queries reflect exactly the pre-batch epoch, and old snapshots keep
+//! answering for their epoch after later flushes.
+//!
+//! The stream-facing tests here drive `ClusterService::single_shard` — the facade path every
+//! caller is expected to use — while the mid-batch/epoch tests exercise `ClusteringEngine`
+//! directly, since they pin the per-shard guarantees the service's merged views are built on.
+//! Sharded-vs-oracle equivalence lives in `service_oracle.rs`.
 
 use dynsld::static_sld_kruskal;
-use dynsld_engine::{ClusteringEngine, GraphUpdate};
+use dynsld_engine::{ClusterService, ClusteringEngine, GraphUpdate, ShardId};
 use dynsld_forest::workload::{validate_graph_stream, GraphWorkloadBuilder};
 use dynsld_forest::{Dsu, VertexId, Weight};
 use rand::rngs::SmallRng;
@@ -38,8 +43,8 @@ fn oracle_partition(
     out
 }
 
-fn snapshot_partition(snap: &dynsld_engine::EngineSnapshot, tau: Weight) -> Vec<Vec<VertexId>> {
-    let fc = snap.flat_clustering(tau);
+/// Canonicalises a flat clustering into the oracle's sorted-partition form.
+fn partition_of(fc: &dynsld::FlatClustering) -> Vec<Vec<VertexId>> {
     let mut out: Vec<Vec<VertexId>> = fc
         .clusters
         .iter()
@@ -53,9 +58,14 @@ fn snapshot_partition(snap: &dynsld_engine::EngineSnapshot, tau: Weight) -> Vec<
     out
 }
 
-/// The oracle check the issue asks for: after every flush, the engine's flat clustering at
+fn snapshot_partition(snap: &dynsld_engine::EngineSnapshot, tau: Weight) -> Vec<Vec<VertexId>> {
+    partition_of(&snap.flat_clustering(tau))
+}
+
+/// The oracle check the issue asks for: after every flush, the served flat clustering at
 /// several thresholds equals the independent union-find oracle over the alive graph edges, and
-/// the maintained dendrogram equals `static_sld_kruskal` on the current MSF.
+/// the maintained dendrogram equals `static_sld_kruskal` on the current MSF. Driven through
+/// the `ClusterService::single_shard` facade, the migration path from the PR-1 engine surface.
 #[test]
 fn randomized_stream_matches_static_oracle_after_every_flush() {
     let n = 48usize;
@@ -64,7 +74,7 @@ fn randomized_stream_matches_static_oracle_after_every_flush() {
     let stream = builder.churn_stream(90, 900, 0xD1CE);
     assert_eq!(validate_graph_stream(n, &stream), Ok(900));
 
-    let mut engine = ClusteringEngine::new(n);
+    let mut engine = ClusterService::single_shard(n);
     let mut alive: Vec<(VertexId, VertexId, Weight)> = Vec::new();
     let mut rng = SmallRng::seed_from_u64(99);
     let mut flushes = 0usize;
@@ -97,17 +107,19 @@ fn randomized_stream_matches_static_oracle_after_every_flush() {
                 .flush()
                 .expect("flush cannot fail on validated input");
             flushes += 1;
-            let snap = engine.snapshot();
+            let snap = engine
+                .snapshot()
+                .expect("manual policy cannot fail on read");
             assert_eq!(snap.num_graph_edges(), alive.len());
             for &tau in &thresholds {
                 assert_eq!(
-                    snapshot_partition(&snap, tau),
+                    partition_of(&snap.flat_clustering(tau)),
                     oracle_partition(n, &alive, tau),
                     "partition diverged at flush {flushes}, tau={tau}"
                 );
             }
-            // The dendrogram served by the engine equals static recomputation on the MSF.
-            let sld = engine.graph().sld();
+            // The dendrogram served by the (single) shard equals static recomputation.
+            let sld = engine.shard(ShardId::Routed(0)).graph().sld();
             assert_eq!(
                 sld.dendrogram().canonical_parents(),
                 static_sld_kruskal(sld.forest()).canonical_parents(),
@@ -231,14 +243,14 @@ fn coalesced_and_naive_application_converge() {
     let builder = GraphWorkloadBuilder::new(n).weight_scale(9.0);
     let stream = builder.churn_stream(40, 500, 3);
 
-    // Naive: one engine flushed after every event (no coalescing effect).
-    let mut naive = ClusteringEngine::new(n);
+    // Naive: a service flushed after every event (no coalescing effect).
+    let mut naive = ClusterService::single_shard(n);
     for &u in &stream {
         naive.submit(u).unwrap();
         naive.flush().unwrap();
     }
-    // Coalesced: one engine flushed once at the end.
-    let mut coalesced = ClusteringEngine::new(n);
+    // Coalesced: a service flushed once at the end.
+    let mut coalesced = ClusterService::single_shard(n);
     for &u in &stream {
         coalesced.submit(u).unwrap();
     }
@@ -252,13 +264,13 @@ fn coalesced_and_naive_application_converge() {
     );
     for tau in [1.0, 3.0, 5.0, 8.0, f64::INFINITY] {
         assert_eq!(
-            snapshot_partition(&naive.snapshot(), tau),
-            snapshot_partition(&coalesced.snapshot(), tau),
+            partition_of(&naive.published().flat_clustering(tau)),
+            partition_of(&coalesced.published().flat_clustering(tau)),
             "final clusterings diverged at tau={tau}"
         );
     }
-    let canon = |e: &ClusteringEngine| {
-        let mut edges = e.graph().graph_edges();
+    let canon = |e: &ClusterService| {
+        let mut edges = e.shard(ShardId::Routed(0)).graph().graph_edges();
         edges.sort_by_key(|a| (a.0.min(a.1), a.0.max(a.1)));
         edges
     };

@@ -1,0 +1,254 @@
+//! Service-level correctness: a sharded [`ClusterService`] must be *observationally
+//! equivalent* to one [`ClusteringEngine`] fed the same stream — identical component counts,
+//! `same_cluster` answers and cluster sizes at every threshold — because the shard edge sets
+//! partition the graph and the merged snapshot glues per-shard clusterings back together with
+//! a union-find pass. The property test below drives that equivalence over generated mixed
+//! insert/delete/re-weight workloads, random shard counts, partitioners, flush policies, and
+//! random thresholds.
+
+use dynsld_engine::{
+    BlockPartitioner, ClusterService, ClusteringEngine, FlushPolicy, HashPartitioner,
+    ServiceBuilder, ShardId,
+};
+use dynsld_forest::workload::{split_graph_stream, GraphWorkloadBuilder};
+use dynsld_forest::VertexId;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Checks observational equivalence of the service's merged view and the oracle engine's
+/// snapshot: `num_components`, `num_clusters`/`same_cluster` over all vertex pairs, and
+/// `cluster_size` for every vertex, at each threshold.
+fn assert_equivalent(
+    service: &mut ClusterService,
+    oracle: &ClusteringEngine,
+    thresholds: &[f64],
+    context: &str,
+) {
+    let merged = service.snapshot().expect("validated stream cannot fail");
+    let expected = oracle.snapshot();
+    assert_eq!(
+        merged.num_graph_edges(),
+        expected.num_graph_edges(),
+        "{context}: edge counts diverged"
+    );
+    assert_eq!(
+        merged.num_components(),
+        expected.num_components(),
+        "{context}: component counts diverged"
+    );
+    let n = expected.num_vertices();
+    for &tau in thresholds {
+        assert_eq!(
+            merged.num_clusters(tau),
+            expected.num_clusters(tau),
+            "{context}: cluster counts diverged at tau={tau}"
+        );
+        for i in 0..n as u32 {
+            assert_eq!(
+                merged.cluster_size(VertexId(i), tau),
+                expected.cluster_size(VertexId(i), tau),
+                "{context}: cluster size of v{i} diverged at tau={tau}"
+            );
+            for j in (i + 1)..n as u32 {
+                assert_eq!(
+                    merged.same_cluster(VertexId(i), VertexId(j), tau),
+                    expected.same_cluster(VertexId(i), VertexId(j), tau),
+                    "{context}: same_cluster(v{i}, v{j}) diverged at tau={tau}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The acceptance-criteria property: for every generated workload, a service with ≥ 2
+    /// shards reports identical clustering answers to a single engine fed the same stream —
+    /// mid-stream (at random flush points) and at the end, at random thresholds.
+    #[test]
+    fn sharded_service_matches_single_engine_oracle(
+        seed in 0u64..1 << 48,
+        n in 6usize..40,
+        shards in 2usize..6,
+        num_ops in 20usize..320,
+        policy_pick in 0usize..3,
+        use_block_partitioner in any::<bool>(),
+    ) {
+        let policy = match policy_pick {
+            0 => FlushPolicy::Manual,
+            1 => FlushPolicy::EveryNOps(1 + (seed as usize) % 17),
+            _ => FlushPolicy::OnRead,
+        };
+        let builder = ServiceBuilder::new().shards(shards).flush_policy(policy);
+        let builder = if use_block_partitioner {
+            builder.partitioner(BlockPartitioner { block_size: 1 + n / shards })
+        } else {
+            builder.partitioner(HashPartitioner)
+        };
+        let mut service = builder.build(n);
+        let mut oracle = ClusteringEngine::new(n);
+
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+        let weight_scale = 8.0;
+        let stream = GraphWorkloadBuilder::new(n)
+            .weight_scale(weight_scale)
+            .churn_stream(2 * n, num_ops, seed);
+        // Random thresholds covering inside, outside, and past the weight range.
+        let mut thresholds: Vec<f64> = (0..4)
+            .map(|_| rng.gen::<f64>() * weight_scale * 1.25)
+            .collect();
+        thresholds.push(f64::INFINITY);
+
+        for (i, &update) in stream.iter().enumerate() {
+            service.submit(update).expect("generated stream is valid");
+            oracle.submit(update).expect("generated stream is valid");
+            // Compare at random mid-stream flush points, not just at the end.
+            if rng.gen_bool(0.05) {
+                service.flush().expect("validated stream");
+                oracle.flush().expect("validated stream");
+                assert_equivalent(&mut service, &oracle, &thresholds, &format!("after op {i}"));
+            }
+        }
+        service.flush().expect("validated stream");
+        oracle.flush().expect("validated stream");
+        assert_equivalent(&mut service, &oracle, &thresholds, "final state");
+        // Sanity: the sharded run actually exercised sharding.
+        prop_assert!(service.num_shards() >= 2);
+        prop_assert_eq!(
+            service.metrics().ops_applied + service.metrics().events_saved(),
+            service.metrics().events_submitted
+        );
+    }
+
+    /// Vertex growth mid-stream: growing the service and the oracle identically keeps them
+    /// observationally equivalent, and new vertices accept edges on both sides.
+    #[test]
+    fn vertex_growth_preserves_equivalence(
+        seed in 0u64..1 << 48,
+        n in 4usize..20,
+        grow in 1usize..8,
+        shards in 2usize..5,
+    ) {
+        let mut service = ServiceBuilder::new().shards(shards).build(n);
+        let mut oracle = ClusteringEngine::new(n);
+        let stream = GraphWorkloadBuilder::new(n).churn_stream(n, 40, seed);
+        for &update in &stream {
+            service.submit(update).unwrap();
+            oracle.submit(update).unwrap();
+        }
+        service.flush().unwrap();
+        oracle.flush().unwrap();
+
+        let first_svc = service.add_vertices(grow);
+        let first_eng = oracle.add_vertices(grow);
+        prop_assert_eq!(first_svc, first_eng);
+        prop_assert_eq!(service.num_vertices(), n + grow);
+
+        // Edges into the grown range work on both surfaces.
+        let grown = n + grow;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        for k in 0..grow {
+            let u = VertexId((n + k) as u32);
+            let v = VertexId(rng.gen_range(0..n as u32));
+            let weight = rng.gen::<f64>() * 10.0;
+            let ev = dynsld_engine::GraphUpdate::Insert { u, v, weight };
+            service.submit(ev).unwrap();
+            oracle.submit(ev).unwrap();
+        }
+        service.flush().unwrap();
+        oracle.flush().unwrap();
+        prop_assert_eq!(service.snapshot().unwrap().num_vertices(), grown);
+        assert_equivalent(&mut service, &oracle, &[2.5, 7.5, f64::INFINITY], "after growth");
+    }
+}
+
+/// Pre-splitting a stream with the forest helper and replaying each sub-stream into its own
+/// single-shard service reproduces the routed service's per-shard edge counts: the helper and
+/// the router implement the same partition.
+#[test]
+fn split_helper_agrees_with_service_routing() {
+    let n = 32usize;
+    let shards = 4usize;
+    let stream = GraphWorkloadBuilder::new(n)
+        .weight_scale(6.0)
+        .churn_stream(60, 600, 0xCAFE);
+
+    let mut service = ServiceBuilder::new()
+        .shards(shards)
+        .partitioner(HashPartitioner)
+        .build(n);
+    service.submit_all(stream.iter().copied()).unwrap();
+    service.flush().unwrap();
+
+    use dynsld_engine::Partitioner;
+    let split = split_graph_stream(&stream, shards, |v| HashPartitioner.shard_of(v, shards));
+    assert_eq!(split.len(), stream.len());
+
+    for (i, part) in split.parts.iter().enumerate() {
+        let mut solo = ClusterService::single_shard(n);
+        solo.submit_all(part.iter().copied()).unwrap();
+        solo.flush().unwrap();
+        assert_eq!(
+            solo.published().num_graph_edges(),
+            service
+                .shard(ShardId::Routed(i))
+                .snapshot()
+                .num_graph_edges(),
+            "shard {i} edge count diverged from the pre-split replay"
+        );
+    }
+    let mut solo = ClusterService::single_shard(n);
+    solo.submit_all(split.cross.iter().copied()).unwrap();
+    solo.flush().unwrap();
+    assert_eq!(
+        solo.published().num_graph_edges(),
+        service.shard(ShardId::Spill).snapshot().num_graph_edges(),
+        "spill edge count diverged from the pre-split replay"
+    );
+}
+
+/// Merged service snapshots are `Send + Sync` and frozen: reader threads holding clones keep
+/// getting the epoch-vector-consistent answers while the writer keeps flushing.
+#[test]
+fn merged_snapshots_serve_concurrent_readers_while_writing() {
+    let n = 40usize;
+    let stream = GraphWorkloadBuilder::new(n)
+        .weight_scale(6.0)
+        .churn_stream(70, 600, 21);
+    let mut service = ServiceBuilder::new().shards(3).build(n);
+
+    let mut handles = Vec::new();
+    for chunk in stream.chunks(30) {
+        for &u in chunk {
+            service.submit(u).unwrap();
+        }
+        service.flush().unwrap();
+        let snap = service.snapshot().unwrap();
+        handles.push(std::thread::spawn(move || {
+            let epochs = snap.epochs();
+            for tau in [0.5, 2.0, 3.5, 5.0, f64::INFINITY] {
+                let fc = snap.flat_clustering(tau);
+                let total: usize = fc.clusters.iter().map(Vec::len).sum();
+                assert_eq!(
+                    total,
+                    snap.num_vertices(),
+                    "partition must cover all vertices"
+                );
+            }
+            assert_eq!(
+                snap.num_clusters(f64::INFINITY),
+                snap.num_components(),
+                "at tau=inf clusters are exactly the components"
+            );
+            assert_eq!(snap.epochs(), epochs, "snapshot epoch vector drifted");
+            epochs
+        }));
+    }
+    let epochs: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Epoch vectors are non-decreasing shard-wise across flush rounds.
+    for w in epochs.windows(2) {
+        assert!(w[0].iter().zip(&w[1]).all(|(a, b)| a <= b));
+    }
+}
