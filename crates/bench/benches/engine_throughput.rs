@@ -10,18 +10,76 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dynsld_bench::config;
-use dynsld_engine::{ClusterService, ClusteringEngine, ServiceBuilder};
+use dynsld_engine::{BlockPartitioner, ClusterService, ClusteringEngine, ServiceBuilder};
 use dynsld_forest::workload::{GraphUpdate, GraphWorkloadBuilder};
+use dynsld_forest::VertexId;
 use dynsld_msf::DynamicGraphClustering;
 
 const N: usize = 2_000;
 const NUM_EDGES: usize = 4_000;
 const WINDOW: usize = 1_000;
+/// Shard count of the sharded-service comparison (and the block count of its workload).
+const SHARDS: usize = 4;
 
 fn stream() -> Vec<GraphUpdate> {
     GraphWorkloadBuilder::new(N)
         .weight_scale(100.0)
         .sliding_window_stream(NUM_EDGES, WINDOW, 42)
+}
+
+/// Shifts every vertex id of `update` up by `offset` (used to relocate a block-local stream
+/// into its block's id range).
+fn shift(update: GraphUpdate, offset: u32) -> GraphUpdate {
+    let bump = |v: VertexId| VertexId(v.0 + offset);
+    match update {
+        GraphUpdate::Insert { u, v, weight } => GraphUpdate::Insert {
+            u: bump(u),
+            v: bump(v),
+            weight,
+        },
+        GraphUpdate::Delete { u, v } => GraphUpdate::Delete {
+            u: bump(u),
+            v: bump(v),
+        },
+        GraphUpdate::Reweight { u, v, weight } => GraphUpdate::Reweight {
+            u: bump(u),
+            v: bump(v),
+            weight,
+        },
+    }
+}
+
+/// A shard-friendly workload: one independent sliding-window stream per block of
+/// `N / SHARDS` vertices, interleaved round-robin. Under a [`BlockPartitioner`] every event
+/// is shard-local (zero spill), so the sharded run measures the concurrent-flush machinery
+/// itself rather than the spill bottleneck — the regime endpoint partitioning targets (see
+/// the ROADMAP's partitioner item for closing the gap on spill-heavy streams).
+fn block_local_stream() -> Vec<GraphUpdate> {
+    let block = N / SHARDS;
+    let mut iters: Vec<_> = (0..SHARDS)
+        .map(|s| {
+            GraphWorkloadBuilder::new(block)
+                .weight_scale(100.0)
+                .sliding_window_stream(NUM_EDGES / SHARDS, WINDOW / SHARDS, 42 + s as u64)
+                .into_iter()
+                .map(move |u| shift(u, (s * block) as u32))
+                .collect::<Vec<_>>()
+                .into_iter()
+        })
+        .collect();
+    let mut stream = Vec::with_capacity(2 * NUM_EDGES);
+    loop {
+        let mut exhausted = true;
+        for it in &mut iters {
+            if let Some(update) = it.next() {
+                stream.push(update);
+                exhausted = false;
+            }
+        }
+        if exhausted {
+            return stream;
+        }
+    }
 }
 
 /// Baseline: every event applied immediately through the per-edge MSF path.
@@ -96,10 +154,16 @@ fn bench_redundant_stream(c: &mut Criterion) {
     group.finish();
 }
 
-/// Service path: the same stream routed across `shards` partitioned engines (plus the spill
-/// shard when sharded), ticked every `flush_every` events.
+/// Service path: the stream routed across `shards` block-partitioned engines (plus the spill
+/// shard when sharded), ticked every `flush_every` events. Flushes run concurrently on the
+/// fork-join pool whenever it has more than one thread.
 fn apply_service(stream: &[GraphUpdate], shards: usize, flush_every: usize) -> ClusterService {
-    let mut service = ServiceBuilder::new().shards(shards).build(N);
+    let mut service = ServiceBuilder::new()
+        .shards(shards)
+        .partitioner(BlockPartitioner {
+            block_size: N / SHARDS,
+        })
+        .build(N);
     for chunk in stream.chunks(flush_every) {
         for &u in chunk {
             service.submit(u).expect("valid stream");
@@ -109,19 +173,38 @@ fn apply_service(stream: &[GraphUpdate], shards: usize, flush_every: usize) -> C
     service
 }
 
-/// Sharding overhead/speedup: 1 vs 4 shards over the identical workload. With the sequential
-/// `rayon` shim the per-shard flushes still run one after another, so today this measures the
-/// router + merge overhead; once real parallelism lands, the 4-shard variant is where the
-/// speedup becomes visible (smaller per-shard structures already help: update costs are
-/// `O(log n)` in the shard's tree sizes).
+/// Sharding speedup: 1 vs 4 shards over identical workloads, with the shard flushes running
+/// concurrently on the work-stealing pool (sequential when `DYNSLD_THREADS=1` or on a
+/// single-core host). Two workload shapes:
+///
+/// * `shards_*` — the block-local stream: every event is shard-local under the
+///   [`BlockPartitioner`], so the 4-shard run flushes 4 independent engines in parallel and
+///   is where the speedup shows on a multi-core host.
+/// * `spill_heavy_shards_*` — the random-endpoint stream: ~3/4 of the events land on the
+///   spill shard, whose flush dominates the critical path; the measurable gap to `shards_4`
+///   is the motivation for the ROADMAP's locality-aware partitioner.
 fn bench_sharded_service(c: &mut Criterion) {
-    let stream = stream();
+    let local = block_local_stream();
+    let spill_heavy = stream();
     let mut group = c.benchmark_group("engine_throughput/sharded_service");
-    group.throughput(Throughput::Elements(stream.len() as u64));
-    for shards in [1usize, 4] {
+    group.throughput(Throughput::Elements(local.len() as u64));
+    for shards in [1usize, SHARDS] {
         group.bench_with_input(
-            BenchmarkId::new(format!("shards_{shards}"), stream.len()),
-            &stream,
+            BenchmarkId::new(format!("shards_{shards}"), local.len()),
+            &local,
+            |b, s| {
+                b.iter(|| {
+                    let service = apply_service(s, shards, 512);
+                    service.published().num_graph_edges()
+                })
+            },
+        );
+    }
+    group.throughput(Throughput::Elements(spill_heavy.len() as u64));
+    for shards in [1usize, SHARDS] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("spill_heavy_shards_{shards}"), spill_heavy.len()),
+            &spill_heavy,
             |b, s| {
                 b.iter(|| {
                     let service = apply_service(s, shards, 512);

@@ -3,8 +3,8 @@
 //! The parallel update algorithms replace the sequential spine walk by parallel merge / filter
 //! primitives. The interesting regime is large h (long spines): the parallel algorithms should
 //! track the sequential ones for small h (no parallelism to exploit, small constant overhead)
-//! and catch up / win as h grows. Thread scaling is governed by the ambient rayon pool
-//! (`RAYON_NUM_THREADS`).
+//! and catch up / win as h grows. Thread scaling is governed by the workspace's vendored
+//! work-stealing pool, sized via `DYNSLD_THREADS` (1 = sequential fallback).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynsld::{DynSld, DynSldOptions, UpdateStrategy};

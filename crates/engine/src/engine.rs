@@ -285,6 +285,8 @@ impl ClusteringEngine {
             events_submitted: self.coalescer.events_submitted(),
             events_annihilated: self.coalescer.events_annihilated(),
             events_collapsed: self.coalescer.events_collapsed(),
+            // Routing is a service-level concept; see `ClusterService::metrics`.
+            events_routed_spill: 0,
             pending_ops: self.coalescer.pending_ops(),
             flushes: self.counters.flushes,
             ops_applied: self.counters.ops_applied,
@@ -299,6 +301,14 @@ impl ClusteringEngine {
         }
     }
 }
+
+// The service's concurrent flush borrows engines across fork-join pool threads, which is only
+// sound if the engine (graph, coalescer, snapshot handles and all) is `Send`. Assert it at
+// compile time so a future field can't silently break the parallel flush path.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ClusteringEngine>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -8,9 +8,11 @@
 //! * **Shard-routed facade** ([`service`]): a [`ServiceBuilder`] configures shard count, a
 //!   [`Partitioner`] (default: [`HashPartitioner`]) and a [`FlushPolicy`], and builds a
 //!   [`ClusterService`] of independent per-shard engines plus a spill shard for cross-shard
-//!   edges. Reads go through a [`ServiceSnapshot`] that lazily merges the per-shard views —
-//!   exactly the answers a single engine would give, behind a surface that later scaling
-//!   steps (parallel flush pools, async ingest, wire protocols) plug into unchanged.
+//!   edges. Flushes fan the dirty shards out concurrently over the workspace's work-stealing
+//!   fork-join pool (gated by [`ServiceBuilder::threads`]; `threads(1)` stays strictly
+//!   sequential and deterministic). Reads go through a [`ServiceSnapshot`] that lazily merges
+//!   the per-shard views — exactly the answers a single engine would give, behind a surface
+//!   that later scaling steps (async ingest, wire protocols) plug into unchanged.
 //! * **Update coalescing** ([`coalesce`]): edge events ([`GraphUpdate`]) are buffered and
 //!   deduplicated per edge — an insert followed by a delete annihilates, repeated re-weights
 //!   collapse to one, delete + insert becomes a re-weight — then split into homogeneous

@@ -20,6 +20,11 @@ pub struct Metrics {
     /// Events merged into an existing pending operation (re-weight chains, delete+insert
     /// fusions).
     pub events_collapsed: u64,
+    /// Events the service router sent to the spill shard because their endpoints straddled two
+    /// routed shards. Zero on single-engine metrics (routing is a service-level concept); set
+    /// by `ClusterService::metrics`. The numerator of [`Metrics::spill_routing_share`], the
+    /// partitioner-quality baseline.
+    pub events_routed_spill: u64,
     /// Operations currently buffered (one per edge, by coalescing).
     pub pending_ops: usize,
     /// Completed flushes (= the current epoch).
@@ -60,6 +65,7 @@ impl Metrics {
             out.events_submitted += m.events_submitted;
             out.events_annihilated += m.events_annihilated;
             out.events_collapsed += m.events_collapsed;
+            out.events_routed_spill += m.events_routed_spill;
             out.pending_ops += m.pending_ops;
             out.flushes += m.flushes;
             out.ops_applied += m.ops_applied;
@@ -86,6 +92,18 @@ impl Metrics {
             0.0
         } else {
             self.events_saved() as f64 / self.events_submitted as f64
+        }
+    }
+
+    /// Fraction of submitted events the router sent to the spill shard (0 when nothing was
+    /// submitted, and always 0 for single-engine metrics). High shares mean the partitioner
+    /// is splitting endpoint pairs apart and the spill shard is becoming the bottleneck — the
+    /// measurable baseline for the ROADMAP's locality-aware partitioning work.
+    pub fn spill_routing_share(&self) -> f64 {
+        if self.events_submitted == 0 {
+            0.0
+        } else {
+            self.events_routed_spill as f64 / self.events_submitted as f64
         }
     }
 
@@ -137,6 +155,7 @@ mod tests {
     fn derived_ratios_handle_zero_denominators() {
         let m = Metrics::default();
         assert_eq!(m.coalescing_ratio(), 0.0);
+        assert_eq!(m.spill_routing_share(), 0.0);
         assert_eq!(m.fast_path_ratio(), 0.0);
         assert_eq!(m.ops_per_second(), 0.0);
         assert_eq!(m.snapshot_cache_hit_rate(), 0.0);
@@ -150,6 +169,7 @@ mod tests {
             events_submitted: 10 + k,
             events_annihilated: 2 * k,
             events_collapsed: 3 + k,
+            events_routed_spill: 5 * k,
             pending_ops: 1 + k as usize,
             flushes: 4 + k,
             ops_applied: 100 * (k + 1),
@@ -170,6 +190,7 @@ mod tests {
         assert_eq!(merged.events_submitted, 10 + 11 + 12);
         assert_eq!(merged.events_annihilated, 2 + 4);
         assert_eq!(merged.events_collapsed, 3 + 4 + 5);
+        assert_eq!(merged.events_routed_spill, 5 + 10);
         assert_eq!(merged.pending_ops, 1 + 2 + 3);
         assert_eq!(merged.flushes, 4 + 5 + 6);
         assert_eq!(merged.ops_applied, 100 + 200 + 300);
@@ -206,6 +227,7 @@ mod tests {
             events_submitted: 10,
             events_annihilated: 2,
             events_collapsed: 3,
+            events_routed_spill: 4,
             ops_applied: 100,
             fast_path_ops: 75,
             fallback_ops: 25,
@@ -217,6 +239,7 @@ mod tests {
         };
         assert_eq!(m.events_saved(), 5);
         assert!((m.coalescing_ratio() - 0.5).abs() < 1e-12);
+        assert!((m.spill_routing_share() - 0.4).abs() < 1e-12);
         assert!((m.fast_path_ratio() - 0.75).abs() < 1e-12);
         assert!((m.ops_per_second() - 50.0).abs() < 1e-9);
         assert_eq!(m.mean_flush_time(), Duration::from_millis(500));

@@ -17,9 +17,14 @@
 //! notwithstanding. Flushes are driven per shard by a [`FlushPolicy`]; each shard keeps its
 //! own epoch counter, exposed as the snapshot's epoch vector.
 //!
-//! The sharding is *logical* in this PR — flushes still run sequentially on the caller's
-//! thread — but every later scaling step (work-stealing flush pools, async ingest, a wire
-//! protocol) plugs in behind this facade without touching its callers.
+//! Flushes exploit the shard independence: [`ClusterService::flush`] (and the
+//! [`FlushPolicy::OnRead`] path of [`ClusterService::snapshot`]) runs every dirty shard's
+//! flush *concurrently* on the workspace's work-stealing fork-join pool, joining the per-shard
+//! [`FlushReport`]s back in shard order. The parallelism is gated by
+//! [`ServiceBuilder::threads`] (default: the pool size, see [`rayon::current_num_threads`]):
+//! `threads(1)` reproduces the fully sequential pre-pool behaviour exactly — same flush order,
+//! same early stop on a shard failure — which the determinism tests pin down. Later scaling
+//! steps (async ingest, a wire protocol) plug in behind this facade without touching callers.
 
 use crate::coalesce::RejectReason;
 use crate::engine::{ClusteringEngine, EngineError, FlushReport};
@@ -29,6 +34,7 @@ use crate::snapshot::EngineSnapshot;
 use dynsld::{DynSldError, DynSldOptions, FlatClustering};
 use dynsld_forest::workload::GraphUpdate;
 use dynsld_forest::{Dsu, VertexId, Weight};
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -117,6 +123,7 @@ pub struct ServiceBuilder {
     partitioner: Arc<dyn Partitioner>,
     policy: FlushPolicy,
     options: DynSldOptions,
+    threads: Option<usize>,
 }
 
 impl Default for ServiceBuilder {
@@ -126,6 +133,7 @@ impl Default for ServiceBuilder {
             partitioner: Arc::new(HashPartitioner),
             policy: FlushPolicy::Manual,
             options: DynSldOptions::default(),
+            threads: None,
         }
     }
 }
@@ -167,10 +175,41 @@ impl ServiceBuilder {
         self
     }
 
+    /// Service-level flush parallelism (≥ 1). With `threads(1)` the service flushes its
+    /// shards strictly sequentially on the caller's thread — reproducing the pre-pool
+    /// behaviour bit for bit, including the early stop on a shard failure. With `n ≥ 2`,
+    /// [`ClusterService::flush`] fans the dirty shards out over the workspace fork-join pool
+    /// ([`rayon::join`]); multi-threaded requests (`n ≥ 2`) are also forwarded to
+    /// [`rayon::configure_threads`] so an early-built service can size the lazily-started
+    /// pool (`DYNSLD_THREADS` still wins; `threads(1)` is service-local and never shrinks
+    /// the shared pool).
+    ///
+    /// Defaults to [`rayon::current_num_threads`] — i.e. concurrent flushes whenever the
+    /// process has a multi-threaded pool.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a service needs at least one flush thread");
+        self.threads = Some(n);
+        self
+    }
+
     /// Builds the service over vertices `0..n`. Every shard engine covers the full vertex
     /// range (the partitioner splits *edges*, not vertex storage), so any shard can validate
     /// and apply any edge it is routed.
     pub fn build(self, n: usize) -> ClusterService {
+        // Only multi-threaded requests are forwarded to the (first-request-wins) global pool
+        // configuration: `threads(1)` means "flush *this service* sequentially", not "pin the
+        // whole process to one thread". The default (`None`) is deliberately *not* resolved
+        // here — reading the pool size would start the pool, consuming the one-shot sizing
+        // opportunity of any later-built service; it resolves lazily on first use instead.
+        if let Some(t) = self.threads {
+            if t > 1 {
+                rayon::configure_threads(t);
+            }
+        }
+        let threads = self.threads;
         let num_engines = if self.num_shards == 1 {
             1
         } else {
@@ -187,6 +226,8 @@ impl ServiceBuilder {
             partitioner: self.partitioner,
             policy: self.policy,
             published,
+            threads,
+            spill_events: 0,
         }
     }
 }
@@ -246,6 +287,12 @@ pub struct ClusterService {
     /// one epoch vector share a single merged-clustering cache; refreshed only when a shard
     /// publishes a new state (flush with work, vertex growth).
     published: ServiceSnapshot,
+    /// Flush parallelism: 1 = strictly sequential shard flushes, ≥ 2 = concurrent flushes on
+    /// the fork-join pool, `None` = follow the shared pool's size (resolved per flush, so
+    /// building a default service never eagerly starts the pool).
+    threads: Option<usize>,
+    /// Events routed to the spill shard since construction (spill-routing share numerator).
+    spill_events: u64,
 }
 
 impl ClusterService {
@@ -278,6 +325,13 @@ impl ClusterService {
     /// The flush policy the service was built with.
     pub fn flush_policy(&self) -> FlushPolicy {
         self.policy
+    }
+
+    /// The service's effective flush parallelism (see [`ServiceBuilder::threads`]). An
+    /// explicit builder setting is returned as-is; the default follows the shared pool's
+    /// size, which this call resolves (starting the pool if it has not run yet).
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(rayon::current_num_threads)
     }
 
     /// All shard ids, routed shards first, then the spill shard when present.
@@ -351,6 +405,9 @@ impl ClusterService {
         self.engines[idx]
             .submit(event)
             .map_err(|e| ServiceError::from_engine(id, e))?;
+        if id == ShardId::Spill {
+            self.spill_events += 1;
+        }
         if let FlushPolicy::EveryNOps(n) = self.policy {
             if self.engines[idx].pending_ops() >= n.max(1) {
                 self.flush_shard(id)?;
@@ -401,22 +458,52 @@ impl ClusterService {
         result
     }
 
-    /// Flushes every shard's pending buffer (routed shards first, spill shard last) and
-    /// reports what each did. Shards with nothing pending contribute a no-op report.
+    /// Flushes every shard's pending buffer and reports what each did, in shard order (routed
+    /// shards first, spill shard last). Shards with nothing pending contribute a no-op report.
+    ///
+    /// With [`ServiceBuilder::threads`] ≥ 2 the shard flushes run *concurrently* on the
+    /// fork-join pool — the engines are independent by construction, and the per-shard
+    /// [`FlushReport`]s are joined back in shard order, so the returned report (and the merged
+    /// view published afterwards) is identical to a sequential flush. On failure the error
+    /// names the lowest-indexed failing shard; in concurrent mode every shard is still
+    /// flushed, while `threads(1)` preserves the historical sequential contract of stopping at
+    /// the first failing shard.
     pub fn flush(&mut self) -> Result<ServiceFlushReport, ServiceError> {
+        let sequential = self.threads() <= 1 || self.engines.len() <= 1;
         let mut reports = Vec::with_capacity(self.engines.len());
         let mut failure = None;
-        for idx in 0..self.engines.len() {
-            let id = self.id_of(idx);
-            match self.engines[idx].flush() {
-                Ok(report) => reports.push((id, report)),
-                Err(e) => {
-                    failure = Some(ServiceError::from_engine(id, e));
-                    break;
+        if sequential {
+            for idx in 0..self.engines.len() {
+                let id = self.id_of(idx);
+                match self.engines[idx].flush() {
+                    Ok(report) => reports.push((id, report)),
+                    Err(e) => {
+                        failure = Some(ServiceError::from_engine(id, e));
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Scoped fan-out over the fork-join pool: the engines are independent, every
+            // borrowed `&mut` pair is disjoint, and each result lands in its shard's slot
+            // regardless of execution order.
+            let mut slots: Vec<Option<Result<FlushReport, EngineError>>> =
+                vec![None; self.engines.len()];
+            self.engines
+                .par_iter_mut()
+                .zip(slots.par_iter_mut())
+                .for_each(|(engine, slot)| *slot = Some(engine.flush()));
+            for (idx, slot) in slots.into_iter().enumerate() {
+                let id = self.id_of(idx);
+                match slot.expect("every shard flush produces a result") {
+                    Ok(report) => reports.push((id, report)),
+                    Err(e) => {
+                        failure = failure.or(Some(ServiceError::from_engine(id, e)));
+                    }
                 }
             }
         }
-        // Refresh even on a mid-loop failure: shards flushed before the failing one have
+        // Refresh even on failure: shards flushed before (or besides) the failing one have
         // already published new states, and served views must reflect them.
         self.refresh_published();
         match failure {
@@ -457,10 +544,15 @@ impl ClusterService {
     }
 
     /// Cross-shard aggregated counters: the per-shard [`Metrics`] merged with
-    /// [`Metrics::merge`] (counters summed, flush-latency maxima kept).
+    /// [`Metrics::merge`] (counters summed, flush-latency maxima kept), plus the
+    /// service-level router counter [`Metrics::events_routed_spill`] — the numerator of
+    /// [`Metrics::spill_routing_share`], the partitioner-quality baseline the ROADMAP's
+    /// locality-aware partitioning work measures against.
     pub fn metrics(&self) -> Metrics {
         let parts: Vec<Metrics> = self.engines.iter().map(ClusteringEngine::metrics).collect();
-        Metrics::merge(&parts)
+        let mut merged = Metrics::merge(&parts);
+        merged.events_routed_spill = self.spill_events;
+        merged
     }
 
     /// One shard's counters, unmerged.
@@ -816,5 +908,80 @@ mod tests {
         assert_eq!(m.flushes, 3); // one per non-empty shard
         let spill = svc.shard_metrics(ShardId::Spill);
         assert_eq!(spill.ops_applied, 1);
+    }
+
+    #[test]
+    fn metrics_report_spill_routing_share() {
+        let mut svc = blocked(2, 8, FlushPolicy::Manual);
+        // Two shard-local events, one cross-shard event -> 1/3 of the routed traffic spills.
+        svc.submit_all([ins(0, 1, 1.0), ins(4, 5, 1.0), ins(1, 4, 2.0)])
+            .unwrap();
+        let m = svc.metrics();
+        assert_eq!(m.events_routed_spill, 1);
+        assert!((m.spill_routing_share() - 1.0 / 3.0).abs() < 1e-12);
+        // Per-shard metrics stay routing-agnostic; only the service-level merge carries it.
+        assert_eq!(svc.shard_metrics(ShardId::Spill).events_routed_spill, 0);
+        // Single-shard services never spill.
+        let mut solo = ClusterService::single_shard(4);
+        solo.submit(ins(0, 3, 1.0)).unwrap();
+        assert_eq!(solo.metrics().events_routed_spill, 0);
+        assert_eq!(solo.metrics().spill_routing_share(), 0.0);
+    }
+
+    #[test]
+    fn threads_knob_defaults_to_pool_and_gates_sequential_mode() {
+        let svc = blocked(2, 8, FlushPolicy::Manual);
+        assert_eq!(svc.threads(), rayon::current_num_threads());
+        let sequential = ServiceBuilder::new().shards(3).threads(1).build(8);
+        assert_eq!(sequential.threads(), 1);
+    }
+
+    #[test]
+    fn concurrent_flush_matches_sequential_flush() {
+        let stream = [
+            ins(0, 1, 1.0),
+            ins(4, 5, 2.0),
+            ins(1, 4, 3.0),
+            ins(2, 3, 4.0),
+            ins(6, 7, 5.0),
+            ins(3, 6, 6.0),
+        ];
+        let mut seq = ServiceBuilder::new()
+            .shards(2)
+            .partitioner(BlockPartitioner { block_size: 4 })
+            .threads(1)
+            .build(8);
+        let mut par = ServiceBuilder::new()
+            .shards(2)
+            .partitioner(BlockPartitioner { block_size: 4 })
+            .threads(4)
+            .build(8);
+        seq.submit_all(stream).unwrap();
+        par.submit_all(stream).unwrap();
+        let seq_report = seq.flush().unwrap();
+        let par_report = par.flush().unwrap();
+        // Identical per-shard reports in identical shard order (durations excepted: they are
+        // wall-clock measurements, not semantics)...
+        assert_eq!(seq_report.reports.len(), par_report.reports.len());
+        for ((id_s, r_s), (id_p, r_p)) in seq_report.reports.iter().zip(&par_report.reports) {
+            assert_eq!(id_s, id_p);
+            assert_eq!(r_s.epoch, r_p.epoch);
+            assert_eq!(r_s.ops_applied, r_p.ops_applied);
+            assert_eq!(r_s.changes, r_p.changes);
+            assert_eq!(r_s.promoted, r_p.promoted);
+            assert_eq!(r_s.fast_path, r_p.fast_path);
+            assert_eq!(r_s.fallback, r_p.fallback);
+        }
+        assert_eq!(seq.epochs(), par.epochs());
+        // ...and identical merged views.
+        let (a, b) = (seq.snapshot().unwrap(), par.snapshot().unwrap());
+        assert_eq!(a.num_graph_edges(), b.num_graph_edges());
+        for tau in [1.5, 3.5, 6.0, f64::INFINITY] {
+            assert_eq!(
+                a.flat_clustering(tau).clusters,
+                b.flat_clustering(tau).clusters,
+                "clusterings diverged at tau={tau}"
+            );
+        }
     }
 }

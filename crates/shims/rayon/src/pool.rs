@@ -1,0 +1,379 @@
+//! The work-stealing fork-join pool behind [`join`](crate::join).
+//!
+//! Layout: one fixed worker thread per pool slot, each owning a deque of pending jobs, plus a
+//! global injector queue for jobs submitted by threads outside the pool. The scheduling
+//! discipline is Chase–Lev-style even though the deques are mutex-protected rather than
+//! lock-free: the owning worker pushes and pops at the *bottom* (LIFO, so the hot path reuses
+//! the cache-warm most-recent subproblem), while thieves steal from the *top* (FIFO, so they
+//! take the largest, oldest subproblems and stealing stays rare). A blocked joiner never just
+//! spins: it first tries to reclaim its own forked job, and otherwise *helps* — executing any
+//! stealable job it can find until its own job's latch flips.
+//!
+//! Pool size resolution, in priority order: the `DYNSLD_THREADS` environment variable, the
+//! first pre-initialization [`configure_threads`](crate::configure_threads) request, then
+//! [`std::thread::available_parallelism`]. A size of 1 disables the pool entirely: no worker
+//! threads are spawned and `join` degenerates to sequential calls, reproducing the behaviour
+//! of the historical sequential shim exactly.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard cap on the pool size, guarding against absurd `DYNSLD_THREADS` values.
+const MAX_THREADS: usize = 256;
+
+/// A type-erased pointer to a [`StackJob`] plus the function that runs it.
+///
+/// Soundness: a `JobRef` always points into the stack frame of a `join` call that does not
+/// return until the job has been executed (by itself or by a thief), so the pointee strictly
+/// outlives every copy of the ref; and a job is executed at most once because removal from a
+/// deque is exclusive (mutex-guarded).
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: see the type-level soundness note; the closure and result types behind `data` are
+// constrained to `Send` by `StackJob::as_job_ref`.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job. Called exactly once, by whichever thread removed the ref from a queue.
+    pub(crate) unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+}
+
+/// A fork-join job allocated on the forking thread's stack: the not-yet-run closure, a slot
+/// for its (possibly panicked) result, and the completion latch the joiner blocks on.
+pub(crate) struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(f: F) -> Self {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: Self::execute_erased,
+        }
+    }
+
+    /// The address identifying this job in the queues (for reclaim-by-identity).
+    pub(crate) fn id(&self) -> *const () {
+        self as *const Self as *const ()
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        // Acquire pairs with the Release in `execute_erased`, making the result visible.
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Runs the closure on the current thread (used when the joiner reclaims its own job).
+    pub(crate) fn run_inline(&self) {
+        unsafe { Self::execute_erased(self.id()) }
+    }
+
+    /// Takes the stored result. Only valid after [`is_done`](Self::is_done) returned true.
+    pub(crate) fn take_result(&self) -> std::thread::Result<R> {
+        unsafe {
+            (*self.result.get())
+                .take()
+                .expect("job result taken before completion")
+        }
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let job = &*(ptr as *const Self);
+        let f = (*job.f.get()).take().expect("fork-join job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(f));
+        *job.result.get() = Some(result);
+        job.done.store(true, Ordering::Release);
+    }
+}
+
+/// One mutex-guarded job deque. The owner pushes/pops at the back; thieves pop the front.
+struct Deque {
+    jobs: Mutex<VecDeque<JobRef>>,
+}
+
+impl Deque {
+    fn new() -> Self {
+        Deque {
+            jobs: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push_bottom(&self, job: JobRef) {
+        self.jobs.lock().expect("deque poisoned").push_back(job);
+    }
+
+    fn pop_bottom(&self) -> Option<JobRef> {
+        self.jobs.lock().expect("deque poisoned").pop_back()
+    }
+
+    fn steal_top(&self) -> Option<JobRef> {
+        self.jobs.lock().expect("deque poisoned").pop_front()
+    }
+
+    /// Removes and returns true iff the job identified by `id` is still queued here. Used by a
+    /// joiner to reclaim its forked job before blocking; scanning from the back finds it in
+    /// O(1) in the common un-stolen case.
+    fn reclaim(&self, id: *const ()) -> bool {
+        let mut jobs = self.jobs.lock().expect("deque poisoned");
+        if let Some(pos) = jobs.iter().rposition(|j| j.data == id) {
+            jobs.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Sleep support for idle workers, wakeup-race-free: a worker re-checks the pending-job count
+/// *under the sleep lock* before waiting, and pushers increment that count before notifying
+/// *under the same lock* — so a push either happens before the check (worker returns without
+/// sleeping) or blocks on the lock until the worker is actually waiting (notification
+/// delivered). Idle workers therefore burn no CPU between jobs; a generous timeout remains as
+/// pure defence in depth.
+struct Sleep {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Sleep {
+    fn new() -> Self {
+        Sleep {
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until [`notify`](Self::notify) (or the defensive timeout), unless `pending`
+    /// already reports queued work.
+    fn idle_wait(&self, pending: &AtomicUsize) {
+        let guard = self.lock.lock().expect("sleep lock poisoned");
+        if pending.load(Ordering::SeqCst) > 0 {
+            return;
+        }
+        let _ = self
+            .cv
+            .wait_timeout(guard, Duration::from_millis(100))
+            .expect("sleep lock poisoned");
+    }
+
+    /// Wakes every waiting worker. Taking the lock orders this after any in-flight
+    /// [`idle_wait`](Self::idle_wait) pending-check, closing the lost-wakeup window.
+    fn notify(&self) {
+        let _guard = self.lock.lock().expect("sleep lock poisoned");
+        self.cv.notify_all();
+    }
+}
+
+pub(crate) struct Pool {
+    /// One deque per worker thread; empty when the pool is disabled (size 1).
+    deques: Vec<Deque>,
+    /// Jobs forked by threads outside the pool.
+    injector: Deque,
+    sleep: Sleep,
+    /// Jobs currently queued across all deques (maintained by `push`, `find_work` and the
+    /// joiner's reclaim); lets idle workers sleep without polling.
+    pending: AtomicUsize,
+    threads: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+/// Pre-initialization size request from [`configure_threads`]; 0 = unset.
+static REQUESTED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's worker index, or `usize::MAX` for threads outside the pool.
+    static WORKER: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn resolve_threads() -> usize {
+    let requested = match std::env::var("DYNSLD_THREADS") {
+        Ok(s) => s.trim().parse::<usize>().ok(),
+        Err(_) => None,
+    };
+    let requested = requested.or({
+        match REQUESTED.load(Ordering::SeqCst) {
+            0 => None,
+            n => Some(n),
+        }
+    });
+    let threads = requested.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    threads.clamp(1, MAX_THREADS)
+}
+
+pub(crate) fn global() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = resolve_threads();
+        let pool = Pool {
+            deques: if threads > 1 {
+                (0..threads).map(|_| Deque::new()).collect()
+            } else {
+                Vec::new()
+            },
+            injector: Deque::new(),
+            sleep: Sleep::new(),
+            pending: AtomicUsize::new(0),
+            threads,
+        };
+        for index in 0..pool.deques.len() {
+            std::thread::Builder::new()
+                .name(format!("dynsld-worker-{index}"))
+                .spawn(move || worker_main(index))
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    })
+}
+
+/// Records a pool-size request. Only effective before the pool first runs a job, and
+/// overridden by `DYNSLD_THREADS`; the first request wins, matching `rayon`'s global pool.
+pub(crate) fn configure(threads: usize) {
+    let threads = threads.clamp(1, MAX_THREADS);
+    let _ = REQUESTED.compare_exchange(0, threads, Ordering::SeqCst, Ordering::SeqCst);
+}
+
+pub(crate) fn pool_size() -> usize {
+    global().threads
+}
+
+fn worker_main(index: usize) {
+    WORKER.with(|w| w.set(index));
+    let pool = global();
+    loop {
+        match pool.find_work(Some(index)) {
+            Some(job) => unsafe { job.execute() },
+            None => pool.sleep.idle_wait(&pool.pending),
+        }
+    }
+}
+
+impl Pool {
+    /// Queues a forked job for execution: on the forking worker's own deque when called from
+    /// inside the pool, on the injector otherwise. Returns the queue the job landed on.
+    fn push(&self, job: JobRef) -> &Deque {
+        let queue = match WORKER.with(Cell::get) {
+            idx if idx < self.deques.len() => &self.deques[idx],
+            _ => &self.injector,
+        };
+        // Increment strictly before the job becomes visible: a thief that takes it the moment
+        // it lands decrements a counter that already includes it (no transient underflow),
+        // and a sleeping worker either sees the count under the sleep lock or receives the
+        // (lock-ordered) notification.
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        queue.push_bottom(job);
+        self.sleep.notify();
+        queue
+    }
+
+    /// Marks one queued job as taken (by a pop, steal, or joiner reclaim).
+    fn job_taken(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Finds one executable job: the caller's own deque bottom first (when a worker), then a
+    /// rotating sweep of the other workers' tops, then the injector.
+    fn find_work(&self, worker: Option<usize>) -> Option<JobRef> {
+        if let Some(me) = worker {
+            if let Some(job) = self.deques[me].pop_bottom() {
+                self.job_taken();
+                return Some(job);
+            }
+        }
+        let n = self.deques.len();
+        let start = worker.map_or(0, |me| me + 1);
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if Some(victim) == worker {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].steal_top() {
+                self.job_taken();
+                return Some(job);
+            }
+        }
+        let job = self.injector.steal_top();
+        if job.is_some() {
+            self.job_taken();
+        }
+        job
+    }
+}
+
+/// Forks `b`, runs `a` inline, then joins: reclaim-and-run `b` if nobody stole it, otherwise
+/// help execute other jobs until the thief finishes. Panics from either closure propagate to
+/// the caller — after *both* closures have completed, so no stack job is ever left dangling.
+pub(crate) fn join_impl<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = global();
+    if pool.threads <= 1 {
+        return (a(), b());
+    }
+    let job_b = StackJob::new(b);
+    let queue = pool.push(job_b.as_job_ref());
+    let result_a = catch_unwind(AssertUnwindSafe(a));
+
+    if queue.reclaim(job_b.id()) {
+        // Nobody stole it: run it right here, preserving sequential execution order.
+        pool.job_taken();
+        job_b.run_inline();
+    } else {
+        // Stolen (or mid-steal). Help-first wait: execute any other available job rather than
+        // blocking the thread, falling back to brief yields when the whole pool is busy.
+        let worker = WORKER.with(Cell::get);
+        let worker = (worker < pool.deques.len()).then_some(worker);
+        let mut idle_spins = 0u32;
+        while !job_b.is_done() {
+            match pool.find_work(worker) {
+                Some(job) => {
+                    unsafe { job.execute() };
+                    idle_spins = 0;
+                }
+                None => {
+                    idle_spins += 1;
+                    if idle_spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    let result_b = job_b.take_result();
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => std::panic::resume_unwind(payload),
+        (_, Err(payload)) => std::panic::resume_unwind(payload),
+    }
+}

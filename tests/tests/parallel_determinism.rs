@@ -1,0 +1,126 @@
+//! Thread-count independence: the service's published clusterings must be a pure function of
+//! the event stream, never of the pool size or flush scheduling.
+//!
+//! Two pillars make this hold and are pinned down here:
+//!
+//! * the (weight, edge-pair) tie-breaking introduced in PR 1 makes every MSF/dendrogram
+//!   decision deterministic, so each shard engine computes the same state no matter when or
+//!   on which worker its flush runs;
+//! * every parallel primitive in the `rayon` shim (and the service's shard-order report
+//!   merge) is order-preserving, so fan-out never reorders observable results.
+//!
+//! The tests compare a strictly sequential service (`threads(1)` — the exact pre-pool code
+//! path) against a concurrent one (`threads(4)`) on identical streams: epoch vectors, flush
+//! reports and full merged clusterings must be identical. They are meaningful at any pool
+//! size — with `DYNSLD_THREADS=1` both runs are sequential and the comparison is trivial;
+//! with a multi-threaded pool (the `DYNSLD_THREADS=4` CI run) it is a real
+//! scheduling-independence check.
+
+use dynsld_engine::{BlockPartitioner, FlushPolicy, ServiceBuilder, ServiceSnapshot};
+use dynsld_forest::workload::GraphWorkloadBuilder;
+
+/// Builds the service pair — identical but for the flush parallelism.
+fn service_pair(
+    n: usize,
+    shards: usize,
+    policy: FlushPolicy,
+) -> (dynsld_engine::ClusterService, dynsld_engine::ClusterService) {
+    let base = ServiceBuilder::new()
+        .shards(shards)
+        .partitioner(BlockPartitioner {
+            block_size: 1 + n / shards,
+        })
+        .flush_policy(policy);
+    (base.clone().threads(1).build(n), base.threads(4).build(n))
+}
+
+/// Asserts the two snapshots answer identically: same epoch vector, same edge counts, and
+/// byte-for-byte identical canonical clusterings at every probed threshold.
+fn assert_identical(a: &ServiceSnapshot, b: &ServiceSnapshot, thresholds: &[f64], context: &str) {
+    assert_eq!(a.epochs(), b.epochs(), "{context}: epoch vectors diverged");
+    assert_eq!(
+        a.num_graph_edges(),
+        b.num_graph_edges(),
+        "{context}: edge counts diverged"
+    );
+    assert_eq!(
+        a.num_components(),
+        b.num_components(),
+        "{context}: component counts diverged"
+    );
+    for &tau in thresholds {
+        let (ca, cb) = (a.flat_clustering(tau), b.flat_clustering(tau));
+        assert_eq!(
+            ca.labels, cb.labels,
+            "{context}: cluster labels diverged at tau={tau}"
+        );
+        assert_eq!(
+            ca.clusters, cb.clusters,
+            "{context}: cluster members diverged at tau={tau}"
+        );
+    }
+}
+
+#[test]
+fn threads_1_and_threads_4_produce_identical_clusterings() {
+    // Ask for a 4-thread pool up front; DYNSLD_THREADS (the CI matrix) still wins, and the
+    // comparison below must hold either way.
+    rayon::configure_threads(4);
+    let thresholds = [0.75, 2.0, 4.5, 7.0, f64::INFINITY];
+    for seed in [3u64, 0xBAD5EED, 0x5CA1AB1E] {
+        let n = 48;
+        let stream = GraphWorkloadBuilder::new(n)
+            .weight_scale(8.0)
+            .churn_stream(3 * n, 700, seed);
+        let (mut seq, mut par) = service_pair(n, 4, FlushPolicy::Manual);
+        assert_eq!(seq.threads(), 1);
+        assert_eq!(par.threads(), 4);
+        for (i, chunk) in stream.chunks(64).enumerate() {
+            for &update in chunk {
+                seq.submit(update).expect("generated stream is valid");
+                par.submit(update).expect("generated stream is valid");
+            }
+            let rs = seq.flush().expect("validated stream");
+            let rp = par.flush().expect("validated stream");
+            assert_eq!(rs.epochs(), rp.epochs(), "flush round {i} epochs diverged");
+            assert_eq!(rs.ops_applied(), rp.ops_applied());
+            assert_eq!(rs.fast_path(), rp.fast_path());
+            assert_eq!(rs.fallback(), rp.fallback());
+            assert_identical(
+                &seq.snapshot().unwrap(),
+                &par.snapshot().unwrap(),
+                &thresholds,
+                &format!("seed {seed:#x}, flush round {i}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn on_read_policy_is_thread_count_independent() {
+    rayon::configure_threads(4);
+    let n = 32;
+    let stream = GraphWorkloadBuilder::new(n)
+        .weight_scale(6.0)
+        .churn_stream(2 * n, 400, 0xD15EA5E);
+    let (mut seq, mut par) = service_pair(n, 3, FlushPolicy::OnRead);
+    for (i, &update) in stream.iter().enumerate() {
+        seq.submit(update).expect("generated stream is valid");
+        par.submit(update).expect("generated stream is valid");
+        if i % 37 == 0 {
+            // `snapshot` under OnRead flushes everything pending — concurrently on `par`.
+            assert_identical(
+                &seq.snapshot().unwrap(),
+                &par.snapshot().unwrap(),
+                &[1.5, 4.0, f64::INFINITY],
+                &format!("read at op {i}"),
+            );
+        }
+    }
+    assert_identical(
+        &seq.snapshot().unwrap(),
+        &par.snapshot().unwrap(),
+        &[1.5, 4.0, f64::INFINITY],
+        "final read",
+    );
+}

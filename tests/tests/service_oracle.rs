@@ -122,6 +122,54 @@ proptest! {
         );
     }
 
+    /// Concurrent shard flushes (`threads ≥ 2`, fan-out over the work-stealing pool) keep the
+    /// sharded service *exactly* equivalent to the single-engine oracle: the engines are
+    /// independent and the per-shard reports are joined back in shard order, so concurrency
+    /// must never be observable in the merged snapshots — mid-stream or final, at any
+    /// threshold, across seeds.
+    #[test]
+    fn concurrent_flush_service_matches_single_engine_oracle(
+        seed in 0u64..1 << 48,
+        n in 6usize..40,
+        shards in 2usize..6,
+        threads in 2usize..5,
+        num_ops in 20usize..240,
+        on_read in any::<bool>(),
+    ) {
+        let policy = if on_read { FlushPolicy::OnRead } else { FlushPolicy::Manual };
+        let mut service = ServiceBuilder::new()
+            .shards(shards)
+            .threads(threads)
+            .flush_policy(policy)
+            .build(n);
+        prop_assert_eq!(service.threads(), threads);
+        let mut oracle = ClusteringEngine::new(n);
+
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let weight_scale = 8.0;
+        let stream = GraphWorkloadBuilder::new(n)
+            .weight_scale(weight_scale)
+            .churn_stream(2 * n, num_ops, seed);
+        let mut thresholds: Vec<f64> = (0..3)
+            .map(|_| rng.gen::<f64>() * weight_scale * 1.25)
+            .collect();
+        thresholds.push(f64::INFINITY);
+
+        for (i, &update) in stream.iter().enumerate() {
+            service.submit(update).expect("generated stream is valid");
+            oracle.submit(update).expect("generated stream is valid");
+            // Frequent flush points so most flushes have several dirty shards to fan out.
+            if rng.gen_bool(0.1) {
+                service.flush().expect("validated stream");
+                oracle.flush().expect("validated stream");
+                assert_equivalent(&mut service, &oracle, &thresholds, &format!("after op {i}"));
+            }
+        }
+        service.flush().expect("validated stream");
+        oracle.flush().expect("validated stream");
+        assert_equivalent(&mut service, &oracle, &thresholds, "final state");
+    }
+
     /// Vertex growth mid-stream: growing the service and the oracle identically keeps them
     /// observationally equivalent, and new vertices accept edges on both sides.
     #[test]
