@@ -10,7 +10,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dynsld_bench::config;
-use dynsld_engine::{BlockPartitioner, ClusterService, ClusteringEngine, ServiceBuilder};
+use dynsld_engine::{
+    Backpressure, BlockPartitioner, ClusterService, ClusteringEngine, FlushPolicy, ServiceBuilder,
+};
 use dynsld_forest::workload::{GraphUpdate, GraphWorkloadBuilder};
 use dynsld_forest::VertexId;
 use dynsld_msf::DynamicGraphClustering;
@@ -155,22 +157,62 @@ fn bench_redundant_stream(c: &mut Criterion) {
 }
 
 /// Service path: the stream routed across `shards` block-partitioned engines (plus the spill
-/// shard when sharded), ticked every `flush_every` events. Flushes run concurrently on the
-/// fork-join pool whenever it has more than one thread.
+/// shard when sharded), driven through the handle pipeline and ticked every `flush_every`
+/// events. Flushes run concurrently on the fork-join pool whenever it has more than one
+/// thread.
 fn apply_service(stream: &[GraphUpdate], shards: usize, flush_every: usize) -> ClusterService {
-    let mut service = ServiceBuilder::new()
+    let service = ServiceBuilder::new()
+        .vertices(N)
         .shards(shards)
         .partitioner(BlockPartitioner {
             block_size: N / SHARDS,
         })
-        .build(N);
+        .queue_capacity(flush_every)
+        .build()
+        .expect("valid bench configuration");
+    let ingest = service.ingest_handle();
+    let mut driver = service.into_driver();
     for chunk in stream.chunks(flush_every) {
         for &u in chunk {
-            service.submit(u).expect("valid stream");
+            ingest.submit(u).expect("valid stream");
         }
-        service.flush().expect("validated at submit time");
+        driver.pump().expect("validated at routing time");
+        driver.flush().expect("validated at routing time");
     }
-    service
+    driver.into_service()
+}
+
+/// Pipeline path for the `ingest_queue` group: a producer thread submits the whole stream
+/// through a `Block`-mode handle while the driver is parked on `run_until_closed`, so the
+/// measured cost is the full queue handoff — enqueue, backpressure, drain, route,
+/// threshold flush — at the given queue depth.
+fn apply_pipeline(stream: &[GraphUpdate], shards: usize, queue_depth: usize) -> usize {
+    let service = ServiceBuilder::new()
+        .vertices(N)
+        .shards(shards)
+        .partitioner(BlockPartitioner {
+            block_size: N / SHARDS,
+        })
+        .flush_policy(FlushPolicy::EveryNOps(512))
+        .queue_capacity(queue_depth)
+        .backpressure(Backpressure::Block)
+        .build()
+        .expect("valid bench configuration");
+    let ingest = service.ingest_handle();
+    let mut driver = service.into_driver();
+    std::thread::scope(|s| {
+        let producer = ingest.clone();
+        s.spawn(move || {
+            for &u in stream {
+                producer.submit(u).expect("pipeline open");
+            }
+            producer.close();
+        });
+        driver
+            .run_until_closed()
+            .expect("validated at routing time");
+    });
+    driver.service().published().num_graph_edges()
 }
 
 /// Sharding speedup: 1 vs 4 shards over identical workloads, with the shard flushes running
@@ -216,9 +258,30 @@ fn bench_sharded_service(c: &mut Criterion) {
     group.finish();
 }
 
+/// The queued ingest pipeline: producer thread + parked driver, queue depth 1 vs 1024, 1 vs
+/// 4 shards, on the block-local (zero-spill) stream. Depth 1 forces a queue handoff on every
+/// event — the fully contended submit path — while depth 1024 amortises the lock into
+/// batch-sized drains; the gap is the price of backpressure, and the shard axis shows the
+/// concurrent flushes still composing with the queue in front.
+fn bench_ingest_queue(c: &mut Criterion) {
+    let local = block_local_stream();
+    let mut group = c.benchmark_group("engine_throughput/ingest_queue");
+    group.throughput(Throughput::Elements(local.len() as u64));
+    for shards in [1usize, SHARDS] {
+        for depth in [1usize, 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("depth_{depth}_shards_{shards}"), local.len()),
+                &local,
+                |b, s| b.iter(|| apply_pipeline(s, shards, depth)),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_engine_vs_naive, bench_redundant_stream, bench_sharded_service
+    targets = bench_engine_vs_naive, bench_redundant_stream, bench_sharded_service, bench_ingest_queue
 }
 criterion_main!(benches);

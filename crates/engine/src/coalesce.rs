@@ -19,6 +19,10 @@
 //! yields one homogeneous deletion batch and one homogeneous insertion batch (a pending
 //! re-weight contributes to both, which is exactly the delete + re-insert the per-edge path
 //! would perform — minus the redundant intermediate applications).
+//!
+//! The validity-free half of this merge table is mirrored by the submission queue's
+//! `Backpressure::Coalesce` compaction (`compact` in `crates/engine/src/ingest.rs`); a rule
+//! change here must be reflected there.
 
 use dynsld_forest::workload::GraphUpdate;
 use dynsld_forest::{VertexId, Weight};

@@ -285,8 +285,13 @@ impl ClusteringEngine {
             events_submitted: self.coalescer.events_submitted(),
             events_annihilated: self.coalescer.events_annihilated(),
             events_collapsed: self.coalescer.events_collapsed(),
-            // Routing is a service-level concept; see `ClusterService::metrics`.
+            // Routing and the submission queue are service-level concepts; see
+            // `ClusterService::metrics`.
             events_routed_spill: 0,
+            events_enqueued: 0,
+            events_compacted_in_queue: 0,
+            queue_block_waits: 0,
+            queue_full_rejections: 0,
             pending_ops: self.coalescer.pending_ops(),
             flushes: self.counters.flushes,
             ops_applied: self.counters.ops_applied,

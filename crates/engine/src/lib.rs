@@ -5,76 +5,102 @@
 //! through a dynamic minimum-spanning-forest front end. This crate turns them into a
 //! *service* — the ingestion and serving layer a clustering deployment actually runs:
 //!
-//! * **Shard-routed facade** ([`service`]): a [`ServiceBuilder`] configures shard count, a
-//!   [`Partitioner`] (default: [`HashPartitioner`]) and a [`FlushPolicy`], and builds a
+//! * **Handle-based concurrent ingest** ([`ingest`]): the service's public surface is split
+//!   into clonable [`IngestHandle`]s (writes go into a bounded MPSC submission queue —
+//!   `submit` never blocks on a flush, with [`Backpressure`] `Block`/`Fail`/`Coalesce` when
+//!   the queue fills), one [`FlusherDriver`] (the single writer: owns the service, drains the
+//!   queue, routes events, fans dirty-shard flushes out over the work-stealing pool), and
+//!   clonable [`ReadHandle`]s (epoch-pinned [`ServiceSnapshot`]s with `&self`, never blocking
+//!   on the writer).
+//! * **Shard-routed facade** ([`service`]): a [`ServiceBuilder`] *validates* a configuration
+//!   (shard count, [`Partitioner`], [`FlushPolicy`], queue capacity, flush threads — invalid
+//!   configs return [`ServiceError::InvalidConfig`] instead of panicking) and builds a
 //!   [`ClusterService`] of independent per-shard engines plus a spill shard for cross-shard
-//!   edges. Flushes fan the dirty shards out concurrently over the workspace's work-stealing
-//!   fork-join pool (gated by [`ServiceBuilder::threads`]; `threads(1)` stays strictly
-//!   sequential and deterministic). Reads go through a [`ServiceSnapshot`] that lazily merges
-//!   the per-shard views — exactly the answers a single engine would give, behind a surface
-//!   that later scaling steps (async ingest, wire protocols) plug into unchanged.
+//!   edges. Reads go through a [`ServiceSnapshot`] that lazily merges the per-shard views —
+//!   exactly the answers a single engine would give.
 //! * **Update coalescing** ([`coalesce`]): edge events ([`GraphUpdate`]) are buffered and
 //!   deduplicated per edge — an insert followed by a delete annihilates, repeated re-weights
 //!   collapse to one, delete + insert becomes a re-weight — then split into homogeneous
 //!   deletion/insertion batches routed to the Theorem-1.5 batch fast paths of
 //!   [`dynsld_msf::DynamicGraphClustering`] (with automatic per-edge fallback for
-//!   cycle-closing insertions).
+//!   cycle-closing insertions). The same merge table powers `Backpressure::Coalesce`
+//!   compaction inside the submission queue.
 //! * **Epoch-based snapshot queries** ([`snapshot`]): every flush publishes an immutable,
 //!   cheaply-cloneable [`EngineSnapshot`] tagged with an epoch. Readers — on any thread —
 //!   query flat clusterings, cluster sizes and component counts against *their* snapshot and
 //!   never observe a half-applied batch; repeated queries at one epoch and threshold hit a
 //!   per-snapshot cache, and merged service views are memoised the same way.
 //! * **Instrumentation** ([`metrics`]): coalescing effectiveness, fast-path/fallback ratios,
-//!   flush latency, pointer-change totals (aggregating [`dynsld::UpdateStats`]) and snapshot
-//!   cache hit rates, exported as one [`Metrics`] value per shard and merged across shards
-//!   with [`Metrics::merge`].
+//!   flush latency, spill routing share, and ingest-queue pressure (enqueued events, in-queue
+//!   compaction, block waits, full rejections), exported as one [`Metrics`] value per shard
+//!   and merged across shards with [`Metrics::merge`]. Per-flush partitioner quality is
+//!   observable straight from the driver loop via
+//!   [`ServiceFlushReport::spill_routing_share`].
 //!
-//! ## Quick start
+//! ## Quick start: the concurrent ingest pipeline
 //!
 //! ```
-//! use dynsld_engine::{FlushPolicy, ServiceBuilder};
+//! use dynsld_engine::{Backpressure, FlushPolicy, FlusherDriver, ServiceBuilder};
 //! use dynsld_forest::{GraphUpdate, VertexId};
 //!
 //! // Four endpoint-partitioned shards + a spill shard for cross-shard edges; every shard
-//! // flushes itself once 64 coalesced ops are pending.
-//! let mut service = ServiceBuilder::new()
+//! // flushes itself once 64 coalesced ops are pending; producers block when the 256-slot
+//! // submission queue fills.
+//! let service = ServiceBuilder::new()
+//!     .vertices(5)
 //!     .shards(4)
 //!     .flush_policy(FlushPolicy::EveryNOps(64))
-//!     .build(5);
+//!     .queue_capacity(256)
+//!     .backpressure(Backpressure::Block)
+//!     .build()
+//!     .expect("a valid configuration");
+//!
+//! // Split the surface: clonable write and read handles, one driver owning the engines.
+//! let ingest = service.ingest_handle();
+//! let reader = service.read_handle();
+//! let mut driver = FlusherDriver::new(service);
 //!
 //! let v = |i: u32| VertexId(i);
-//! service.submit(GraphUpdate::Insert { u: v(0), v: v(1), weight: 1.0 }).unwrap();
-//! service.submit(GraphUpdate::Insert { u: v(1), v: v(2), weight: 3.0 }).unwrap();
-//! service.submit(GraphUpdate::Insert { u: v(0), v: v(2), weight: 2.0 }).unwrap();
+//! ingest.submit(GraphUpdate::Insert { u: v(0), v: v(1), weight: 1.0 }).unwrap();
+//! ingest.submit(GraphUpdate::Insert { u: v(1), v: v(2), weight: 3.0 }).unwrap();
+//! ingest.submit(GraphUpdate::Insert { u: v(0), v: v(2), weight: 2.0 }).unwrap();
 //!
-//! // Nothing is visible until the shards flush (explicitly here; or per policy)...
-//! assert_eq!(service.published().num_components(), 5);
+//! // Nothing is visible until the driver drains and the shards flush...
+//! assert_eq!(reader.snapshot().num_components(), 5);
 //!
-//! let report = service.flush().unwrap();
-//! assert_eq!(report.ops_applied(), 3);
+//! let report = driver.pump().expect("drain");   // route everything queued
+//! let flushed = driver.flush().expect("flush"); // then publish (or close the pipeline)
+//! assert_eq!(flushed.ops_applied() + report.ops_applied(), 3);
 //!
-//! // ...then the merged view serves consistent reads across all shards: 0 and 2 join at
-//! // weight 2, and the weight-3 edge never lowers a merge height — no matter which shards
-//! // the router sent the three edges to.
-//! let snap = service.snapshot().unwrap();
+//! // ...then epoch-pinned reads serve consistent merged views across all shards: 0 and 2
+//! // join at weight 2, and the weight-3 edge never lowers a merge height — no matter which
+//! // shards the router sent the three edges to, and no matter how far the driver advances
+//! // after the snapshot was taken.
+//! let snap = reader.snapshot();
 //! assert_eq!(snap.num_components(), 3);
 //! assert!(snap.same_cluster(v(0), v(2), 2.0));
 //! assert_eq!(snap.cluster_size(v(0), 1.5), 2);
 //!
-//! // The vertex set can grow while the service runs.
-//! let first_new = service.add_vertices(3);
+//! // The vertex set can grow while the pipeline runs.
+//! let first_new = driver.add_vertices(3);
 //! assert_eq!(first_new, v(5));
-//! assert_eq!(service.snapshot().unwrap().num_vertices(), 8);
+//! assert_eq!(reader.snapshot().num_vertices(), 8);
 //! ```
 //!
-//! Migrating from the PR-1 single-engine surface: [`ClusterService::single_shard`] is the
-//! drop-in successor of `ClusteringEngine::new` (the engine itself stays public as the
-//! per-shard building block).
+//! For producers and the driver on separate threads, park the driver with
+//! [`FlusherDriver::run_until_closed`] and stop it with [`IngestHandle::close`] — see the
+//! [`ingest`] module docs and `examples/concurrent_ingest.rs`.
+//!
+//! Migrating from the synchronous `&mut self` surface: [`ClusterService::single_shard`] is
+//! still the drop-in successor of `ClusteringEngine::new`, the old `submit`/`flush`/`snapshot`
+//! methods remain as a deprecated shim delegating to the same internals, and the README's
+//! "Concurrent ingest" section has a call-by-call migration table.
 
 #![warn(missing_docs)]
 
 pub mod coalesce;
 pub mod engine;
+pub mod ingest;
 pub mod metrics;
 pub mod partition;
 pub mod service;
@@ -82,10 +108,12 @@ pub mod snapshot;
 
 pub use coalesce::{CoalescedBatch, Coalescer, RejectReason};
 pub use engine::{ClusteringEngine, EngineError, FlushReport};
+pub use ingest::{Backpressure, DrainReport, FlusherDriver, IngestError, IngestHandle, ReadHandle};
 pub use metrics::Metrics;
 pub use partition::{BlockPartitioner, HashPartitioner, Partitioner, ShardId};
 pub use service::{
-    ClusterService, FlushPolicy, ServiceBuilder, ServiceError, ServiceFlushReport, ServiceSnapshot,
+    ClusterService, ConfigError, FlushPolicy, ServiceBuilder, ServiceError, ServiceFlushReport,
+    ServiceSnapshot,
 };
 pub use snapshot::EngineSnapshot;
 

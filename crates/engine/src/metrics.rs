@@ -25,6 +25,19 @@ pub struct Metrics {
     /// by `ClusterService::metrics`. The numerator of [`Metrics::spill_routing_share`], the
     /// partitioner-quality baseline.
     pub events_routed_spill: u64,
+    /// Events accepted into the bounded submission queue by `IngestHandle::submit`. Zero on
+    /// single-engine metrics (the queue is a service-level concept); set by
+    /// `ClusterService::metrics`.
+    pub events_enqueued: u64,
+    /// Events absorbed by `Backpressure::Coalesce` in-queue compaction before they ever
+    /// reached a shard (annihilated insert⊕delete pairs count 2, collapses count 1).
+    pub events_compacted_in_queue: u64,
+    /// Submits that had to wait for a free queue slot (`Backpressure::Block`, or a
+    /// `Coalesce` that found no redundancy to absorb). A rising rate means producers outpace
+    /// the driver.
+    pub queue_block_waits: u64,
+    /// Submits bounced with `IngestError::QueueFull` under `Backpressure::Fail`.
+    pub queue_full_rejections: u64,
     /// Operations currently buffered (one per edge, by coalescing).
     pub pending_ops: usize,
     /// Completed flushes (= the current epoch).
@@ -66,6 +79,10 @@ impl Metrics {
             out.events_annihilated += m.events_annihilated;
             out.events_collapsed += m.events_collapsed;
             out.events_routed_spill += m.events_routed_spill;
+            out.events_enqueued += m.events_enqueued;
+            out.events_compacted_in_queue += m.events_compacted_in_queue;
+            out.queue_block_waits += m.queue_block_waits;
+            out.queue_full_rejections += m.queue_full_rejections;
             out.pending_ops += m.pending_ops;
             out.flushes += m.flushes;
             out.ops_applied += m.ops_applied;
@@ -170,6 +187,10 @@ mod tests {
             events_annihilated: 2 * k,
             events_collapsed: 3 + k,
             events_routed_spill: 5 * k,
+            events_enqueued: 11 + k,
+            events_compacted_in_queue: 2 + k,
+            queue_block_waits: 6 * k,
+            queue_full_rejections: 1 + 2 * k,
             pending_ops: 1 + k as usize,
             flushes: 4 + k,
             ops_applied: 100 * (k + 1),
@@ -191,6 +212,10 @@ mod tests {
         assert_eq!(merged.events_annihilated, 2 + 4);
         assert_eq!(merged.events_collapsed, 3 + 4 + 5);
         assert_eq!(merged.events_routed_spill, 5 + 10);
+        assert_eq!(merged.events_enqueued, 11 + 12 + 13);
+        assert_eq!(merged.events_compacted_in_queue, 2 + 3 + 4);
+        assert_eq!(merged.queue_block_waits, 6 + 12);
+        assert_eq!(merged.queue_full_rejections, 1 + 3 + 5);
         assert_eq!(merged.pending_ops, 1 + 2 + 3);
         assert_eq!(merged.flushes, 4 + 5 + 6);
         assert_eq!(merged.ops_applied, 100 + 200 + 300);

@@ -24,6 +24,13 @@ pub enum ShardId {
     Spill,
 }
 
+impl ShardId {
+    /// True for the dedicated cross-shard spill shard.
+    pub fn is_spill(&self) -> bool {
+        matches!(self, ShardId::Spill)
+    }
+}
+
 impl std::fmt::Display for ShardId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -2,32 +2,38 @@
 //!
 //! One [`ClusteringEngine`] is a single-writer pipeline — one core of ingest, however fast the
 //! Theorem-1.5 batch paths are. The service scales the *surface* first: a [`ServiceBuilder`]
-//! constructs `num_shards` independent engines plus (when sharded) one *spill* engine, and a
-//! router splits the event stream by endpoint partition:
+//! validates a configuration and constructs `num_shards` independent engines plus (when
+//! sharded) one *spill* engine, and a router splits the event stream by endpoint partition:
 //!
 //! * an edge whose endpoints share a shard (per the [`Partitioner`]) lives in that shard;
 //! * a cross-shard edge lives in the spill shard.
 //!
 //! Because the partitioner is pure, an edge routes to the same shard for its whole lifetime,
-//! so per-shard submit-time validation stays sound and the shard edge sets *partition* the
-//! graph's edge set. That partition is what makes reads exact: connectivity at any threshold
-//! in the full graph is the transitive closure of per-shard connectivity, so a
-//! [`ServiceSnapshot`] can lazily merge per-shard [`EngineSnapshot`]s with one union-find pass
-//! and answer every clustering query the single engine answered — same numbers, shard count
-//! notwithstanding. Flushes are driven per shard by a [`FlushPolicy`]; each shard keeps its
-//! own epoch counter, exposed as the snapshot's epoch vector.
+//! so per-shard validation stays sound and the shard edge sets *partition* the graph's edge
+//! set. That partition is what makes reads exact: connectivity at any threshold in the full
+//! graph is the transitive closure of per-shard connectivity, so a [`ServiceSnapshot`] can
+//! lazily merge per-shard [`EngineSnapshot`]s with one union-find pass and answer every
+//! clustering query the single engine answered — same numbers, shard count notwithstanding.
 //!
-//! Flushes exploit the shard independence: [`ClusterService::flush`] (and the
-//! [`FlushPolicy::OnRead`] path of [`ClusterService::snapshot`]) runs every dirty shard's
-//! flush *concurrently* on the workspace's work-stealing fork-join pool, joining the per-shard
-//! [`FlushReport`]s back in shard order. The parallelism is gated by
+//! **Who writes, who reads.** Since the handle redesign the service is the *owner* of the
+//! shard engines, and callers interact through three decoupled surfaces (see [`crate::ingest`]):
+//! clonable [`IngestHandle`]s push events into a bounded submission queue without ever
+//! blocking on a flush; one [`FlusherDriver`] owns the service, drains the queue, routes
+//! events, and drives flushes per the [`FlushPolicy`]; and [`ReadHandle`]s hand out
+//! epoch-pinned [`ServiceSnapshot`]s with `&self`. The pre-redesign synchronous methods
+//! (`submit`, `flush`, `snapshot`, …) remain as a deprecated migration shim delegating to the
+//! same internals.
+//!
+//! Flushes exploit the shard independence: a full flush (driver- or shim-initiated) runs every
+//! dirty shard's flush *concurrently* on the workspace's work-stealing fork-join pool, joining
+//! the per-shard [`FlushReport`]s back in shard order. The parallelism is gated by
 //! [`ServiceBuilder::threads`] (default: the pool size, see [`rayon::current_num_threads`]):
-//! `threads(1)` reproduces the fully sequential pre-pool behaviour exactly — same flush order,
-//! same early stop on a shard failure — which the determinism tests pin down. Later scaling
-//! steps (async ingest, a wire protocol) plug in behind this facade without touching callers.
+//! `threads(1)` reproduces the fully sequential behaviour exactly — same flush order, same
+//! early stop on a shard failure — which the determinism tests pin down.
 
 use crate::coalesce::RejectReason;
 use crate::engine::{ClusteringEngine, EngineError, FlushReport};
+use crate::ingest::{Backpressure, FlusherDriver, IngestHandle, IngestQueue, ReadHandle};
 use crate::metrics::Metrics;
 use crate::partition::{HashPartitioner, Partitioner, ShardId};
 use crate::snapshot::EngineSnapshot;
@@ -36,12 +42,57 @@ use dynsld_forest::workload::GraphUpdate;
 use dynsld_forest::{Dsu, VertexId, Weight};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
-/// Errors surfaced by the service — the union of everything the routed engines can report,
-/// tagged with the shard that reported it.
+/// Why a [`ServiceBuilder`] configuration was rejected by [`ServiceBuilder::build`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `shards(0)`: a service needs at least one routed shard.
+    ZeroShards,
+    /// `threads(0)`: a service needs at least one flush thread (`threads(1)` is the
+    /// sequential mode).
+    ZeroThreads,
+    /// `queue_capacity(0)`: the submission queue must hold at least one event.
+    ZeroQueueCapacity,
+    /// [`ServiceBuilder::vertices`] was never called, so the vertex range is unknown.
+    MissingVertexCount,
+    /// The requested vertex count does not fit the `u32`-indexed [`VertexId`] space.
+    VertexCountOverflow {
+        /// The vertex count that was asked for.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroShards => write!(f, "shards(0): at least one shard is required"),
+            ConfigError::ZeroThreads => {
+                write!(f, "threads(0): at least one flush thread is required")
+            }
+            ConfigError::ZeroQueueCapacity => {
+                write!(
+                    f,
+                    "queue_capacity(0): the submission queue needs capacity >= 1"
+                )
+            }
+            ConfigError::MissingVertexCount => {
+                write!(f, "vertex count not set: call ServiceBuilder::vertices(n)")
+            }
+            ConfigError::VertexCountOverflow { requested } => write!(
+                f,
+                "vertex count {requested} exceeds the u32-indexed VertexId space"
+            ),
+        }
+    }
+}
+
+/// Errors surfaced by the service — invalid configurations at build time, plus the union of
+/// everything the routed engines can report, tagged with the shard that reported it.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServiceError {
+    /// [`ServiceBuilder::build`] rejected the configuration; nothing was constructed.
+    InvalidConfig(ConfigError),
     /// An event was inconsistent with its home shard's applied state plus pending buffer; it
     /// was not ingested and the service is unchanged.
     Rejected {
@@ -53,7 +104,7 @@ pub enum ServiceError {
         reason: RejectReason,
     },
     /// A shard's underlying structures rejected a batch. Unreachable for streams ingested
-    /// through [`ClusterService::submit`] (validation happens at submit time); surfaced for
+    /// through the routing path (validation happens when events are routed); surfaced for
     /// defence in depth.
     Apply {
         /// The shard whose flush failed.
@@ -79,6 +130,9 @@ impl ServiceError {
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ServiceError::InvalidConfig(reason) => {
+                write!(f, "invalid service configuration: {reason}")
+            }
             ServiceError::Rejected {
                 shard,
                 event,
@@ -96,62 +150,112 @@ impl std::error::Error for ServiceError {}
 /// When the service flushes a shard's pending buffer.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum FlushPolicy {
-    /// Only on explicit [`ClusterService::flush`] / [`ClusterService::flush_shard`] calls.
+    /// Only on explicit flush calls ([`FlusherDriver::flush`], or the deprecated
+    /// [`ClusterService::flush`] shim) and the final flush of
+    /// [`FlusherDriver::run_until_closed`].
     Manual,
     /// A shard is flushed as soon as its pending buffer reaches `n` coalesced operations
-    /// (checked after every submit). `n` is clamped to at least 1.
+    /// (checked after every routed event). `n` is clamped to at least 1.
     EveryNOps(usize),
-    /// Pending buffers are flushed by [`ClusterService::snapshot`] before it builds the view,
-    /// so reads always observe every submitted event.
+    /// Reads observe every routed event: the [`FlusherDriver`] ends every non-empty drain
+    /// with a full flush, and the deprecated [`ClusterService::snapshot`] shim flushes before
+    /// building its view.
     OnRead,
 }
 
-/// Configuration for a [`ClusterService`]; built with the builder pattern.
+/// State shared between the service/driver and its [`IngestHandle`]s / [`ReadHandle`]s: the
+/// bounded submission queue and the most recently published merged view. Handles hold an
+/// `Arc` to this — never to the service itself — which is what lets the single writer own the
+/// engines outright while producers and readers stay `&self` and clonable.
+#[derive(Debug)]
+pub(crate) struct ServiceShared {
+    /// The bounded MPSC submission queue ([`IngestHandle`] → [`FlusherDriver`]).
+    pub(crate) queue: IngestQueue,
+    /// The merged view over the shards' last published states. Refreshed only when a shard
+    /// publishes a new state (flush with work, vertex growth), so repeated reads at one epoch
+    /// vector share a single merged-clustering cache.
+    published: RwLock<ServiceSnapshot>,
+}
+
+impl ServiceShared {
+    /// The currently published merged view (one `Arc` clone under a read lock).
+    pub(crate) fn published(&self) -> ServiceSnapshot {
+        self.published
+            .read()
+            .expect("published slot poisoned")
+            .clone()
+    }
+
+    fn publish(&self, snapshot: ServiceSnapshot) {
+        *self.published.write().expect("published slot poisoned") = snapshot;
+    }
+}
+
+/// Validated configuration for a [`ClusterService`]; built with the builder pattern.
+///
+/// Every setter stores its argument as-is; [`build`](Self::build) validates the whole
+/// configuration at once and returns [`ServiceError::InvalidConfig`] (never panics) on
+/// nonsense like `shards(0)` or a missing vertex count.
 ///
 /// ```
 /// use dynsld_engine::{FlushPolicy, ServiceBuilder};
 ///
 /// let service = ServiceBuilder::new()
+///     .vertices(10_000)
 ///     .shards(4)
 ///     .flush_policy(FlushPolicy::EveryNOps(256))
-///     .build(10_000);
+///     .build()
+///     .expect("a valid configuration");
 /// assert_eq!(service.num_shards(), 4);
+/// assert!(ServiceBuilder::new().vertices(8).shards(0).build().is_err());
 /// ```
 #[derive(Clone, Debug)]
 pub struct ServiceBuilder {
+    vertices: Option<usize>,
     num_shards: usize,
     partitioner: Arc<dyn Partitioner>,
     policy: FlushPolicy,
     options: DynSldOptions,
     threads: Option<usize>,
+    queue_capacity: usize,
+    backpressure: Backpressure,
 }
 
 impl Default for ServiceBuilder {
     fn default() -> Self {
         ServiceBuilder {
+            vertices: None,
             num_shards: 1,
             partitioner: Arc::new(HashPartitioner),
             policy: FlushPolicy::Manual,
             options: DynSldOptions::default(),
             threads: None,
+            queue_capacity: 1024,
+            backpressure: Backpressure::Block,
         }
     }
 }
 
 impl ServiceBuilder {
     /// A builder with the defaults: one shard, [`HashPartitioner`], [`FlushPolicy::Manual`],
-    /// default [`DynSldOptions`].
+    /// default [`DynSldOptions`], a 1024-slot submission queue with [`Backpressure::Block`].
+    /// The vertex count has no default — set it with [`vertices`](Self::vertices).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Number of endpoint-partitioned shards (≥ 1). With more than one shard, a dedicated
-    /// spill shard for cross-shard edges is added on top.
-    ///
-    /// # Panics
-    /// Panics if `n == 0`.
+    /// The service covers vertices `0..n`. Every shard engine covers the full vertex range
+    /// (the partitioner splits *edges*, not vertex storage), so any shard can validate and
+    /// apply any edge it is routed. Required; [`build`](Self::build) rejects a configuration
+    /// that never set it.
+    pub fn vertices(mut self, n: usize) -> Self {
+        self.vertices = Some(n);
+        self
+    }
+
+    /// Number of endpoint-partitioned shards (validated ≥ 1 at build time). With more than
+    /// one shard, a dedicated spill shard for cross-shard edges is added on top.
     pub fn shards(mut self, n: usize) -> Self {
-        assert!(n >= 1, "a service needs at least one shard");
         self.num_shards = n;
         self
     }
@@ -175,30 +279,61 @@ impl ServiceBuilder {
         self
     }
 
-    /// Service-level flush parallelism (≥ 1). With `threads(1)` the service flushes its
-    /// shards strictly sequentially on the caller's thread — reproducing the pre-pool
-    /// behaviour bit for bit, including the early stop on a shard failure. With `n ≥ 2`,
-    /// [`ClusterService::flush`] fans the dirty shards out over the workspace fork-join pool
-    /// ([`rayon::join`]); multi-threaded requests (`n ≥ 2`) are also forwarded to
+    /// Capacity of the bounded submission queue behind [`IngestHandle`]s (validated ≥ 1 at
+    /// build time). Small capacities apply backpressure early; large ones absorb bursts.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// The default [`Backpressure`] mode of handles created by
+    /// [`ClusterService::ingest_handle`] (individual handles can override it with
+    /// [`IngestHandle::with_backpressure`]).
+    pub fn backpressure(mut self, backpressure: Backpressure) -> Self {
+        self.backpressure = backpressure;
+        self
+    }
+
+    /// Service-level flush parallelism (validated ≥ 1 at build time). With `threads(1)` the
+    /// service flushes its shards strictly sequentially on the flushing thread — reproducing
+    /// the pre-pool behaviour bit for bit, including the early stop on a shard failure. With
+    /// `n ≥ 2`, full flushes fan the dirty shards out over the workspace fork-join pool
+    /// ([`rayon::join`]); multi-threaded requests are also forwarded to
     /// [`rayon::configure_threads`] so an early-built service can size the lazily-started
     /// pool (`DYNSLD_THREADS` still wins; `threads(1)` is service-local and never shrinks
     /// the shared pool).
     ///
     /// Defaults to [`rayon::current_num_threads`] — i.e. concurrent flushes whenever the
     /// process has a multi-threaded pool.
-    ///
-    /// # Panics
-    /// Panics if `n == 0`.
     pub fn threads(mut self, n: usize) -> Self {
-        assert!(n >= 1, "a service needs at least one flush thread");
         self.threads = Some(n);
         self
     }
 
-    /// Builds the service over vertices `0..n`. Every shard engine covers the full vertex
-    /// range (the partitioner splits *edges*, not vertex storage), so any shard can validate
-    /// and apply any edge it is routed.
-    pub fn build(self, n: usize) -> ClusterService {
+    /// Validates the configuration and builds the service (the owner of the shard engines).
+    /// Interact with it through [`ClusterService::ingest_handle`],
+    /// [`ClusterService::read_handle`], and a [`FlusherDriver`].
+    ///
+    /// Invalid configurations return [`ServiceError::InvalidConfig`]; see [`ConfigError`]
+    /// for the arms.
+    pub fn build(self) -> Result<ClusterService, ServiceError> {
+        let n = self
+            .vertices
+            .ok_or(ServiceError::InvalidConfig(ConfigError::MissingVertexCount))?;
+        if n as u64 > u64::from(u32::MAX) {
+            return Err(ServiceError::InvalidConfig(
+                ConfigError::VertexCountOverflow { requested: n },
+            ));
+        }
+        if self.num_shards == 0 {
+            return Err(ServiceError::InvalidConfig(ConfigError::ZeroShards));
+        }
+        if self.threads == Some(0) {
+            return Err(ServiceError::InvalidConfig(ConfigError::ZeroThreads));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServiceError::InvalidConfig(ConfigError::ZeroQueueCapacity));
+        }
         // Only multi-threaded requests are forwarded to the (first-request-wins) global pool
         // configuration: `threads(1)` means "flush *this service* sequentially", not "pin the
         // whole process to one thread". The default (`None`) is deliberately *not* resolved
@@ -209,7 +344,6 @@ impl ServiceBuilder {
                 rayon::configure_threads(t);
             }
         }
-        let threads = self.threads;
         let num_engines = if self.num_shards == 1 {
             1
         } else {
@@ -220,21 +354,26 @@ impl ServiceBuilder {
             .collect();
         let published =
             ServiceSnapshot::merge(engines.iter().map(ClusteringEngine::snapshot).collect());
-        ClusterService {
+        Ok(ClusterService {
             engines,
             num_shards: self.num_shards,
             partitioner: self.partitioner,
             policy: self.policy,
-            published,
-            threads,
+            threads: self.threads,
             spill_events: 0,
-        }
+            backpressure: self.backpressure,
+            shared: Arc::new(ServiceShared {
+                queue: IngestQueue::new(self.queue_capacity),
+                published: RwLock::new(published),
+            }),
+        })
     }
 }
 
-/// What one [`ClusterService::flush`] did: one [`FlushReport`] per shard, in shard order
-/// (routed shards first, spill shard last).
-#[derive(Clone, Debug, PartialEq)]
+/// What one full service flush did: one [`FlushReport`] per shard, in shard order (routed
+/// shards first, spill shard last) — or, inside a [`DrainReport`](crate::DrainReport), every
+/// flush a drain performed in execution order.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServiceFlushReport {
     /// Per-shard reports. Shards with an empty pending buffer contribute a no-op report
     /// (zero ops, epoch unchanged).
@@ -269,13 +408,57 @@ impl ServiceFlushReport {
             .filter(|(_, r)| r.ops_applied > 0)
             .count()
     }
+
+    /// Fraction of this flush's applied operations that landed on the spill shard — the
+    /// *per-flush* analogue of [`Metrics::spill_routing_share`], so partitioner quality is
+    /// observable flush by flush straight from the driver loop instead of only as a lifetime
+    /// aggregate. 0 when the flush applied nothing (or the service has no spill shard).
+    ///
+    /// ```
+    /// use dynsld_engine::{BlockPartitioner, FlusherDriver, GraphUpdate, ServiceBuilder};
+    /// use dynsld_forest::VertexId;
+    ///
+    /// let service = ServiceBuilder::new()
+    ///     .vertices(8)
+    ///     .shards(2)
+    ///     .partitioner(BlockPartitioner { block_size: 4 })
+    ///     .build()?;
+    /// let ingest = service.ingest_handle();
+    /// let mut driver = FlusherDriver::new(service);
+    ///
+    /// let v = |i: u32| VertexId(i);
+    /// // Two shard-local edges and one cross-shard edge: 1/3 of the flushed ops spill.
+    /// ingest.submit(GraphUpdate::Insert { u: v(0), v: v(1), weight: 1.0 }).unwrap();
+    /// ingest.submit(GraphUpdate::Insert { u: v(4), v: v(5), weight: 1.0 }).unwrap();
+    /// ingest.submit(GraphUpdate::Insert { u: v(1), v: v(4), weight: 2.0 }).unwrap();
+    /// driver.pump()?;
+    /// let report = driver.flush()?;
+    /// assert!((report.spill_routing_share() - 1.0 / 3.0).abs() < 1e-12);
+    /// # Ok::<(), dynsld_engine::ServiceError>(())
+    /// ```
+    pub fn spill_routing_share(&self) -> f64 {
+        let total = self.ops_applied();
+        if total == 0 {
+            return 0.0;
+        }
+        let spill: usize = self
+            .reports
+            .iter()
+            .filter(|(id, _)| id.is_spill())
+            .map(|(_, r)| r.ops_applied)
+            .sum();
+        spill as f64 / total as f64
+    }
 }
 
 /// A shard-routed clustering service: the unified facade over N partitioned
 /// [`ClusteringEngine`]s plus a spill engine for cross-shard edges.
 ///
-/// See the [module docs](self) for the routing and merge design, and the
-/// [crate docs](crate) for a quick-start example.
+/// The service is the *owner* of the shard engines. Callers interact through the handle API:
+/// [`ingest_handle`](Self::ingest_handle) for writes, [`read_handle`](Self::read_handle) for
+/// reads, and a [`FlusherDriver`] (which takes the service by value) as the single writer
+/// driving the pipeline. See the [module docs](self) for the routing and merge design, the
+/// [`crate::ingest`] docs for the pipeline, and the [crate docs](crate) for a quick start.
 #[derive(Debug)]
 pub struct ClusterService {
     /// Routed shards `0..num_shards`, then (iff `num_shards > 1`) the spill shard.
@@ -283,16 +466,16 @@ pub struct ClusterService {
     num_shards: usize,
     partitioner: Arc<dyn Partitioner>,
     policy: FlushPolicy,
-    /// The merged view over the shards' last published states. Kept so that repeated reads at
-    /// one epoch vector share a single merged-clustering cache; refreshed only when a shard
-    /// publishes a new state (flush with work, vertex growth).
-    published: ServiceSnapshot,
     /// Flush parallelism: 1 = strictly sequential shard flushes, ≥ 2 = concurrent flushes on
     /// the fork-join pool, `None` = follow the shared pool's size (resolved per flush, so
     /// building a default service never eagerly starts the pool).
     threads: Option<usize>,
     /// Events routed to the spill shard since construction (spill-routing share numerator).
     spill_events: u64,
+    /// Default backpressure mode of newly created ingest handles.
+    backpressure: Backpressure,
+    /// The queue + published-view state shared with handles.
+    shared: Arc<ServiceShared>,
 }
 
 impl ClusterService {
@@ -304,7 +487,33 @@ impl ClusterService {
     /// The single-shard service over `n` vertices — the drop-in successor of the PR-1
     /// `ClusteringEngine::new(n)` surface. One engine, no spill shard, manual flushes.
     pub fn single_shard(n: usize) -> Self {
-        ServiceBuilder::new().build(n)
+        ServiceBuilder::new()
+            .vertices(n)
+            .build()
+            .expect("the single-shard default configuration is always valid")
+    }
+
+    /// A clonable write handle backed by the service's bounded submission queue, using the
+    /// builder's default [`Backpressure`] mode. Handles stay valid after the service moves
+    /// into a [`FlusherDriver`].
+    pub fn ingest_handle(&self) -> IngestHandle {
+        IngestHandle::new(Arc::clone(&self.shared), self.backpressure)
+    }
+
+    /// A clonable read handle serving epoch-pinned [`ServiceSnapshot`]s without `&mut`.
+    /// Handles stay valid after the service moves into a [`FlusherDriver`].
+    pub fn read_handle(&self) -> ReadHandle {
+        ReadHandle::new(Arc::clone(&self.shared))
+    }
+
+    /// Moves the service into a [`FlusherDriver`] — the single writer that drains the
+    /// submission queue. Equivalent to [`FlusherDriver::new`].
+    pub fn into_driver(self) -> FlusherDriver {
+        FlusherDriver::new(self)
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<ServiceShared> {
+        &self.shared
     }
 
     /// Number of endpoint-partitioned (routed) shards, excluding the spill shard.
@@ -352,7 +561,8 @@ impl ClusterService {
         &self.engines[self.index_of(id)]
     }
 
-    /// Coalesced operations currently buffered across all shards.
+    /// Coalesced operations currently buffered across all shards (events drained from the
+    /// queue and routed, but not yet flushed).
     pub fn pending_ops(&self) -> usize {
         self.engines.iter().map(ClusteringEngine::pending_ops).sum()
     }
@@ -392,13 +602,13 @@ impl ClusterService {
         }
     }
 
-    /// Routes one event to its home shard and buffers it there. Validation happens at submit
-    /// time against that shard's applied state plus pending buffer, so flushes never fail on
-    /// streams ingested through this method. Returns the shard the event landed on.
-    ///
-    /// Under [`FlushPolicy::EveryNOps`], the home shard is flushed when its buffer reaches
-    /// the threshold.
-    pub fn submit(&mut self, event: GraphUpdate) -> Result<ShardId, ServiceError> {
+    /// Routes one event to its home shard, validates it against that shard's applied state
+    /// plus pending buffer, and buffers it there. Applies the [`FlushPolicy::EveryNOps`]
+    /// threshold, returning the triggered flush (if any) so drivers can report it.
+    pub(crate) fn buffer_event(
+        &mut self,
+        event: GraphUpdate,
+    ) -> Result<(ShardId, Option<(ShardId, FlushReport)>), ServiceError> {
         let (u, v) = event.endpoints();
         let id = self.route(u, v);
         let idx = self.index_of(id);
@@ -408,24 +618,37 @@ impl ClusterService {
         if id == ShardId::Spill {
             self.spill_events += 1;
         }
+        let mut flushed = None;
         if let FlushPolicy::EveryNOps(n) = self.policy {
             if self.engines[idx].pending_ops() >= n.max(1) {
-                self.flush_shard(id)?;
+                flushed = Some((id, self.flush_shard_direct(id)?));
             }
         }
-        Ok(id)
+        Ok((id, flushed))
+    }
+
+    /// Routes one event to its home shard and buffers it there, returning the shard the event
+    /// landed on.
+    #[deprecated(
+        note = "use `ingest_handle()` + a `FlusherDriver` (see the crate-docs migration table)"
+    )]
+    pub fn submit(&mut self, event: GraphUpdate) -> Result<ShardId, ServiceError> {
+        self.buffer_event(event).map(|(id, _)| id)
     }
 
     /// Submits every event of a stream, stopping at the first rejection. Returns the number
     /// of events ingested; already-ingested events stay buffered (or flushed, per policy)
     /// either way.
+    #[deprecated(
+        note = "use `IngestHandle::submit_all` + a `FlusherDriver` (see the crate-docs migration table)"
+    )]
     pub fn submit_all(
         &mut self,
         events: impl IntoIterator<Item = GraphUpdate>,
     ) -> Result<usize, ServiceError> {
         let mut count = 0;
         for event in events {
-            self.submit(event)?;
+            self.buffer_event(event)?;
             count += 1;
         }
         Ok(count)
@@ -436,18 +659,17 @@ impl ClusterService {
     /// repeated queries at one epoch vector share one merged-clustering cache.
     fn refresh_published(&mut self) {
         let current: Vec<u64> = self.engines.iter().map(ClusteringEngine::epoch).collect();
-        if self.published.epochs() != current {
-            self.published = ServiceSnapshot::merge(
+        if self.shared.published().epochs() != current {
+            self.shared.publish(ServiceSnapshot::merge(
                 self.engines
                     .iter()
                     .map(ClusteringEngine::snapshot)
                     .collect(),
-            );
+            ));
         }
     }
 
-    /// Flushes one shard's pending buffer, advancing its epoch (no-op when empty).
-    pub fn flush_shard(&mut self, id: ShardId) -> Result<FlushReport, ServiceError> {
+    pub(crate) fn flush_shard_direct(&mut self, id: ShardId) -> Result<FlushReport, ServiceError> {
         let idx = self.index_of(id);
         let result = self.engines[idx]
             .flush()
@@ -456,6 +678,12 @@ impl ClusterService {
         // views must track whatever per-shard states actually exist.
         self.refresh_published();
         result
+    }
+
+    /// Flushes one shard's pending buffer, advancing its epoch (no-op when empty).
+    #[deprecated(note = "use `FlusherDriver::flush` (see the crate-docs migration table)")]
+    pub fn flush_shard(&mut self, id: ShardId) -> Result<FlushReport, ServiceError> {
+        self.flush_shard_direct(id)
     }
 
     /// Flushes every shard's pending buffer and reports what each did, in shard order (routed
@@ -468,7 +696,7 @@ impl ClusterService {
     /// names the lowest-indexed failing shard; in concurrent mode every shard is still
     /// flushed, while `threads(1)` preserves the historical sequential contract of stopping at
     /// the first failing shard.
-    pub fn flush(&mut self) -> Result<ServiceFlushReport, ServiceError> {
+    pub(crate) fn flush_direct(&mut self) -> Result<ServiceFlushReport, ServiceError> {
         let sequential = self.threads() <= 1 || self.engines.len() <= 1;
         let mut reports = Vec::with_capacity(self.engines.len());
         let mut failure = None;
@@ -512,23 +740,35 @@ impl ClusterService {
         }
     }
 
-    /// The service's merged read view. Under [`FlushPolicy::OnRead`], pending buffers are
-    /// flushed first so the view observes every submitted event; under the other policies
-    /// this is a pure read of the last published per-shard states (see
-    /// [`published`](Self::published)).
-    pub fn snapshot(&mut self) -> Result<ServiceSnapshot, ServiceError> {
+    /// Flushes every shard's pending buffer and reports what each did.
+    #[deprecated(note = "use `FlusherDriver::flush` (see the crate-docs migration table)")]
+    pub fn flush(&mut self) -> Result<ServiceFlushReport, ServiceError> {
+        self.flush_direct()
+    }
+
+    pub(crate) fn snapshot_direct(&mut self) -> Result<ServiceSnapshot, ServiceError> {
         if self.policy == FlushPolicy::OnRead && self.pending_ops() > 0 {
-            self.flush()?;
+            self.flush_direct()?;
         }
         Ok(self.published())
     }
 
+    /// The service's merged read view; under [`FlushPolicy::OnRead`], pending buffers are
+    /// flushed first.
+    #[deprecated(
+        note = "use `read_handle()` (or `published()` for the last published view) — see the crate-docs migration table"
+    )]
+    pub fn snapshot(&mut self) -> Result<ServiceSnapshot, ServiceError> {
+        self.snapshot_direct()
+    }
+
     /// The last *published* merged view, without flushing anything — one `Arc` clone, `&self`,
     /// and safe to call concurrently with a reader holding older snapshots. Repeated reads at
-    /// the same epoch vector share the same merged-clustering cache. Buffered events are not
-    /// visible until their shard flushes.
+    /// the same epoch vector share the same merged-clustering cache. Queued or buffered events
+    /// are not visible until their shard flushes. [`ReadHandle::snapshot`] serves exactly this
+    /// view without needing the service value.
     pub fn published(&self) -> ServiceSnapshot {
-        self.published.clone()
+        self.shared.published()
     }
 
     /// Grows the vertex set of every shard by `k` isolated vertices and returns the first new
@@ -545,13 +785,18 @@ impl ClusterService {
 
     /// Cross-shard aggregated counters: the per-shard [`Metrics`] merged with
     /// [`Metrics::merge`] (counters summed, flush-latency maxima kept), plus the
-    /// service-level router counter [`Metrics::events_routed_spill`] — the numerator of
-    /// [`Metrics::spill_routing_share`], the partitioner-quality baseline the ROADMAP's
-    /// locality-aware partitioning work measures against.
+    /// service-level router and ingest-queue counters — [`Metrics::events_routed_spill`]
+    /// (numerator of [`Metrics::spill_routing_share`], the partitioner-quality baseline) and
+    /// the [`Metrics::events_enqueued`] family measuring the handle pipeline.
     pub fn metrics(&self) -> Metrics {
         let parts: Vec<Metrics> = self.engines.iter().map(ClusteringEngine::metrics).collect();
         let mut merged = Metrics::merge(&parts);
         merged.events_routed_spill = self.spill_events;
+        let (enqueued, compacted, block_waits, full_rejections) = self.shared.queue.counters();
+        merged.events_enqueued = enqueued;
+        merged.events_compacted_in_queue = compacted;
+        merged.queue_block_waits = block_waits;
+        merged.queue_full_rejections = full_rejections;
         merged
     }
 
@@ -730,13 +975,73 @@ mod tests {
         GraphUpdate::Delete { u: v(a), v: v(b) }
     }
 
+    /// Routes one event through the internal path old tests submitted through.
+    fn submit(svc: &mut ClusterService, event: GraphUpdate) -> Result<ShardId, ServiceError> {
+        svc.buffer_event(event).map(|(id, _)| id)
+    }
+
+    fn submit_all(
+        svc: &mut ClusterService,
+        events: impl IntoIterator<Item = GraphUpdate>,
+    ) -> Result<usize, ServiceError> {
+        let mut count = 0;
+        for event in events {
+            submit(svc, event)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
     /// Blocks of 4 vertices per shard so routing is easy to reason about in tests.
     fn blocked(shards: usize, n: usize, policy: FlushPolicy) -> ClusterService {
         ServiceBuilder::new()
+            .vertices(n)
             .shards(shards)
             .partitioner(BlockPartitioner { block_size: 4 })
             .flush_policy(policy)
-            .build(n)
+            .build()
+            .expect("valid test configuration")
+    }
+
+    #[test]
+    fn builder_validates_every_config_arm() {
+        // Valid baseline.
+        assert!(ServiceBuilder::new().vertices(4).build().is_ok());
+        // Zero shards.
+        assert_eq!(
+            ServiceBuilder::new().vertices(4).shards(0).build().err(),
+            Some(ServiceError::InvalidConfig(ConfigError::ZeroShards))
+        );
+        // Zero threads.
+        assert_eq!(
+            ServiceBuilder::new().vertices(4).threads(0).build().err(),
+            Some(ServiceError::InvalidConfig(ConfigError::ZeroThreads))
+        );
+        // Zero queue capacity.
+        assert_eq!(
+            ServiceBuilder::new()
+                .vertices(4)
+                .queue_capacity(0)
+                .build()
+                .err(),
+            Some(ServiceError::InvalidConfig(ConfigError::ZeroQueueCapacity))
+        );
+        // Missing vertex count.
+        assert_eq!(
+            ServiceBuilder::new().shards(2).build().err(),
+            Some(ServiceError::InvalidConfig(ConfigError::MissingVertexCount))
+        );
+        // Vertex count past the u32 id space.
+        let requested = u32::MAX as usize + 1;
+        assert_eq!(
+            ServiceBuilder::new().vertices(requested).build().err(),
+            Some(ServiceError::InvalidConfig(
+                ConfigError::VertexCountOverflow { requested }
+            ))
+        );
+        // The error message names the arm.
+        let err = ServiceBuilder::new().vertices(4).shards(0).build().err();
+        assert!(err.unwrap().to_string().contains("shards(0)"));
     }
 
     #[test]
@@ -746,17 +1051,24 @@ mod tests {
             svc.shard_ids(),
             vec![ShardId::Routed(0), ShardId::Routed(1), ShardId::Spill]
         );
-        assert_eq!(svc.submit(ins(0, 1, 1.0)).unwrap(), ShardId::Routed(0));
-        assert_eq!(svc.submit(ins(4, 5, 1.0)).unwrap(), ShardId::Routed(1));
-        assert_eq!(svc.submit(ins(1, 4, 2.0)).unwrap(), ShardId::Spill);
+        assert_eq!(
+            submit(&mut svc, ins(0, 1, 1.0)).unwrap(),
+            ShardId::Routed(0)
+        );
+        assert_eq!(
+            submit(&mut svc, ins(4, 5, 1.0)).unwrap(),
+            ShardId::Routed(1)
+        );
+        assert_eq!(submit(&mut svc, ins(1, 4, 2.0)).unwrap(), ShardId::Spill);
         assert_eq!(svc.pending_ops(), 3);
-        let report = svc.flush().unwrap();
+        let report = svc.flush_direct().unwrap();
         assert_eq!(report.ops_applied(), 3);
         assert_eq!(report.shards_flushed(), 3);
+        assert!((report.spill_routing_share() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(svc.epochs(), vec![1, 1, 1]);
         assert_eq!(svc.shard(ShardId::Spill).num_vertices(), 8);
 
-        let snap = svc.snapshot().unwrap();
+        let snap = svc.snapshot_direct().unwrap();
         assert_eq!(snap.num_graph_edges(), 3);
         // 0-1 and 4-5 live in different shards but 1-4 (spill) glues them together.
         assert!(snap.same_cluster(v(0), v(5), 2.0));
@@ -771,20 +1083,41 @@ mod tests {
         assert!(!svc.has_spill_shard());
         assert_eq!(svc.shard_ids(), vec![ShardId::Routed(0)]);
         // Every edge routes to shard 0, even ones a hash partitioner would split.
-        assert_eq!(svc.submit(ins(0, 3, 1.0)).unwrap(), ShardId::Routed(0));
-        svc.flush().unwrap();
-        let snap = svc.snapshot().unwrap();
+        assert_eq!(
+            submit(&mut svc, ins(0, 3, 1.0)).unwrap(),
+            ShardId::Routed(0)
+        );
+        let report = svc.flush_direct().unwrap();
+        // No spill shard: nothing can spill, per flush either.
+        assert_eq!(report.spill_routing_share(), 0.0);
+        let snap = svc.snapshot_direct().unwrap();
         assert_eq!(snap.epochs(), vec![1]);
         assert!(snap.same_cluster(v(0), v(3), 1.0));
         assert_eq!(snap.num_components(), 3);
     }
 
     #[test]
+    fn deprecated_shim_still_drives_the_service() {
+        // The migration path: old callers keep compiling (with a deprecation warning) and
+        // get identical behaviour, because the shim delegates to the same internals the
+        // driver uses.
+        #![allow(deprecated)]
+        let mut svc = blocked(2, 8, FlushPolicy::Manual);
+        assert_eq!(svc.submit(ins(0, 1, 1.0)).unwrap(), ShardId::Routed(0));
+        assert_eq!(svc.submit_all([ins(4, 5, 1.0), ins(1, 4, 2.0)]).unwrap(), 2);
+        let report = svc.flush().unwrap();
+        assert_eq!(report.ops_applied(), 3);
+        let snap = svc.snapshot().unwrap();
+        assert!(snap.same_cluster(v(0), v(5), 2.0));
+        svc.flush_shard(ShardId::Spill).unwrap();
+    }
+
+    #[test]
     fn rejections_name_the_shard_and_leave_state_unchanged() {
         let mut svc = blocked(2, 8, FlushPolicy::Manual);
-        svc.submit(ins(1, 4, 1.0)).unwrap();
-        svc.flush().unwrap();
-        let err = svc.submit(ins(4, 1, 2.0)).unwrap_err();
+        submit(&mut svc, ins(1, 4, 1.0)).unwrap();
+        svc.flush_direct().unwrap();
+        let err = submit(&mut svc, ins(4, 1, 2.0)).unwrap_err();
         assert_eq!(
             err,
             ServiceError::Rejected {
@@ -793,7 +1126,7 @@ mod tests {
                 reason: RejectReason::AlreadyPresent,
             }
         );
-        let err = svc.submit(del(0, 1)).unwrap_err();
+        let err = submit(&mut svc, del(0, 1)).unwrap_err();
         assert!(matches!(
             err,
             ServiceError::Rejected {
@@ -808,12 +1141,17 @@ mod tests {
     #[test]
     fn every_n_ops_policy_flushes_the_filling_shard_only() {
         let mut svc = blocked(2, 8, FlushPolicy::EveryNOps(2));
-        svc.submit(ins(0, 1, 1.0)).unwrap();
+        assert!(svc.buffer_event(ins(0, 1, 1.0)).unwrap().1.is_none());
         assert_eq!(svc.epochs(), vec![0, 0, 0]);
-        svc.submit(ins(1, 2, 1.0)).unwrap(); // shard 0 reaches 2 pending -> auto flush
+        // Shard 0 reaches 2 pending -> auto flush, reported back to the caller.
+        let (id, flushed) = svc.buffer_event(ins(1, 2, 1.0)).unwrap();
+        assert_eq!(id, ShardId::Routed(0));
+        let (flushed_id, report) = flushed.expect("threshold flush must be reported");
+        assert_eq!(flushed_id, ShardId::Routed(0));
+        assert_eq!(report.ops_applied, 2);
         assert_eq!(svc.epochs(), vec![1, 0, 0]);
         assert_eq!(svc.pending_ops(), 0);
-        svc.submit(ins(4, 5, 1.0)).unwrap(); // shard 1 stays buffered
+        assert!(svc.buffer_event(ins(4, 5, 1.0)).unwrap().1.is_none()); // shard 1 stays buffered
         assert_eq!(svc.epochs(), vec![1, 0, 0]);
         assert_eq!(svc.pending_ops(), 1);
     }
@@ -821,12 +1159,12 @@ mod tests {
     #[test]
     fn on_read_policy_makes_snapshots_observe_everything() {
         let mut svc = blocked(2, 8, FlushPolicy::OnRead);
-        svc.submit(ins(0, 1, 1.0)).unwrap();
-        svc.submit(ins(1, 4, 1.5)).unwrap();
+        submit(&mut svc, ins(0, 1, 1.0)).unwrap();
+        submit(&mut svc, ins(1, 4, 1.5)).unwrap();
         // `published` is a pure read: nothing flushed yet.
         assert_eq!(svc.published().num_graph_edges(), 0);
         // `snapshot` honours OnRead: flush, then read.
-        let snap = svc.snapshot().unwrap();
+        let snap = svc.snapshot_direct().unwrap();
         assert_eq!(snap.num_graph_edges(), 2);
         assert!(snap.same_cluster(v(0), v(4), 1.5));
         assert_eq!(svc.pending_ops(), 0);
@@ -835,14 +1173,14 @@ mod tests {
     #[test]
     fn snapshots_stay_frozen_across_later_flushes() {
         let mut svc = blocked(2, 8, FlushPolicy::Manual);
-        svc.submit(ins(0, 4, 1.0)).unwrap();
-        svc.flush().unwrap();
-        let old = svc.snapshot().unwrap();
+        submit(&mut svc, ins(0, 4, 1.0)).unwrap();
+        svc.flush_direct().unwrap();
+        let old = svc.snapshot_direct().unwrap();
         assert!(old.same_cluster(v(0), v(4), 1.0));
 
-        svc.submit(del(0, 4)).unwrap();
-        svc.flush().unwrap();
-        let new = svc.snapshot().unwrap();
+        submit(&mut svc, del(0, 4)).unwrap();
+        svc.flush_direct().unwrap();
+        let new = svc.snapshot_direct().unwrap();
         assert!(!new.same_cluster(v(0), v(4), f64::INFINITY));
         // The held view keeps answering for its epoch vector.
         assert!(old.same_cluster(v(0), v(4), 1.0));
@@ -855,17 +1193,16 @@ mod tests {
     #[test]
     fn merged_clusterings_are_cached_and_canonical() {
         let mut svc = blocked(2, 8, FlushPolicy::Manual);
-        svc.submit_all([ins(0, 1, 1.0), ins(4, 5, 1.0), ins(1, 4, 2.0)])
-            .unwrap();
-        svc.flush().unwrap();
-        let snap = svc.snapshot().unwrap();
+        submit_all(&mut svc, [ins(0, 1, 1.0), ins(4, 5, 1.0), ins(1, 4, 2.0)]).unwrap();
+        svc.flush_direct().unwrap();
+        let snap = svc.snapshot_direct().unwrap();
         let a = snap.flat_clustering(2.0);
         let b = snap.flat_clustering(2.0);
         assert!(Arc::ptr_eq(&a, &b), "merged clusterings must be memoised");
         // Separate reads at the same epoch vector share one merged cache, even across no-op
         // flushes.
-        svc.flush().unwrap();
-        let c = svc.snapshot().unwrap().flat_clustering(2.0);
+        svc.flush_direct().unwrap();
+        let c = svc.snapshot_direct().unwrap().flat_clustering(2.0);
         assert!(
             Arc::ptr_eq(&a, &c),
             "repeated reads at one epoch vector must share the merged cache"
@@ -879,29 +1216,28 @@ mod tests {
     #[test]
     fn add_vertices_grows_every_shard_and_is_immediately_visible() {
         let mut svc = blocked(2, 8, FlushPolicy::Manual);
-        svc.submit(ins(0, 1, 1.0)).unwrap();
-        svc.flush().unwrap();
+        submit(&mut svc, ins(0, 1, 1.0)).unwrap();
+        svc.flush_direct().unwrap();
         let first = svc.add_vertices(2);
         assert_eq!(first, v(8));
         assert_eq!(svc.num_vertices(), 10);
         for id in svc.shard_ids() {
             assert_eq!(svc.shard(id).num_vertices(), 10);
         }
-        let snap = svc.snapshot().unwrap();
+        let snap = svc.snapshot_direct().unwrap();
         assert_eq!(snap.num_vertices(), 10);
         assert_eq!(snap.num_components(), 9); // 10 vertices, one merged pair
                                               // New vertices accept edges right away.
-        svc.submit(ins(8, 9, 1.0)).unwrap();
-        svc.flush().unwrap();
-        assert!(svc.snapshot().unwrap().same_cluster(v(8), v(9), 1.0));
+        submit(&mut svc, ins(8, 9, 1.0)).unwrap();
+        svc.flush_direct().unwrap();
+        assert!(svc.snapshot_direct().unwrap().same_cluster(v(8), v(9), 1.0));
     }
 
     #[test]
     fn metrics_merge_across_shards() {
         let mut svc = blocked(2, 8, FlushPolicy::Manual);
-        svc.submit_all([ins(0, 1, 1.0), ins(4, 5, 1.0), ins(1, 4, 2.0)])
-            .unwrap();
-        svc.flush().unwrap();
+        submit_all(&mut svc, [ins(0, 1, 1.0), ins(4, 5, 1.0), ins(1, 4, 2.0)]).unwrap();
+        svc.flush_direct().unwrap();
         let m = svc.metrics();
         assert_eq!(m.events_submitted, 3);
         assert_eq!(m.ops_applied, 3);
@@ -914,8 +1250,7 @@ mod tests {
     fn metrics_report_spill_routing_share() {
         let mut svc = blocked(2, 8, FlushPolicy::Manual);
         // Two shard-local events, one cross-shard event -> 1/3 of the routed traffic spills.
-        svc.submit_all([ins(0, 1, 1.0), ins(4, 5, 1.0), ins(1, 4, 2.0)])
-            .unwrap();
+        submit_all(&mut svc, [ins(0, 1, 1.0), ins(4, 5, 1.0), ins(1, 4, 2.0)]).unwrap();
         let m = svc.metrics();
         assert_eq!(m.events_routed_spill, 1);
         assert!((m.spill_routing_share() - 1.0 / 3.0).abs() < 1e-12);
@@ -923,16 +1258,43 @@ mod tests {
         assert_eq!(svc.shard_metrics(ShardId::Spill).events_routed_spill, 0);
         // Single-shard services never spill.
         let mut solo = ClusterService::single_shard(4);
-        solo.submit(ins(0, 3, 1.0)).unwrap();
+        submit(&mut solo, ins(0, 3, 1.0)).unwrap();
         assert_eq!(solo.metrics().events_routed_spill, 0);
         assert_eq!(solo.metrics().spill_routing_share(), 0.0);
+    }
+
+    #[test]
+    fn metrics_track_the_ingest_queue() {
+        let svc = blocked(2, 8, FlushPolicy::Manual);
+        let ingest = svc.ingest_handle();
+        ingest.submit(ins(0, 1, 1.0)).unwrap();
+        ingest.submit(ins(4, 5, 1.0)).unwrap();
+        let m = svc.metrics();
+        assert_eq!(m.events_enqueued, 2);
+        assert_eq!(m.queue_full_rejections, 0);
+        // A full queue in Fail mode is counted.
+        let tight = ServiceBuilder::new()
+            .vertices(4)
+            .queue_capacity(1)
+            .backpressure(Backpressure::Fail)
+            .build()
+            .unwrap();
+        let h = tight.ingest_handle();
+        h.submit(ins(0, 1, 1.0)).unwrap();
+        assert!(h.submit(ins(1, 2, 1.0)).is_err());
+        assert_eq!(tight.metrics().queue_full_rejections, 1);
     }
 
     #[test]
     fn threads_knob_defaults_to_pool_and_gates_sequential_mode() {
         let svc = blocked(2, 8, FlushPolicy::Manual);
         assert_eq!(svc.threads(), rayon::current_num_threads());
-        let sequential = ServiceBuilder::new().shards(3).threads(1).build(8);
+        let sequential = ServiceBuilder::new()
+            .vertices(8)
+            .shards(3)
+            .threads(1)
+            .build()
+            .unwrap();
         assert_eq!(sequential.threads(), 1);
     }
 
@@ -947,19 +1309,23 @@ mod tests {
             ins(3, 6, 6.0),
         ];
         let mut seq = ServiceBuilder::new()
+            .vertices(8)
             .shards(2)
             .partitioner(BlockPartitioner { block_size: 4 })
             .threads(1)
-            .build(8);
+            .build()
+            .unwrap();
         let mut par = ServiceBuilder::new()
+            .vertices(8)
             .shards(2)
             .partitioner(BlockPartitioner { block_size: 4 })
             .threads(4)
-            .build(8);
-        seq.submit_all(stream).unwrap();
-        par.submit_all(stream).unwrap();
-        let seq_report = seq.flush().unwrap();
-        let par_report = par.flush().unwrap();
+            .build()
+            .unwrap();
+        submit_all(&mut seq, stream).unwrap();
+        submit_all(&mut par, stream).unwrap();
+        let seq_report = seq.flush_direct().unwrap();
+        let par_report = par.flush_direct().unwrap();
         // Identical per-shard reports in identical shard order (durations excepted: they are
         // wall-clock measurements, not semantics)...
         assert_eq!(seq_report.reports.len(), par_report.reports.len());
@@ -974,7 +1340,10 @@ mod tests {
         }
         assert_eq!(seq.epochs(), par.epochs());
         // ...and identical merged views.
-        let (a, b) = (seq.snapshot().unwrap(), par.snapshot().unwrap());
+        let (a, b) = (
+            seq.snapshot_direct().unwrap(),
+            par.snapshot_direct().unwrap(),
+        );
         assert_eq!(a.num_graph_edges(), b.num_graph_edges());
         for tau in [1.5, 3.5, 6.0, f64::INFINITY] {
             assert_eq!(

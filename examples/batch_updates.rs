@@ -86,9 +86,27 @@ fn main() {
         static_time
     );
 
+    // Batch and one-at-a-time application build the same dendrogram. Edge *ids* are
+    // assigned in application order and therefore differ between the two runs, so the
+    // comparison keys each node by its edge's (endpoints, weight) instead of its id.
+    let keyed = |sld: &DynSld| {
+        let forest = sld.forest();
+        let key = |e: dynsld_forest::EdgeId| {
+            let (u, v) = forest.endpoints(e);
+            (u.min(v), u.max(v), forest.weight(e).to_bits())
+        };
+        let mut parents: Vec<_> = sld
+            .dendrogram()
+            .canonical_parents()
+            .into_iter()
+            .map(|(e, parent)| (key(e), parent.map(key)))
+            .collect();
+        parents.sort();
+        parents
+    };
     assert_eq!(
-        batch_sld.dendrogram().canonical_parents(),
-        single_sld.dendrogram().canonical_parents(),
+        keyed(&batch_sld),
+        keyed(&single_sld),
         "batch and single-update results agree"
     );
 

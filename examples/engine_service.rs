@@ -1,16 +1,19 @@
-//! The streaming clustering *service*: the shard-routed `ClusterService` facade end to end.
+//! The streaming clustering *service*: the shard-routed `ClusterService` facade end to end,
+//! driven through the handle-based ingest pipeline.
 //!
 //! Run with `cargo run --release --example engine_service`.
 //!
 //! The scenario extends `examples/streaming_clustering.rs` from a forest stream to a full
 //! graph stream served through the sharded facade: similarity measurements arrive as
-//! graph-edge events (insert / delete / re-weight, cycles included), the router splits them
-//! across endpoint-partitioned shards (cross-shard edges go to the spill shard), each tick
-//! flushes every shard — coalescing redundant events and applying homogeneous batches per
-//! shard — and merged, epoch-vector-tagged snapshots answer clustering queries the whole time
-//! without blocking the writer.
+//! graph-edge events (insert / delete / re-weight, cycles included) submitted through an
+//! `IngestHandle`, the router splits them across endpoint-partitioned shards (cross-shard
+//! edges go to the spill shard), each tick the `FlusherDriver` drains the queue and flushes
+//! every shard — coalescing redundant events and applying homogeneous batches per shard —
+//! and epoch-vector-tagged snapshots served by a `ReadHandle` answer clustering queries the
+//! whole time without blocking the writer. (For producers on separate threads, see
+//! `examples/concurrent_ingest.rs`.)
 
-use dynsld_engine::{FlushPolicy, ServiceBuilder, ShardId};
+use dynsld_engine::{FlushPolicy, FlusherDriver, ServiceBuilder, ShardId};
 use dynsld_forest::workload::GraphWorkloadBuilder;
 use dynsld_forest::VertexId;
 use std::time::Instant;
@@ -31,32 +34,41 @@ fn main() {
         stream.len()
     );
 
-    let mut service = ServiceBuilder::new()
+    let service = ServiceBuilder::new()
+        .vertices(N)
         .shards(SHARDS)
         .flush_policy(FlushPolicy::Manual) // ticks drive the flushes below
-        .build(N);
+        .queue_capacity(TICK) // one tick of headroom before producers would block
+        .build()
+        .expect("a valid configuration");
+    let ingest = service.ingest_handle();
+    let reader = service.read_handle();
+    let mut driver = FlusherDriver::new(service);
     let probe = VertexId(0);
     let start = Instant::now();
 
     for (tick, chunk) in stream.chunks(TICK).enumerate() {
         for &event in chunk {
-            service.submit(event).expect("generated stream is valid");
+            ingest.submit(event).expect("pipeline open");
         }
-        let report = service.flush().expect("validated at submit time");
+        // Drain-then-flush: route everything queued, then publish every shard concurrently.
+        let drain = driver.pump().expect("validated at routing time");
+        assert!(drain.rejected.is_empty(), "generated stream is valid");
+        let report = driver.flush().expect("validated at routing time");
 
-        // Publish-then-read: the merged view glues the per-shard states the flush just
-        // published; clones of it could be handed to any number of reader threads.
-        let snap = service
-            .snapshot()
-            .expect("manual flushes cannot fail on read");
+        // Publish-then-read: the read handle serves the merged view the flush just
+        // published; clones of it are epoch-pinned and could go to any number of threads.
+        let snap = reader.snapshot();
         println!(
             "tick {tick:>3}  epochs={:?} applied={:<5} fast-path={:<5} fallback={:<4} \
-             shards-flushed={} edges={:<5} clusters(t=25)={:<5} |cluster(v0, t=25)|={}",
+             shards-flushed={} spill-share={:>5.1}% edges={:<5} clusters(t=25)={:<5} \
+             |cluster(v0, t=25)|={}",
             snap.epochs(),
             report.ops_applied(),
             report.fast_path(),
             report.fallback(),
             report.shards_flushed(),
+            100.0 * report.spill_routing_share(), // per-flush partitioner quality
             snap.num_graph_edges(),
             snap.num_clusters(25.0),
             snap.cluster_size(probe, 25.0),
@@ -64,10 +76,11 @@ fn main() {
     }
 
     let elapsed = start.elapsed();
-    let m = service.metrics(); // Metrics::merge over all shards
+    let m = driver.service().metrics(); // Metrics::merge over all shards + queue counters
     println!("\n--- merged metrics after {elapsed:.2?} ---");
     println!(
-        "events: {} submitted, {} coalesced away ({:.1}%)",
+        "events: {} enqueued, {} submitted to shards, {} coalesced away ({:.1}%)",
+        m.events_enqueued,
         m.events_submitted,
         m.events_saved(),
         100.0 * m.coalescing_ratio()
@@ -92,26 +105,27 @@ fn main() {
     );
 
     // How the router spread the load: per-shard applied ops, spill last.
-    let per_shard: Vec<String> = service
+    let per_shard: Vec<String> = driver
+        .service()
         .shard_ids()
         .into_iter()
-        .map(|id| format!("{id}: {}", service.shard_metrics(id).ops_applied))
+        .map(|id| format!("{id}: {}", driver.service().shard_metrics(id).ops_applied))
         .collect();
     println!("router split (applied ops): {}", per_shard.join(", "));
-    let spill_share =
-        service.shard_metrics(ShardId::Spill).ops_applied as f64 / m.ops_applied.max(1) as f64;
+    let spill_share = driver.service().shard_metrics(ShardId::Spill).ops_applied as f64
+        / m.ops_applied.max(1) as f64;
     println!("spill share: {:.1}% of applied ops", 100.0 * spill_share);
 
-    // The vertex set can grow while the service runs.
-    let first_new = service.add_vertices(100);
+    // The vertex set can grow while the pipeline runs.
+    let first_new = driver.add_vertices(100);
     println!(
         "grew the vertex set to {} (first new id {first_new}), components now {}",
-        service.num_vertices(),
-        service.published().num_components()
+        driver.service().num_vertices(),
+        reader.snapshot().num_components()
     );
 
     // A held merged snapshot is immutable: later flushes do not move it.
-    let held = service.published();
+    let held = reader.snapshot();
     println!(
         "held snapshot at epochs {:?} keeps serving: {} clusters at t=25",
         held.epochs(),

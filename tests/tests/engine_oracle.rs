@@ -3,13 +3,15 @@
 //! batch, mid-batch queries reflect exactly the pre-batch epoch, and old snapshots keep
 //! answering for their epoch after later flushes.
 //!
-//! The stream-facing tests here drive `ClusterService::single_shard` — the facade path every
-//! caller is expected to use — while the mid-batch/epoch tests exercise `ClusteringEngine`
-//! directly, since they pin the per-shard guarantees the service's merged views are built on.
-//! Sharded-vs-oracle equivalence lives in `service_oracle.rs`.
+//! The stream-facing tests here drive `ClusterService::single_shard` through the handle API
+//! (`IngestHandle` + `FlusherDriver`) — the pipeline every caller is expected to use — while
+//! the mid-batch/epoch tests exercise `ClusteringEngine` directly, since they pin the
+//! per-shard guarantees the service's merged views are built on. Sharded-vs-oracle
+//! equivalence lives in `service_oracle.rs`; pipeline-vs-sequential bit-identity in
+//! `ingest_pipeline.rs`.
 
 use dynsld::static_sld_kruskal;
-use dynsld_engine::{ClusterService, ClusteringEngine, GraphUpdate, ShardId};
+use dynsld_engine::{ClusterService, ClusteringEngine, FlusherDriver, GraphUpdate, ShardId};
 use dynsld_forest::workload::{validate_graph_stream, GraphWorkloadBuilder};
 use dynsld_forest::{Dsu, VertexId, Weight};
 use rand::rngs::SmallRng;
@@ -65,7 +67,8 @@ fn snapshot_partition(snap: &dynsld_engine::EngineSnapshot, tau: Weight) -> Vec<
 /// The oracle check the issue asks for: after every flush, the served flat clustering at
 /// several thresholds equals the independent union-find oracle over the alive graph edges, and
 /// the maintained dendrogram equals `static_sld_kruskal` on the current MSF. Driven through
-/// the `ClusterService::single_shard` facade, the migration path from the PR-1 engine surface.
+/// the handle pipeline over `ClusterService::single_shard`, the migration path from the PR-1
+/// engine surface.
 #[test]
 fn randomized_stream_matches_static_oracle_after_every_flush() {
     let n = 48usize;
@@ -74,7 +77,9 @@ fn randomized_stream_matches_static_oracle_after_every_flush() {
     let stream = builder.churn_stream(90, 900, 0xD1CE);
     assert_eq!(validate_graph_stream(n, &stream), Ok(900));
 
-    let mut engine = ClusterService::single_shard(n);
+    let service = ClusterService::single_shard(n);
+    let ingest = service.ingest_handle();
+    let mut driver = FlusherDriver::new(service);
     let mut alive: Vec<(VertexId, VertexId, Weight)> = Vec::new();
     let mut rng = SmallRng::seed_from_u64(99);
     let mut flushes = 0usize;
@@ -99,17 +104,17 @@ fn randomized_stream_matches_static_oracle_after_every_flush() {
                 entry.2 = weight;
             }
         }
-        engine.submit(update).expect("generated stream is valid");
+        ingest.submit(update).expect("queue open");
 
         // Flush at random batch boundaries (and at the end).
         if rng.gen_bool(0.08) || i + 1 == stream.len() {
-            engine
+            let drain = driver.pump().expect("validated stream cannot hard-fail");
+            assert!(drain.rejected.is_empty(), "generated stream is valid");
+            driver
                 .flush()
                 .expect("flush cannot fail on validated input");
             flushes += 1;
-            let snap = engine
-                .snapshot()
-                .expect("manual policy cannot fail on read");
+            let snap = driver.service().published();
             assert_eq!(snap.num_graph_edges(), alive.len());
             for &tau in &thresholds {
                 assert_eq!(
@@ -119,7 +124,7 @@ fn randomized_stream_matches_static_oracle_after_every_flush() {
                 );
             }
             // The dendrogram served by the (single) shard equals static recomputation.
-            let sld = engine.shard(ShardId::Routed(0)).graph().sld();
+            let sld = driver.service().shard(ShardId::Routed(0)).graph().sld();
             assert_eq!(
                 sld.dendrogram().canonical_parents(),
                 static_sld_kruskal(sld.forest()).canonical_parents(),
@@ -132,8 +137,9 @@ fn randomized_stream_matches_static_oracle_after_every_flush() {
         flushes > 10,
         "the test should exercise many flushes, got {flushes}"
     );
-    let m = engine.metrics();
+    let m = driver.service().metrics();
     assert_eq!(m.ops_applied + m.events_saved(), m.events_submitted);
+    assert_eq!(m.events_enqueued, stream.len() as u64);
     assert!(m.fast_path_ops > 0, "batches should ride the fast path");
 }
 
@@ -243,34 +249,40 @@ fn coalesced_and_naive_application_converge() {
     let builder = GraphWorkloadBuilder::new(n).weight_scale(9.0);
     let stream = builder.churn_stream(40, 500, 3);
 
-    // Naive: a service flushed after every event (no coalescing effect).
-    let mut naive = ClusterService::single_shard(n);
+    // Naive: a pipeline drained and flushed after every event (no coalescing effect).
+    let naive_service = ClusterService::single_shard(n);
+    let naive_ingest = naive_service.ingest_handle();
+    let mut naive = naive_service.into_driver();
     for &u in &stream {
-        naive.submit(u).unwrap();
+        naive_ingest.submit(u).unwrap();
+        naive.pump().unwrap();
         naive.flush().unwrap();
     }
-    // Coalesced: a service flushed once at the end.
-    let mut coalesced = ClusterService::single_shard(n);
+    // Coalesced: the whole stream queued, drained, and flushed once.
+    let coalesced_service = ClusterService::single_shard(n);
+    let coalesced_ingest = coalesced_service.ingest_handle();
+    let mut coalesced = coalesced_service.into_driver();
     for &u in &stream {
-        coalesced.submit(u).unwrap();
+        coalesced_ingest.submit(u).unwrap();
     }
+    coalesced.pump().unwrap();
     coalesced.flush().unwrap();
 
     assert!(
-        coalesced.metrics().ops_applied < naive.metrics().ops_applied,
+        coalesced.service().metrics().ops_applied < naive.service().metrics().ops_applied,
         "coalescing must reduce applied operations ({} vs {})",
-        coalesced.metrics().ops_applied,
-        naive.metrics().ops_applied,
+        coalesced.service().metrics().ops_applied,
+        naive.service().metrics().ops_applied,
     );
     for tau in [1.0, 3.0, 5.0, 8.0, f64::INFINITY] {
         assert_eq!(
-            partition_of(&naive.published().flat_clustering(tau)),
-            partition_of(&coalesced.published().flat_clustering(tau)),
+            partition_of(&naive.service().published().flat_clustering(tau)),
+            partition_of(&coalesced.service().published().flat_clustering(tau)),
             "final clusterings diverged at tau={tau}"
         );
     }
-    let canon = |e: &ClusterService| {
-        let mut edges = e.shard(ShardId::Routed(0)).graph().graph_edges();
+    let canon = |d: &FlusherDriver| {
+        let mut edges = d.service().shard(ShardId::Routed(0)).graph().graph_edges();
         edges.sort_by_key(|a| (a.0.min(a.1), a.0.max(a.1)));
         edges
     };

@@ -10,28 +10,36 @@
 //!   merge) is order-preserving, so fan-out never reorders observable results.
 //!
 //! The tests compare a strictly sequential service (`threads(1)` — the exact pre-pool code
-//! path) against a concurrent one (`threads(4)`) on identical streams: epoch vectors, flush
-//! reports and full merged clusterings must be identical. They are meaningful at any pool
-//! size — with `DYNSLD_THREADS=1` both runs are sequential and the comparison is trivial;
-//! with a multi-threaded pool (the `DYNSLD_THREADS=4` CI run) it is a real
-//! scheduling-independence check.
+//! path) against a concurrent one (`threads(4)`) on identical streams, both driven through
+//! the handle-based ingest pipeline: epoch vectors, flush reports and full merged clusterings
+//! must be identical. They are meaningful at any pool size — with `DYNSLD_THREADS=1` both
+//! runs are sequential and the comparison is trivial; with a multi-threaded pool (the
+//! `DYNSLD_THREADS=4` CI run) it is a real scheduling-independence check.
 
-use dynsld_engine::{BlockPartitioner, FlushPolicy, ServiceBuilder, ServiceSnapshot};
+use dynsld_engine::{
+    BlockPartitioner, FlushPolicy, FlusherDriver, IngestHandle, ServiceBuilder, ServiceSnapshot,
+};
 use dynsld_forest::workload::GraphWorkloadBuilder;
 
-/// Builds the service pair — identical but for the flush parallelism.
-fn service_pair(
+/// Builds one pipeline (handle + driver) with the given flush parallelism.
+fn pipeline(
     n: usize,
     shards: usize,
     policy: FlushPolicy,
-) -> (dynsld_engine::ClusterService, dynsld_engine::ClusterService) {
-    let base = ServiceBuilder::new()
+    threads: usize,
+) -> (IngestHandle, FlusherDriver) {
+    let service = ServiceBuilder::new()
+        .vertices(n)
         .shards(shards)
         .partitioner(BlockPartitioner {
             block_size: 1 + n / shards,
         })
-        .flush_policy(policy);
-    (base.clone().threads(1).build(n), base.threads(4).build(n))
+        .flush_policy(policy)
+        .threads(threads)
+        .build()
+        .expect("valid test configuration");
+    let ingest = service.ingest_handle();
+    (ingest, service.into_driver())
 }
 
 /// Asserts the two snapshots answer identically: same epoch vector, same edge counts, and
@@ -72,23 +80,27 @@ fn threads_1_and_threads_4_produce_identical_clusterings() {
         let stream = GraphWorkloadBuilder::new(n)
             .weight_scale(8.0)
             .churn_stream(3 * n, 700, seed);
-        let (mut seq, mut par) = service_pair(n, 4, FlushPolicy::Manual);
-        assert_eq!(seq.threads(), 1);
-        assert_eq!(par.threads(), 4);
+        let (seq_in, mut seq) = pipeline(n, 4, FlushPolicy::Manual, 1);
+        let (par_in, mut par) = pipeline(n, 4, FlushPolicy::Manual, 4);
+        assert_eq!(seq.service().threads(), 1);
+        assert_eq!(par.service().threads(), 4);
         for (i, chunk) in stream.chunks(64).enumerate() {
             for &update in chunk {
-                seq.submit(update).expect("generated stream is valid");
-                par.submit(update).expect("generated stream is valid");
+                seq_in.submit(update).expect("queue open");
+                par_in.submit(update).expect("queue open");
             }
+            seq.pump().expect("validated stream");
+            par.pump().expect("validated stream");
             let rs = seq.flush().expect("validated stream");
             let rp = par.flush().expect("validated stream");
             assert_eq!(rs.epochs(), rp.epochs(), "flush round {i} epochs diverged");
             assert_eq!(rs.ops_applied(), rp.ops_applied());
             assert_eq!(rs.fast_path(), rp.fast_path());
             assert_eq!(rs.fallback(), rp.fallback());
+            assert_eq!(rs.spill_routing_share(), rp.spill_routing_share());
             assert_identical(
-                &seq.snapshot().unwrap(),
-                &par.snapshot().unwrap(),
+                &seq.service().published(),
+                &par.service().published(),
                 &thresholds,
                 &format!("seed {seed:#x}, flush round {i}"),
             );
@@ -103,23 +115,29 @@ fn on_read_policy_is_thread_count_independent() {
     let stream = GraphWorkloadBuilder::new(n)
         .weight_scale(6.0)
         .churn_stream(2 * n, 400, 0xD15EA5E);
-    let (mut seq, mut par) = service_pair(n, 3, FlushPolicy::OnRead);
+    let (seq_in, mut seq) = pipeline(n, 3, FlushPolicy::OnRead, 1);
+    let (par_in, mut par) = pipeline(n, 3, FlushPolicy::OnRead, 4);
     for (i, &update) in stream.iter().enumerate() {
-        seq.submit(update).expect("generated stream is valid");
-        par.submit(update).expect("generated stream is valid");
+        seq_in.submit(update).expect("queue open");
+        par_in.submit(update).expect("queue open");
         if i % 37 == 0 {
-            // `snapshot` under OnRead flushes everything pending — concurrently on `par`.
+            // Under OnRead, a pump drains *and* publishes everything pending — concurrently
+            // on `par`.
+            seq.pump().expect("validated stream");
+            par.pump().expect("validated stream");
             assert_identical(
-                &seq.snapshot().unwrap(),
-                &par.snapshot().unwrap(),
+                &seq.service().published(),
+                &par.service().published(),
                 &[1.5, 4.0, f64::INFINITY],
                 &format!("read at op {i}"),
             );
         }
     }
+    seq.pump().expect("validated stream");
+    par.pump().expect("validated stream");
     assert_identical(
-        &seq.snapshot().unwrap(),
-        &par.snapshot().unwrap(),
+        &seq.service().published(),
+        &par.service().published(),
         &[1.5, 4.0, f64::INFINITY],
         "final read",
     );

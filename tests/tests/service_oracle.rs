@@ -2,13 +2,14 @@
 //! equivalent* to one [`ClusteringEngine`] fed the same stream — identical component counts,
 //! `same_cluster` answers and cluster sizes at every threshold — because the shard edge sets
 //! partition the graph and the merged snapshot glues per-shard clusterings back together with
-//! a union-find pass. The property test below drives that equivalence over generated mixed
-//! insert/delete/re-weight workloads, random shard counts, partitioners, flush policies, and
-//! random thresholds.
+//! a union-find pass. The property test below drives that equivalence through the handle
+//! ingest pipeline over generated mixed insert/delete/re-weight workloads, random shard
+//! counts, partitioners, flush policies, and random thresholds. (Bit-level pipeline
+//! equivalence lives in `ingest_pipeline.rs`.)
 
 use dynsld_engine::{
-    BlockPartitioner, ClusterService, ClusteringEngine, FlushPolicy, HashPartitioner,
-    ServiceBuilder, ShardId,
+    BlockPartitioner, ClusterService, ClusteringEngine, FlushPolicy, FlusherDriver,
+    HashPartitioner, ServiceBuilder, ServiceSnapshot, ShardId,
 };
 use dynsld_forest::workload::{split_graph_stream, GraphWorkloadBuilder};
 use dynsld_forest::VertexId;
@@ -20,12 +21,11 @@ use rand::{Rng, SeedableRng};
 /// snapshot: `num_components`, `num_clusters`/`same_cluster` over all vertex pairs, and
 /// `cluster_size` for every vertex, at each threshold.
 fn assert_equivalent(
-    service: &mut ClusterService,
+    merged: &ServiceSnapshot,
     oracle: &ClusteringEngine,
     thresholds: &[f64],
     context: &str,
 ) {
-    let merged = service.snapshot().expect("validated stream cannot fail");
     let expected = oracle.snapshot();
     assert_eq!(
         merged.num_graph_edges(),
@@ -61,12 +61,21 @@ fn assert_equivalent(
     }
 }
 
+/// Drains and fully flushes the pipeline, returning the freshly published merged view — the
+/// sync point at which service and oracle states are comparable.
+fn sync(driver: &mut FlusherDriver) -> ServiceSnapshot {
+    driver.pump().expect("validated stream");
+    driver.flush().expect("validated stream");
+    driver.service().published()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
-    /// The acceptance-criteria property: for every generated workload, a service with ≥ 2
-    /// shards reports identical clustering answers to a single engine fed the same stream —
-    /// mid-stream (at random flush points) and at the end, at random thresholds.
+    /// The PR-2 acceptance property, now through the pipeline: for every generated workload,
+    /// a service with ≥ 2 shards reports identical clustering answers to a single engine fed
+    /// the same stream — mid-stream (at random sync points) and at the end, at random
+    /// thresholds.
     #[test]
     fn sharded_service_matches_single_engine_oracle(
         seed in 0u64..1 << 48,
@@ -81,13 +90,15 @@ proptest! {
             1 => FlushPolicy::EveryNOps(1 + (seed as usize) % 17),
             _ => FlushPolicy::OnRead,
         };
-        let builder = ServiceBuilder::new().shards(shards).flush_policy(policy);
+        let builder = ServiceBuilder::new().vertices(n).shards(shards).flush_policy(policy);
         let builder = if use_block_partitioner {
             builder.partitioner(BlockPartitioner { block_size: 1 + n / shards })
         } else {
             builder.partitioner(HashPartitioner)
         };
-        let mut service = builder.build(n);
+        let service = builder.build().expect("valid configuration");
+        let ingest = service.ingest_handle();
+        let mut driver = service.into_driver();
         let mut oracle = ClusteringEngine::new(n);
 
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
@@ -102,24 +113,24 @@ proptest! {
         thresholds.push(f64::INFINITY);
 
         for (i, &update) in stream.iter().enumerate() {
-            service.submit(update).expect("generated stream is valid");
+            ingest.submit(update).expect("queue open");
             oracle.submit(update).expect("generated stream is valid");
-            // Compare at random mid-stream flush points, not just at the end.
+            // Compare at random mid-stream sync points, not just at the end.
             if rng.gen_bool(0.05) {
-                service.flush().expect("validated stream");
+                let merged = sync(&mut driver);
                 oracle.flush().expect("validated stream");
-                assert_equivalent(&mut service, &oracle, &thresholds, &format!("after op {i}"));
+                assert_equivalent(&merged, &oracle, &thresholds, &format!("after op {i}"));
             }
         }
-        service.flush().expect("validated stream");
+        let merged = sync(&mut driver);
         oracle.flush().expect("validated stream");
-        assert_equivalent(&mut service, &oracle, &thresholds, "final state");
-        // Sanity: the sharded run actually exercised sharding.
-        prop_assert!(service.num_shards() >= 2);
-        prop_assert_eq!(
-            service.metrics().ops_applied + service.metrics().events_saved(),
-            service.metrics().events_submitted
-        );
+        assert_equivalent(&merged, &oracle, &thresholds, "final state");
+        // Sanity: the sharded run actually exercised sharding, and nothing was rejected on
+        // the way in.
+        prop_assert!(driver.service().num_shards() >= 2);
+        let m = driver.service().metrics();
+        prop_assert_eq!(m.events_enqueued, stream.len() as u64);
+        prop_assert_eq!(m.ops_applied + m.events_saved(), m.events_submitted);
     }
 
     /// Concurrent shard flushes (`threads ≥ 2`, fan-out over the work-stealing pool) keep the
@@ -137,12 +148,16 @@ proptest! {
         on_read in any::<bool>(),
     ) {
         let policy = if on_read { FlushPolicy::OnRead } else { FlushPolicy::Manual };
-        let mut service = ServiceBuilder::new()
+        let service = ServiceBuilder::new()
+            .vertices(n)
             .shards(shards)
             .threads(threads)
             .flush_policy(policy)
-            .build(n);
+            .build()
+            .expect("valid configuration");
         prop_assert_eq!(service.threads(), threads);
+        let ingest = service.ingest_handle();
+        let mut driver = service.into_driver();
         let mut oracle = ClusteringEngine::new(n);
 
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
@@ -156,21 +171,21 @@ proptest! {
         thresholds.push(f64::INFINITY);
 
         for (i, &update) in stream.iter().enumerate() {
-            service.submit(update).expect("generated stream is valid");
+            ingest.submit(update).expect("queue open");
             oracle.submit(update).expect("generated stream is valid");
-            // Frequent flush points so most flushes have several dirty shards to fan out.
+            // Frequent sync points so most flushes have several dirty shards to fan out.
             if rng.gen_bool(0.1) {
-                service.flush().expect("validated stream");
+                let merged = sync(&mut driver);
                 oracle.flush().expect("validated stream");
-                assert_equivalent(&mut service, &oracle, &thresholds, &format!("after op {i}"));
+                assert_equivalent(&merged, &oracle, &thresholds, &format!("after op {i}"));
             }
         }
-        service.flush().expect("validated stream");
+        let merged = sync(&mut driver);
         oracle.flush().expect("validated stream");
-        assert_equivalent(&mut service, &oracle, &thresholds, "final state");
+        assert_equivalent(&merged, &oracle, &thresholds, "final state");
     }
 
-    /// Vertex growth mid-stream: growing the service and the oracle identically keeps them
+    /// Vertex growth mid-stream: growing the pipeline and the oracle identically keeps them
     /// observationally equivalent, and new vertices accept edges on both sides.
     #[test]
     fn vertex_growth_preserves_equivalence(
@@ -179,20 +194,26 @@ proptest! {
         grow in 1usize..8,
         shards in 2usize..5,
     ) {
-        let mut service = ServiceBuilder::new().shards(shards).build(n);
+        let service = ServiceBuilder::new()
+            .vertices(n)
+            .shards(shards)
+            .build()
+            .expect("valid configuration");
+        let ingest = service.ingest_handle();
+        let mut driver = service.into_driver();
         let mut oracle = ClusteringEngine::new(n);
         let stream = GraphWorkloadBuilder::new(n).churn_stream(n, 40, seed);
         for &update in &stream {
-            service.submit(update).unwrap();
+            ingest.submit(update).unwrap();
             oracle.submit(update).unwrap();
         }
-        service.flush().unwrap();
+        sync(&mut driver);
         oracle.flush().unwrap();
 
-        let first_svc = service.add_vertices(grow);
+        let first_svc = driver.add_vertices(grow);
         let first_eng = oracle.add_vertices(grow);
         prop_assert_eq!(first_svc, first_eng);
-        prop_assert_eq!(service.num_vertices(), n + grow);
+        prop_assert_eq!(driver.service().num_vertices(), n + grow);
 
         // Edges into the grown range work on both surfaces.
         let grown = n + grow;
@@ -202,19 +223,19 @@ proptest! {
             let v = VertexId(rng.gen_range(0..n as u32));
             let weight = rng.gen::<f64>() * 10.0;
             let ev = dynsld_engine::GraphUpdate::Insert { u, v, weight };
-            service.submit(ev).unwrap();
+            ingest.submit(ev).unwrap();
             oracle.submit(ev).unwrap();
         }
-        service.flush().unwrap();
+        let merged = sync(&mut driver);
         oracle.flush().unwrap();
-        prop_assert_eq!(service.snapshot().unwrap().num_vertices(), grown);
-        assert_equivalent(&mut service, &oracle, &[2.5, 7.5, f64::INFINITY], "after growth");
+        prop_assert_eq!(merged.num_vertices(), grown);
+        assert_equivalent(&merged, &oracle, &[2.5, 7.5, f64::INFINITY], "after growth");
     }
 }
 
 /// Pre-splitting a stream with the forest helper and replaying each sub-stream into its own
-/// single-shard service reproduces the routed service's per-shard edge counts: the helper and
-/// the router implement the same partition.
+/// single-shard pipeline reproduces the routed service's per-shard edge counts: the helper
+/// and the router implement the same partition.
 #[test]
 fn split_helper_agrees_with_service_routing() {
     let n = 32usize;
@@ -223,57 +244,84 @@ fn split_helper_agrees_with_service_routing() {
         .weight_scale(6.0)
         .churn_stream(60, 600, 0xCAFE);
 
-    let mut service = ServiceBuilder::new()
+    let service = ServiceBuilder::new()
+        .vertices(n)
         .shards(shards)
         .partitioner(HashPartitioner)
-        .build(n);
-    service.submit_all(stream.iter().copied()).unwrap();
-    service.flush().unwrap();
+        .queue_capacity(stream.len())
+        .build()
+        .expect("valid configuration");
+    let ingest = service.ingest_handle();
+    let mut driver = service.into_driver();
+    ingest.submit_all(stream.iter().copied()).unwrap();
+    driver.pump().unwrap();
+    driver.flush().unwrap();
 
     use dynsld_engine::Partitioner;
     let split = split_graph_stream(&stream, shards, |v| HashPartitioner.shard_of(v, shards));
     assert_eq!(split.len(), stream.len());
 
+    let replay = |part: &[dynsld_engine::GraphUpdate]| {
+        let solo = ClusterService::single_shard(n);
+        let solo_ingest = solo.ingest_handle();
+        let mut solo_driver = solo.into_driver();
+        for &event in part {
+            solo_ingest.submit(event).unwrap();
+            // Tiny drains on purpose: the routed comparison must not depend on drain size.
+            solo_driver.pump().unwrap();
+        }
+        solo_driver.flush().unwrap();
+        solo_driver.service().published().num_graph_edges()
+    };
+
     for (i, part) in split.parts.iter().enumerate() {
-        let mut solo = ClusterService::single_shard(n);
-        solo.submit_all(part.iter().copied()).unwrap();
-        solo.flush().unwrap();
         assert_eq!(
-            solo.published().num_graph_edges(),
-            service
+            replay(part),
+            driver
+                .service()
                 .shard(ShardId::Routed(i))
                 .snapshot()
                 .num_graph_edges(),
             "shard {i} edge count diverged from the pre-split replay"
         );
     }
-    let mut solo = ClusterService::single_shard(n);
-    solo.submit_all(split.cross.iter().copied()).unwrap();
-    solo.flush().unwrap();
     assert_eq!(
-        solo.published().num_graph_edges(),
-        service.shard(ShardId::Spill).snapshot().num_graph_edges(),
+        replay(&split.cross),
+        driver
+            .service()
+            .shard(ShardId::Spill)
+            .snapshot()
+            .num_graph_edges(),
         "spill edge count diverged from the pre-split replay"
     );
 }
 
-/// Merged service snapshots are `Send + Sync` and frozen: reader threads holding clones keep
-/// getting the epoch-vector-consistent answers while the writer keeps flushing.
+/// Merged service snapshots are `Send + Sync` and frozen: reader threads holding clones (from
+/// a `ReadHandle`) keep getting the epoch-vector-consistent answers while the driver keeps
+/// flushing.
 #[test]
 fn merged_snapshots_serve_concurrent_readers_while_writing() {
     let n = 40usize;
     let stream = GraphWorkloadBuilder::new(n)
         .weight_scale(6.0)
         .churn_stream(70, 600, 21);
-    let mut service = ServiceBuilder::new().shards(3).build(n);
+    let service = ServiceBuilder::new()
+        .vertices(n)
+        .shards(3)
+        .build()
+        .expect("valid configuration");
+    let ingest = service.ingest_handle();
+    let reader = service.read_handle();
+    let mut driver = service.into_driver();
 
     let mut handles = Vec::new();
     for chunk in stream.chunks(30) {
         for &u in chunk {
-            service.submit(u).unwrap();
+            ingest.submit(u).unwrap();
         }
-        service.flush().unwrap();
-        let snap = service.snapshot().unwrap();
+        driver.pump().unwrap();
+        driver.flush().unwrap();
+        let snap = reader.snapshot();
         handles.push(std::thread::spawn(move || {
             let epochs = snap.epochs();
             for tau in [0.5, 2.0, 3.5, 5.0, f64::INFINITY] {
