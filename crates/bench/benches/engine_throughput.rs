@@ -54,8 +54,9 @@ fn shift(update: GraphUpdate, offset: u32) -> GraphUpdate {
 /// A shard-friendly workload: one independent sliding-window stream per block of
 /// `N / SHARDS` vertices, interleaved round-robin. Under a [`BlockPartitioner`] every event
 /// is shard-local (zero spill), so the sharded run measures the concurrent-flush machinery
-/// itself rather than the spill bottleneck — the regime endpoint partitioning targets (see
-/// the ROADMAP's partitioner item for closing the gap on spill-heavy streams).
+/// itself rather than the spill bottleneck — the regime endpoint partitioning targets (the
+/// `partitioner_sweep` bench measures how close `GreedyPartitioner` gets on streams whose
+/// structure is *not* laid out in id blocks).
 fn block_local_stream() -> Vec<GraphUpdate> {
     let block = N / SHARDS;
     let mut iters: Vec<_> = (0..SHARDS)
@@ -224,7 +225,7 @@ fn apply_pipeline(stream: &[GraphUpdate], shards: usize, queue_depth: usize) -> 
 ///   is where the speedup shows on a multi-core host.
 /// * `spill_heavy_shards_*` — the random-endpoint stream: ~3/4 of the events land on the
 ///   spill shard, whose flush dominates the critical path; the measurable gap to `shards_4`
-///   is the motivation for the ROADMAP's locality-aware partitioner.
+///   motivated the locality-aware `GreedyPartitioner` (measured by `partitioner_sweep`).
 fn bench_sharded_service(c: &mut Criterion) {
     let local = block_local_stream();
     let spill_heavy = stream();

@@ -285,9 +285,12 @@ impl ClusteringEngine {
             events_submitted: self.coalescer.events_submitted(),
             events_annihilated: self.coalescer.events_annihilated(),
             events_collapsed: self.coalescer.events_collapsed(),
-            // Routing and the submission queue are service-level concepts; see
+            // Routing, assignment, and the submission queue are service-level concepts; see
             // `ClusterService::metrics`.
             events_routed_spill: 0,
+            edge_inserts_routed: 0,
+            edge_inserts_cut: 0,
+            vertices_assigned: 0,
             events_enqueued: 0,
             events_compacted_in_queue: 0,
             queue_block_waits: 0,

@@ -63,6 +63,15 @@ pub enum Backpressure {
     /// state — can depend on queue occupancy at submit time. Producers that need
     /// deterministic rejection reporting for unvalidated streams should use
     /// [`Block`](Self::Block) or [`Fail`](Self::Fail).
+    ///
+    /// Compaction stays *assignment-consistent* with stateful partitioners
+    /// ([`GreedyPartitioner`](crate::GreedyPartitioner)): merges always fold into the
+    /// earlier queue slot and annihilated pairs vanish whole, so surviving events keep
+    /// their relative order and every event of one edge still reaches the router — and
+    /// hence one shard — together. Which shard a vertex is pinned to *can* differ from the
+    /// uncompacted replay (an annihilated edge no longer introduces its endpoints), but the
+    /// pin is made before the edge's first submission either way, per-shard validation
+    /// stays sound, and the published clusterings are partition-independent.
     Coalesce,
 }
 
@@ -496,7 +505,7 @@ impl DrainReport {
     fn absorb(&mut self, other: DrainReport) {
         self.events_drained += other.events_drained;
         self.rejected.extend(other.rejected);
-        self.flushes.reports.extend(other.flushes.reports);
+        self.flushes.absorb(other.flushes);
     }
 }
 
@@ -554,7 +563,7 @@ impl FlusherDriver {
             }
         }
         let final_flush = self.service.flush_direct()?;
-        total.flushes.reports.extend(final_flush.reports);
+        total.flushes.absorb(final_flush);
         Ok(total)
     }
 
@@ -593,7 +602,7 @@ impl FlusherDriver {
             && self.service.pending_ops() > 0
         {
             let flushed = self.service.flush_direct()?;
-            report.flushes.reports.extend(flushed.reports);
+            report.flushes.absorb(flushed);
         }
         Ok(report)
     }

@@ -18,6 +18,15 @@
 //!   [`ClusterService`] of independent per-shard engines plus a spill shard for cross-shard
 //!   edges. Reads go through a [`ServiceSnapshot`] that lazily merges the per-shard views —
 //!   exactly the answers a single engine would give.
+//! * **Locality-aware partitioning** ([`partition`]): routing is driven either by a *pure*
+//!   [`Partitioner`] ([`HashPartitioner`], [`BlockPartitioner`]) or by a *stateful*
+//!   assign-on-first-sight [`StatefulPartitioner`] — the LDG-style [`GreedyPartitioner`]
+//!   pins each vertex, on first appearance, next to the neighbour it arrived with (capacity
+//!   permitting) in a router-owned append-only [`AssignmentTable`]. Either way an edge routes
+//!   to one shard forever, so per-shard validation and oracle equivalence are preserved while
+//!   the spill share on community-structured streams collapses from ~`1 − 1/k` to roughly the
+//!   true cross-community rate (see the README's "Partitioning" section and
+//!   `BENCH_PR5.json`).
 //! * **Update coalescing** ([`coalesce`]): edge events ([`GraphUpdate`]) are buffered and
 //!   deduplicated per edge — an insert followed by a delete annihilates, repeated re-weights
 //!   collapse to one, delete + insert becomes a re-weight — then split into homogeneous
@@ -110,7 +119,10 @@ pub use coalesce::{CoalescedBatch, Coalescer, RejectReason};
 pub use engine::{ClusteringEngine, EngineError, FlushReport};
 pub use ingest::{Backpressure, DrainReport, FlusherDriver, IngestError, IngestHandle, ReadHandle};
 pub use metrics::Metrics;
-pub use partition::{BlockPartitioner, HashPartitioner, Partitioner, ShardId};
+pub use partition::{
+    AssignmentTable, BlockPartitioner, GreedyPartitioner, HashPartitioner, Partitioner, ShardId,
+    StatefulPartitioner,
+};
 pub use service::{
     ClusterService, ConfigError, FlushPolicy, ServiceBuilder, ServiceError, ServiceFlushReport,
     ServiceSnapshot,

@@ -25,6 +25,18 @@ pub struct Metrics {
     /// by `ClusterService::metrics`. The numerator of [`Metrics::spill_routing_share`], the
     /// partitioner-quality baseline.
     pub events_routed_spill: u64,
+    /// Insert events the service router has routed anywhere (each live edge counted once, at
+    /// its insertion) — the denominator of [`Metrics::edge_cut_share`]. Zero on single-engine
+    /// metrics; set by `ClusterService::metrics`.
+    pub edge_inserts_routed: u64,
+    /// Insert events the service router sent to the spill shard — the *edge-cut* numerator:
+    /// unlike [`events_routed_spill`](Self::events_routed_spill) (which counts every event,
+    /// so re-weight-heavy edges weigh more), this counts each cut edge once.
+    pub edge_inserts_cut: u64,
+    /// Vertices pinned in the router's `AssignmentTable` so far. Zero on single-engine
+    /// metrics and under pure partitioners (which assign nothing); set by
+    /// `ClusterService::metrics` for services built with a stateful partitioner.
+    pub vertices_assigned: u64,
     /// Events accepted into the bounded submission queue by `IngestHandle::submit`. Zero on
     /// single-engine metrics (the queue is a service-level concept); set by
     /// `ClusterService::metrics`.
@@ -79,6 +91,9 @@ impl Metrics {
             out.events_annihilated += m.events_annihilated;
             out.events_collapsed += m.events_collapsed;
             out.events_routed_spill += m.events_routed_spill;
+            out.edge_inserts_routed += m.edge_inserts_routed;
+            out.edge_inserts_cut += m.edge_inserts_cut;
+            out.vertices_assigned += m.vertices_assigned;
             out.events_enqueued += m.events_enqueued;
             out.events_compacted_in_queue += m.events_compacted_in_queue;
             out.queue_block_waits += m.queue_block_waits;
@@ -121,6 +136,19 @@ impl Metrics {
             0.0
         } else {
             self.events_routed_spill as f64 / self.events_submitted as f64
+        }
+    }
+
+    /// Fraction of routed *insert* events whose edge landed on the spill shard (0 when no
+    /// insert was routed) — the streaming-partitioning *edge-cut* metric: each cut edge
+    /// counts once, however many re-weights or deletes later address it. Compare with
+    /// [`spill_routing_share`](Self::spill_routing_share), which weighs edges by their event
+    /// traffic. The `partitioner_sweep` bench reports both per partitioner.
+    pub fn edge_cut_share(&self) -> f64 {
+        if self.edge_inserts_routed == 0 {
+            0.0
+        } else {
+            self.edge_inserts_cut as f64 / self.edge_inserts_routed as f64
         }
     }
 
@@ -173,6 +201,7 @@ mod tests {
         let m = Metrics::default();
         assert_eq!(m.coalescing_ratio(), 0.0);
         assert_eq!(m.spill_routing_share(), 0.0);
+        assert_eq!(m.edge_cut_share(), 0.0);
         assert_eq!(m.fast_path_ratio(), 0.0);
         assert_eq!(m.ops_per_second(), 0.0);
         assert_eq!(m.snapshot_cache_hit_rate(), 0.0);
@@ -187,6 +216,9 @@ mod tests {
             events_annihilated: 2 * k,
             events_collapsed: 3 + k,
             events_routed_spill: 5 * k,
+            edge_inserts_routed: 20 + 2 * k,
+            edge_inserts_cut: 4 + k,
+            vertices_assigned: 8 * k,
             events_enqueued: 11 + k,
             events_compacted_in_queue: 2 + k,
             queue_block_waits: 6 * k,
@@ -212,6 +244,9 @@ mod tests {
         assert_eq!(merged.events_annihilated, 2 + 4);
         assert_eq!(merged.events_collapsed, 3 + 4 + 5);
         assert_eq!(merged.events_routed_spill, 5 + 10);
+        assert_eq!(merged.edge_inserts_routed, 20 + 22 + 24);
+        assert_eq!(merged.edge_inserts_cut, 4 + 5 + 6);
+        assert_eq!(merged.vertices_assigned, 8 + 16);
         assert_eq!(merged.events_enqueued, 11 + 12 + 13);
         assert_eq!(merged.events_compacted_in_queue, 2 + 3 + 4);
         assert_eq!(merged.queue_block_waits, 6 + 12);
@@ -253,6 +288,8 @@ mod tests {
             events_annihilated: 2,
             events_collapsed: 3,
             events_routed_spill: 4,
+            edge_inserts_routed: 8,
+            edge_inserts_cut: 2,
             ops_applied: 100,
             fast_path_ops: 75,
             fallback_ops: 25,
@@ -265,6 +302,7 @@ mod tests {
         assert_eq!(m.events_saved(), 5);
         assert!((m.coalescing_ratio() - 0.5).abs() < 1e-12);
         assert!((m.spill_routing_share() - 0.4).abs() < 1e-12);
+        assert!((m.edge_cut_share() - 0.25).abs() < 1e-12);
         assert!((m.fast_path_ratio() - 0.75).abs() < 1e-12);
         assert!((m.ops_per_second() - 50.0).abs() < 1e-9);
         assert_eq!(m.mean_flush_time(), Duration::from_millis(500));

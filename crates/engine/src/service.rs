@@ -5,12 +5,15 @@
 //! validates a configuration and constructs `num_shards` independent engines plus (when
 //! sharded) one *spill* engine, and a router splits the event stream by endpoint partition:
 //!
-//! * an edge whose endpoints share a shard (per the [`Partitioner`]) lives in that shard;
+//! * an edge whose endpoints share a shard (per the [`Partitioner`], or the
+//!   [`AssignmentTable`] of a stateful partitioner) lives in that shard;
 //! * a cross-shard edge lives in the spill shard.
 //!
-//! Because the partitioner is pure, an edge routes to the same shard for its whole lifetime,
-//! so per-shard validation stays sound and the shard edge sets *partition* the graph's edge
-//! set. That partition is what makes reads exact: connectivity at any threshold in the full
+//! Because the partitioner is pure — or, for a
+//! [`stateful_partitioner`](ServiceBuilder::stateful_partitioner), because assignments are
+//! pinned at first sight and never move — an edge routes to the same shard for its whole
+//! lifetime, so per-shard validation stays sound and the shard edge sets *partition* the
+//! graph's edge set. That partition is what makes reads exact: connectivity at any threshold in the full
 //! graph is the transitive closure of per-shard connectivity, so a [`ServiceSnapshot`] can
 //! lazily merge per-shard [`EngineSnapshot`]s with one union-find pass and answer every
 //! clustering query the single engine answered — same numbers, shard count notwithstanding.
@@ -35,7 +38,9 @@ use crate::coalesce::RejectReason;
 use crate::engine::{ClusteringEngine, EngineError, FlushReport};
 use crate::ingest::{Backpressure, FlusherDriver, IngestHandle, IngestQueue, ReadHandle};
 use crate::metrics::Metrics;
-use crate::partition::{HashPartitioner, Partitioner, ShardId};
+use crate::partition::{
+    AssignmentTable, GreedyPartitioner, HashPartitioner, Partitioner, ShardId, StatefulPartitioner,
+};
 use crate::snapshot::EngineSnapshot;
 use dynsld::{DynSldError, DynSldOptions, FlatClustering};
 use dynsld_forest::workload::GraphUpdate;
@@ -163,6 +168,148 @@ pub enum FlushPolicy {
     OnRead,
 }
 
+/// How a [`ServiceBuilder`] was asked to partition vertices: a pure function, or a stateful
+/// assign-on-first-sight chooser that the built service pairs with a fresh
+/// [`AssignmentTable`].
+#[derive(Clone, Debug)]
+enum PartitionerChoice {
+    Pure(Arc<dyn Partitioner>),
+    Stateful(Arc<dyn StatefulPartitioner>),
+}
+
+impl PartitionerChoice {
+    /// The builder default, selectable via the `DYNSLD_PARTITIONER` environment variable:
+    /// `greedy` picks [`GreedyPartitioner`] (the CI matrix uses this to run the whole suite
+    /// under stateful routing), `hash` or unset picks [`HashPartitioner`]. Any other value
+    /// falls back to [`HashPartitioner`] with a once-per-process warning on stderr — a
+    /// silently ignored typo would defeat the knob's whole purpose (running a test matrix
+    /// under stateful routing).
+    fn from_env() -> Self {
+        match std::env::var("DYNSLD_PARTITIONER").as_deref() {
+            Ok("greedy") => PartitionerChoice::Stateful(Arc::new(GreedyPartitioner::default())),
+            Ok("hash") | Err(_) => PartitionerChoice::Pure(Arc::new(HashPartitioner)),
+            Ok(other) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                let other = other.to_string();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: DYNSLD_PARTITIONER={other:?} is not recognized \
+                         (expected \"hash\" or \"greedy\"); defaulting to HashPartitioner"
+                    );
+                });
+                PartitionerChoice::Pure(Arc::new(HashPartitioner))
+            }
+        }
+    }
+}
+
+/// The routing state a built service owns: the partitioner plus, for stateful partitioners,
+/// the append-only [`AssignmentTable`] recording every first-sight pin.
+#[derive(Clone, Debug)]
+enum Router {
+    /// A pure vertex → shard function; no state to thread.
+    Pure(Arc<dyn Partitioner>),
+    /// An assign-on-first-sight chooser and the table its pins live in.
+    Stateful {
+        partitioner: Arc<dyn StatefulPartitioner>,
+        table: AssignmentTable,
+    },
+}
+
+impl Router {
+    /// Where events the shards will reject for structural invalidity (self-loops, endpoints
+    /// outside the vertex range) are sent under a stateful partitioner: the spill shard when
+    /// one exists, shard 0 otherwise. Routing them *without pinning anything* keeps a doomed
+    /// event from mutating the assignment table — mirroring the pure-partitioner contract
+    /// that a rejected submission leaves the service unchanged — and keeps the table's
+    /// bounds-checked `assign` from panicking the single-writer driver.
+    fn rejection_route(num_shards: usize) -> ShardId {
+        if num_shards == 1 {
+            ShardId::Routed(0)
+        } else {
+            ShardId::Spill
+        }
+    }
+
+    /// True when the shard engines will reject the event before applying it, whatever the
+    /// per-edge state: self-loop, or an endpoint outside `0..num_vertices`.
+    fn structurally_invalid(table: &AssignmentTable, u: VertexId, v: VertexId) -> bool {
+        u == v || u.index() >= table.num_vertices() || v.index() >= table.num_vertices()
+    }
+
+    /// Routes edge `{u, v}`, pinning any unassigned endpoint (stateful partitioners only).
+    /// `u` is resolved before `v`, so when both endpoints are new the first one is placed
+    /// without neighbour evidence and the second sees its partner — the order the
+    /// [`GreedyPartitioner`] docs assume.
+    fn route_edge_pinned(&mut self, u: VertexId, v: VertexId, num_shards: usize) -> ShardId {
+        match self {
+            Router::Pure(p) => p.route_edge(u, v, num_shards),
+            Router::Stateful { partitioner, table } => {
+                if Self::structurally_invalid(table, u, v) {
+                    return Self::rejection_route(num_shards);
+                }
+                let su = match table.get(u) {
+                    Some(s) => s,
+                    None => {
+                        let s = partitioner.choose(u, table.get(v), num_shards, table);
+                        table.assign(u, s);
+                        s
+                    }
+                };
+                let sv = match table.get(v) {
+                    Some(s) => s,
+                    None => {
+                        let s = partitioner.choose(v, Some(su), num_shards, table);
+                        table.assign(v, s);
+                        s
+                    }
+                };
+                if su == sv {
+                    ShardId::Routed(su)
+                } else {
+                    ShardId::Spill
+                }
+            }
+        }
+    }
+
+    /// The route `route_edge_pinned` *would* take, without committing any pin. Pure routing
+    /// and already-pinned endpoint pairs are consulted directly (no allocation); only a
+    /// preview involving an *unassigned* endpoint replays against a scratch copy of the
+    /// table. Exact as long as no other event is routed in between.
+    fn route_edge_preview(&self, u: VertexId, v: VertexId, num_shards: usize) -> ShardId {
+        match self {
+            Router::Pure(p) => p.route_edge(u, v, num_shards),
+            Router::Stateful { partitioner, table } => {
+                if Self::structurally_invalid(table, u, v) {
+                    return Self::rejection_route(num_shards);
+                }
+                match (table.get(u), table.get(v)) {
+                    // Steady state: both endpoints pinned, read the table directly.
+                    (Some(su), Some(sv)) if su == sv => ShardId::Routed(su),
+                    (Some(_), Some(_)) => ShardId::Spill,
+                    // A first-sight decision is involved: replay on a scratch copy so the
+                    // second endpoint's choice sees the first one's hypothetical pin.
+                    _ => {
+                        let mut scratch = Router::Stateful {
+                            partitioner: Arc::clone(partitioner),
+                            table: table.clone(),
+                        };
+                        scratch.route_edge_pinned(u, v, num_shards)
+                    }
+                }
+            }
+        }
+    }
+
+    fn table(&self) -> Option<&AssignmentTable> {
+        match self {
+            Router::Pure(_) => None,
+            Router::Stateful { table, .. } => Some(table),
+        }
+    }
+}
+
 /// State shared between the service/driver and its [`IngestHandle`]s / [`ReadHandle`]s: the
 /// bounded submission queue and the most recently published merged view. Handles hold an
 /// `Arc` to this — never to the service itself — which is what lets the single writer own the
@@ -213,7 +360,7 @@ impl ServiceShared {
 pub struct ServiceBuilder {
     vertices: Option<usize>,
     num_shards: usize,
-    partitioner: Arc<dyn Partitioner>,
+    partitioner: PartitionerChoice,
     policy: FlushPolicy,
     options: DynSldOptions,
     threads: Option<usize>,
@@ -226,7 +373,7 @@ impl Default for ServiceBuilder {
         ServiceBuilder {
             vertices: None,
             num_shards: 1,
-            partitioner: Arc::new(HashPartitioner),
+            partitioner: PartitionerChoice::from_env(),
             policy: FlushPolicy::Manual,
             options: DynSldOptions::default(),
             threads: None,
@@ -237,9 +384,13 @@ impl Default for ServiceBuilder {
 }
 
 impl ServiceBuilder {
-    /// A builder with the defaults: one shard, [`HashPartitioner`], [`FlushPolicy::Manual`],
-    /// default [`DynSldOptions`], a 1024-slot submission queue with [`Backpressure::Block`].
-    /// The vertex count has no default — set it with [`vertices`](Self::vertices).
+    /// A builder with the defaults: one shard, [`HashPartitioner`] (overridable process-wide
+    /// with `DYNSLD_PARTITIONER=greedy`, which the CI matrix uses to run the whole test suite
+    /// under the stateful [`GreedyPartitioner`]), [`FlushPolicy::Manual`], default
+    /// [`DynSldOptions`], a 1024-slot submission queue with [`Backpressure::Block`]. An
+    /// explicit [`partitioner`](Self::partitioner) / [`stateful_partitioner`](Self::stateful_partitioner)
+    /// call always wins over the environment. The vertex count has no default — set it with
+    /// [`vertices`](Self::vertices).
     pub fn new() -> Self {
         Self::default()
     }
@@ -263,7 +414,18 @@ impl ServiceBuilder {
     /// The vertex-to-shard assignment. Must be a pure function of the vertex id (see
     /// [`Partitioner`]).
     pub fn partitioner(mut self, p: impl Partitioner + 'static) -> Self {
-        self.partitioner = Arc::new(p);
+        self.partitioner = PartitionerChoice::Pure(Arc::new(p));
+        self
+    }
+
+    /// A *stateful* assign-on-first-sight partitioner (see [`StatefulPartitioner`]): the
+    /// built service owns an append-only [`AssignmentTable`], each vertex is pinned to a
+    /// shard the first time the router sees it, and the pin holds for the service's lifetime
+    /// — so edges still route to one shard forever and per-shard validation stays sound,
+    /// while the *choice* of shard can follow the stream's locality. Pair with
+    /// [`GreedyPartitioner`] for the LDG-style greedy rule.
+    pub fn stateful_partitioner(mut self, p: impl StatefulPartitioner + 'static) -> Self {
+        self.partitioner = PartitionerChoice::Stateful(Arc::new(p));
         self
     }
 
@@ -354,13 +516,23 @@ impl ServiceBuilder {
             .collect();
         let published =
             ServiceSnapshot::merge(engines.iter().map(ClusteringEngine::snapshot).collect());
+        let router = match self.partitioner {
+            PartitionerChoice::Pure(p) => Router::Pure(p),
+            PartitionerChoice::Stateful(p) => Router::Stateful {
+                partitioner: p,
+                table: AssignmentTable::new(n, self.num_shards),
+            },
+        };
         Ok(ClusterService {
+            routed_events: vec![0; engines.len()],
             engines,
             num_shards: self.num_shards,
-            partitioner: self.partitioner,
+            router,
             policy: self.policy,
             threads: self.threads,
             spill_events: 0,
+            edge_inserts_routed: 0,
+            edge_inserts_cut: 0,
             backpressure: self.backpressure,
             shared: Arc::new(ServiceShared {
                 queue: IngestQueue::new(self.queue_capacity),
@@ -378,6 +550,14 @@ pub struct ServiceFlushReport {
     /// Per-shard reports. Shards with an empty pending buffer contribute a no-op report
     /// (zero ops, epoch unchanged).
     pub reports: Vec<(ShardId, FlushReport)>,
+    /// Lifetime routed-event counts per shard at the time of this flush (routed shards
+    /// first, spill shard last) — the load-balance view next to
+    /// [`spill_routing_share`](Self::spill_routing_share). Populated by every full service
+    /// flush ([`FlusherDriver::flush`](crate::FlusherDriver::flush) and policy-driven full
+    /// flushes); inside a [`DrainReport`](crate::DrainReport) it holds the latest full
+    /// flush's snapshot, and it is empty on the default value (a drain that only performed
+    /// per-shard threshold flushes).
+    pub shard_event_loads: Vec<(ShardId, u64)>,
 }
 
 impl ServiceFlushReport {
@@ -449,6 +629,66 @@ impl ServiceFlushReport {
             .sum();
         spill as f64 / total as f64
     }
+
+    /// Max/min ratio of the *routed* shards' lifetime event loads (the spill shard is
+    /// excluded — its load is what [`spill_routing_share`](Self::spill_routing_share)
+    /// measures). 1.0 is perfect balance; [`f64::INFINITY`] when some routed shard has
+    /// received no events yet; 0.0 when [`shard_event_loads`](Self::shard_event_loads) is
+    /// unpopulated (single-shard threshold flushes, default value).
+    ///
+    /// ```
+    /// use dynsld_engine::{BlockPartitioner, FlusherDriver, GraphUpdate, ServiceBuilder};
+    /// use dynsld_forest::VertexId;
+    ///
+    /// let service = ServiceBuilder::new()
+    ///     .vertices(8)
+    ///     .shards(2)
+    ///     .partitioner(BlockPartitioner { block_size: 4 })
+    ///     .build()?;
+    /// let ingest = service.ingest_handle();
+    /// let mut driver = FlusherDriver::new(service);
+    ///
+    /// let v = |i: u32| VertexId(i);
+    /// // Three events for shard 0, one for shard 1, one cross-shard (spill).
+    /// ingest.submit(GraphUpdate::Insert { u: v(0), v: v(1), weight: 1.0 }).unwrap();
+    /// ingest.submit(GraphUpdate::Insert { u: v(1), v: v(2), weight: 2.0 }).unwrap();
+    /// ingest.submit(GraphUpdate::Insert { u: v(2), v: v(3), weight: 3.0 }).unwrap();
+    /// ingest.submit(GraphUpdate::Insert { u: v(4), v: v(5), weight: 1.0 }).unwrap();
+    /// ingest.submit(GraphUpdate::Insert { u: v(3), v: v(4), weight: 9.0 }).unwrap();
+    /// driver.pump()?;
+    /// let report = driver.flush()?;
+    /// // Per-shard routed-event loads sit right next to the spill share:
+    /// let loads: Vec<u64> = report.shard_event_loads.iter().map(|&(_, c)| c).collect();
+    /// assert_eq!(loads, vec![3, 1, 1]); // shard 0, shard 1, spill
+    /// assert_eq!(report.event_load_ratio(), 3.0);
+    /// assert!((report.spill_routing_share() - 0.2).abs() < 1e-12);
+    /// # Ok::<(), dynsld_engine::ServiceError>(())
+    /// ```
+    pub fn event_load_ratio(&self) -> f64 {
+        let routed: Vec<u64> = self
+            .shard_event_loads
+            .iter()
+            .filter(|(id, _)| !id.is_spill())
+            .map(|&(_, count)| count)
+            .collect();
+        let (Some(&max), Some(&min)) = (routed.iter().max(), routed.iter().min()) else {
+            return 0.0;
+        };
+        if min == 0 {
+            return f64::INFINITY;
+        }
+        max as f64 / min as f64
+    }
+
+    /// Folds `other` into this report: per-shard flush reports are appended in execution
+    /// order, and the load snapshot is replaced by `other`'s when present (loads are
+    /// lifetime counters, so the later snapshot subsumes the earlier one).
+    pub(crate) fn absorb(&mut self, other: ServiceFlushReport) {
+        self.reports.extend(other.reports);
+        if !other.shard_event_loads.is_empty() {
+            self.shard_event_loads = other.shard_event_loads;
+        }
+    }
 }
 
 /// A shard-routed clustering service: the unified facade over N partitioned
@@ -464,7 +704,8 @@ pub struct ClusterService {
     /// Routed shards `0..num_shards`, then (iff `num_shards > 1`) the spill shard.
     engines: Vec<ClusteringEngine>,
     num_shards: usize,
-    partitioner: Arc<dyn Partitioner>,
+    /// The partitioner plus (for stateful partitioners) the router-owned assignment table.
+    router: Router,
     policy: FlushPolicy,
     /// Flush parallelism: 1 = strictly sequential shard flushes, ≥ 2 = concurrent flushes on
     /// the fork-join pool, `None` = follow the shared pool's size (resolved per flush, so
@@ -472,6 +713,14 @@ pub struct ClusterService {
     threads: Option<usize>,
     /// Events routed to the spill shard since construction (spill-routing share numerator).
     spill_events: u64,
+    /// Events routed to each engine since construction (routed shards first, spill last) —
+    /// the per-shard load surfaced by [`ServiceFlushReport::shard_event_loads`].
+    routed_events: Vec<u64>,
+    /// Insert events routed since construction (edge-cut denominator: each live edge counted
+    /// once, at its insertion).
+    edge_inserts_routed: u64,
+    /// Insert events routed to the spill shard (edge-cut numerator).
+    edge_inserts_cut: u64,
     /// Default backpressure mode of newly created ingest handles.
     backpressure: Backpressure,
     /// The queue + published-view state shared with handles.
@@ -594,29 +843,78 @@ impl ClusterService {
     }
 
     /// The home shard of edge `{u, v}` under this service's partitioner.
+    ///
+    /// For a pure [`Partitioner`] this is the routing function itself. For a stateful
+    /// partitioner it is a *preview*: already pinned endpoints are read from the
+    /// [`AssignmentTable`], and unassigned endpoints are resolved against a scratch copy
+    /// without committing any pin — so the answer equals what routing the edge next would do,
+    /// but may change if other events are routed first.
     pub fn route(&self, u: VertexId, v: VertexId) -> ShardId {
         if self.num_shards == 1 {
             ShardId::Routed(0)
         } else {
-            self.partitioner.route_edge(u, v, self.num_shards)
+            self.router.route_edge_preview(u, v, self.num_shards)
         }
+    }
+
+    /// The router's [`AssignmentTable`], when the service was built with a
+    /// [`stateful_partitioner`](ServiceBuilder::stateful_partitioner) (`None` under pure
+    /// partitioners). Exposes per-shard assigned-vertex loads and every first-sight pin.
+    pub fn assignment_table(&self) -> Option<&AssignmentTable> {
+        self.router.table()
+    }
+
+    /// The pinned shard of vertex `v` under a stateful partitioner — `None` under a pure
+    /// partitioner or while `v` has not yet appeared in the routed stream.
+    pub fn assignment_of(&self, v: VertexId) -> Option<usize> {
+        self.router.table().and_then(|t| t.get(v))
+    }
+
+    /// Events routed to each shard since construction (routed shards first, spill shard
+    /// last) — the lifetime per-shard load behind
+    /// [`ServiceFlushReport::shard_event_loads`].
+    pub fn shard_event_loads(&self) -> Vec<(ShardId, u64)> {
+        self.routed_events
+            .iter()
+            .enumerate()
+            .map(|(idx, &count)| (self.id_of(idx), count))
+            .collect()
     }
 
     /// Routes one event to its home shard, validates it against that shard's applied state
     /// plus pending buffer, and buffers it there. Applies the [`FlushPolicy::EveryNOps`]
     /// threshold, returning the triggered flush (if any) so drivers can report it.
+    ///
+    /// Under a stateful partitioner this is where first-sight assignment happens: endpoints
+    /// not yet in the [`AssignmentTable`] are pinned before the shard lookup (on single-shard
+    /// services too, so assignment introspection works at any shard count). Structurally
+    /// invalid events (self-loops, out-of-range endpoints) pin nothing and are routed
+    /// straight to rejection; events rejected by per-edge *state* validation (double insert,
+    /// delete of an absent edge) do still pin their endpoints — the assignment depends only
+    /// on the routed order, which keeps replays deterministic whether or not a stream
+    /// validates.
     pub(crate) fn buffer_event(
         &mut self,
         event: GraphUpdate,
     ) -> Result<(ShardId, Option<(ShardId, FlushReport)>), ServiceError> {
         let (u, v) = event.endpoints();
-        let id = self.route(u, v);
+        let id = match &self.router {
+            Router::Pure(_) if self.num_shards == 1 => ShardId::Routed(0),
+            _ => self.router.route_edge_pinned(u, v, self.num_shards),
+        };
         let idx = self.index_of(id);
         self.engines[idx]
             .submit(event)
             .map_err(|e| ServiceError::from_engine(id, e))?;
+        self.routed_events[idx] += 1;
         if id == ShardId::Spill {
             self.spill_events += 1;
+        }
+        if matches!(event, GraphUpdate::Insert { .. }) {
+            self.edge_inserts_routed += 1;
+            if id == ShardId::Spill {
+                self.edge_inserts_cut += 1;
+            }
         }
         let mut flushed = None;
         if let FlushPolicy::EveryNOps(n) = self.policy {
@@ -736,7 +1034,10 @@ impl ClusterService {
         self.refresh_published();
         match failure {
             Some(e) => Err(e),
-            None => Ok(ServiceFlushReport { reports }),
+            None => Ok(ServiceFlushReport {
+                reports,
+                shard_event_loads: self.shard_event_loads(),
+            }),
         }
     }
 
@@ -773,11 +1074,16 @@ impl ClusterService {
 
     /// Grows the vertex set of every shard by `k` isolated vertices and returns the first new
     /// id (identical across shards). New vertices are visible to snapshots immediately: each
-    /// shard publishes a fresh state at a bumped epoch.
+    /// shard publishes a fresh state at a bumped epoch. Under a stateful partitioner the
+    /// [`AssignmentTable`] grows in lockstep — new vertices start unassigned and are pinned
+    /// on their first routed edge, wherever that edge's locality pulls them.
     pub fn add_vertices(&mut self, k: usize) -> VertexId {
         let mut first = VertexId(self.num_vertices() as u32);
         for engine in &mut self.engines {
             first = engine.add_vertices(k);
+        }
+        if let Router::Stateful { table, .. } = &mut self.router {
+            table.grow(k);
         }
         self.refresh_published();
         first
@@ -792,6 +1098,9 @@ impl ClusterService {
         let parts: Vec<Metrics> = self.engines.iter().map(ClusteringEngine::metrics).collect();
         let mut merged = Metrics::merge(&parts);
         merged.events_routed_spill = self.spill_events;
+        merged.edge_inserts_routed = self.edge_inserts_routed;
+        merged.edge_inserts_cut = self.edge_inserts_cut;
+        merged.vertices_assigned = self.router.table().map_or(0, AssignmentTable::assigned);
         let (enqueued, compacted, block_waits, full_rejections) = self.shared.queue.counters();
         merged.events_enqueued = enqueued;
         merged.events_compacted_in_queue = compacted;
@@ -957,7 +1266,7 @@ impl ServiceSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::partition::BlockPartitioner;
+    use crate::partition::{BlockPartitioner, GreedyPartitioner};
 
     fn v(i: u32) -> VertexId {
         VertexId(i)
@@ -1283,6 +1592,186 @@ mod tests {
         h.submit(ins(0, 1, 1.0)).unwrap();
         assert!(h.submit(ins(1, 2, 1.0)).is_err());
         assert_eq!(tight.metrics().queue_full_rejections, 1);
+    }
+
+    /// A 2-shard greedy service for the assignment tests below.
+    fn greedy(n: usize) -> ClusterService {
+        ServiceBuilder::new()
+            .vertices(n)
+            .shards(2)
+            .stateful_partitioner(GreedyPartitioner::default())
+            .build()
+            .expect("valid greedy configuration")
+    }
+
+    #[test]
+    fn greedy_pins_on_first_sight_and_keeps_neighbourhoods_local() {
+        let mut svc = greedy(12);
+        assert!(svc.assignment_table().is_some());
+        assert_eq!(svc.assignment_of(v(0)), None);
+        // `route` is a preview: it must not pin anything.
+        let previewed = svc.route(v(0), v(1));
+        assert_eq!(svc.assignment_of(v(0)), None);
+        // The first edge pins both endpoints together on one shard.
+        let id = submit(&mut svc, ins(0, 1, 1.0)).unwrap();
+        assert_eq!(id, previewed);
+        let s0 = svc.assignment_of(v(0)).expect("pinned at first sight");
+        assert_eq!(id, ShardId::Routed(s0));
+        assert_eq!(svc.assignment_of(v(1)), Some(s0));
+        // Vertices arriving attached to that community join its shard...
+        assert_eq!(
+            submit(&mut svc, ins(1, 2, 1.0)).unwrap(),
+            ShardId::Routed(s0)
+        );
+        // ...while an unrelated pair starts a new community on the emptier shard...
+        let other = submit(&mut svc, ins(6, 7, 1.0)).unwrap();
+        let ShardId::Routed(s1) = other else {
+            panic!("fresh pair must not spill")
+        };
+        assert_ne!(s0, s1, "least-loaded placement separates communities");
+        // ...and only genuinely cross-community edges spill, without moving any pin.
+        assert_eq!(submit(&mut svc, ins(0, 6, 9.0)).unwrap(), ShardId::Spill);
+        assert_eq!(svc.assignment_of(v(0)), Some(s0));
+        assert_eq!(svc.assignment_of(v(6)), Some(s1));
+        // Pinned endpoints route the same way forever.
+        assert_eq!(svc.route(v(0), v(2)), ShardId::Routed(s0));
+
+        let report = svc.flush_direct().unwrap();
+        assert_eq!(report.shard_event_loads.len(), 3);
+        let total: u64 = report.shard_event_loads.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4, "every routed event shows up in the load counters");
+        assert!(report.event_load_ratio() >= 1.0);
+
+        let m = svc.metrics();
+        assert_eq!(m.vertices_assigned, 5); // 0, 1, 2, 6, 7
+        assert_eq!(m.edge_inserts_routed, 4);
+        assert_eq!(m.edge_inserts_cut, 1);
+        assert!((m.edge_cut_share() - 0.25).abs() < 1e-12);
+    }
+
+    /// Regression: structurally invalid events (out-of-range endpoints, self-loops) under a
+    /// stateful partitioner must surface as routing-time rejections like they do under pure
+    /// partitioners — not panic the single writer in `AssignmentTable::assign` — and must
+    /// not pin anything on the way to rejection.
+    #[test]
+    fn greedy_rejects_invalid_events_without_pinning_or_panicking() {
+        let mut svc = greedy(4);
+        // Out of range: v(99) does not exist on a 4-vertex service.
+        let err = svc.buffer_event(ins(0, 99, 1.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Rejected {
+                shard: ShardId::Spill,
+                reason: RejectReason::VertexOutOfRange,
+                ..
+            }
+        ));
+        // The doomed event pinned neither its valid nor its invalid endpoint.
+        assert_eq!(svc.assignment_of(v(0)), None);
+        assert_eq!(svc.metrics().vertices_assigned, 0);
+        // Self-loop: rejected, nothing pinned.
+        let err = svc.buffer_event(ins(2, 2, 1.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Rejected {
+                reason: RejectReason::SelfLoop,
+                ..
+            }
+        ));
+        assert_eq!(svc.assignment_of(v(2)), None);
+        // The service keeps working after the rejections.
+        assert!(svc.buffer_event(ins(0, 1, 1.0)).is_ok());
+        assert!(svc.assignment_of(v(0)).is_some());
+
+        // Single-shard services take the same path (no spill shard: rejected by shard 0).
+        let mut solo = ServiceBuilder::new()
+            .vertices(4)
+            .stateful_partitioner(GreedyPartitioner::default())
+            .build()
+            .unwrap();
+        let err = solo.buffer_event(ins(0, 9, 1.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Rejected {
+                shard: ShardId::Routed(0),
+                reason: RejectReason::VertexOutOfRange,
+                ..
+            }
+        ));
+        assert_eq!(solo.metrics().vertices_assigned, 0);
+    }
+
+    /// Single-shard stateful services still pin vertices at first sight, so assignment
+    /// introspection behaves identically at every shard count.
+    #[test]
+    fn greedy_pins_on_single_shard_services_too() {
+        let mut solo = ServiceBuilder::new()
+            .vertices(6)
+            .stateful_partitioner(GreedyPartitioner::default())
+            .build()
+            .unwrap();
+        assert_eq!(
+            submit(&mut solo, ins(0, 1, 1.0)).unwrap(),
+            ShardId::Routed(0)
+        );
+        assert_eq!(solo.assignment_of(v(0)), Some(0));
+        assert_eq!(solo.assignment_of(v(1)), Some(0));
+        assert_eq!(solo.metrics().vertices_assigned, 2);
+        assert_eq!(solo.assignment_table().unwrap().load(0), 2);
+    }
+
+    #[test]
+    fn greedy_assignment_table_grows_with_add_vertices() {
+        let mut svc = greedy(8);
+        submit(&mut svc, ins(0, 1, 1.0)).unwrap();
+        let s0 = svc.assignment_of(v(0)).unwrap();
+        let first = svc.add_vertices(2);
+        assert_eq!(first, v(8));
+        assert_eq!(svc.assignment_table().unwrap().num_vertices(), 10);
+        assert_eq!(svc.assignment_of(v(8)), None);
+        // A grown vertex joins the shard its first edge pulls it towards.
+        assert_eq!(
+            submit(&mut svc, ins(1, 8, 1.0)).unwrap(),
+            ShardId::Routed(s0)
+        );
+        assert_eq!(svc.assignment_of(v(8)), Some(s0));
+    }
+
+    #[test]
+    fn pure_partitioners_report_no_assignments() {
+        let mut svc = blocked(2, 8, FlushPolicy::Manual);
+        submit(&mut svc, ins(0, 1, 1.0)).unwrap();
+        assert!(svc.assignment_table().is_none());
+        assert_eq!(svc.assignment_of(v(0)), None);
+        assert_eq!(svc.metrics().vertices_assigned, 0);
+    }
+
+    #[test]
+    fn shard_event_loads_accumulate_per_shard() {
+        let mut svc = blocked(2, 8, FlushPolicy::Manual);
+        submit_all(
+            &mut svc,
+            [
+                ins(0, 1, 1.0),
+                ins(1, 2, 1.0),
+                ins(4, 5, 1.0),
+                ins(1, 4, 2.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            svc.shard_event_loads(),
+            vec![
+                (ShardId::Routed(0), 2),
+                (ShardId::Routed(1), 1),
+                (ShardId::Spill, 1)
+            ]
+        );
+        let report = svc.flush_direct().unwrap();
+        assert_eq!(report.shard_event_loads, svc.shard_event_loads());
+        assert_eq!(report.event_load_ratio(), 2.0);
+        // The default report carries no loads and reports a 0 ratio.
+        assert_eq!(ServiceFlushReport::default().event_load_ratio(), 0.0);
     }
 
     #[test]

@@ -336,6 +336,163 @@ impl GraphWorkloadBuilder {
         stream
     }
 
+    /// A community-structured (planted-partition) churn stream: vertices are split into
+    /// `num_communities` hidden communities of near-equal size, and each inserted edge is
+    /// intra-community with probability `1 - cross_fraction` and inter-community otherwise.
+    /// The stream grows towards `target_edges` live edges and then churns (inserts, deletes,
+    /// re-weights) exactly like [`churn_stream`](Self::churn_stream), for `num_ops` updates.
+    ///
+    /// Communities grow *incrementally*, the arrival order of real streaming graphs (crawls,
+    /// temporal interaction logs, sliding windows): the first intra-community edge founds the
+    /// community between two fresh members, and from then on each intra-community insert
+    /// either **attaches** a not-yet-streamed member to a random already-streamed one or
+    /// **densifies** the streamed core with an extra edge between two streamed members. New
+    /// vertices therefore (almost) always enter the stream holding an edge into their
+    /// community — the co-occurrence signal assign-on-first-sight partitioners like
+    /// `GreedyPartitioner` key on. Cross-community edges are drawn between random members of
+    /// two distinct communities, streamed or not.
+    ///
+    /// The community → vertex mapping is a seeded random permutation, **not** an id-range
+    /// layout: communities are invisible to id-based partitioners (`BlockPartitioner`'s
+    /// blocks and `HashPartitioner`'s scrambling both cut them), so a partitioner has to
+    /// *discover* the structure from the stream alone. The planted ground truth is returned
+    /// alongside the stream for evaluation.
+    ///
+    /// # Panics
+    /// Panics if `num_communities` is zero or exceeds `n / 2` (every community needs at least
+    /// two members to host an intra-community edge), or if `cross_fraction` is outside
+    /// `[0, 1]`.
+    pub fn community_stream(
+        &self,
+        num_communities: usize,
+        cross_fraction: f64,
+        target_edges: usize,
+        num_ops: usize,
+        seed: u64,
+    ) -> CommunityStream {
+        assert!(num_communities >= 1, "need at least one community");
+        assert!(
+            num_communities * 2 <= self.n,
+            "every community needs at least two members"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cross_fraction),
+            "cross_fraction must be a probability"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Hidden membership: round-robin sizes, shuffled so communities are id-scattered.
+        let mut membership: Vec<usize> = (0..self.n).map(|i| i % num_communities).collect();
+        membership.shuffle(&mut rng);
+        let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); num_communities];
+        for (i, &c) in membership.iter().enumerate() {
+            members[c].push(VertexId(i as u32));
+        }
+        // Per community: `members[c][..streamed[c]]` have appeared in the stream already,
+        // `members[c][streamed[c]..]` are still fresh. Attaching a fresh member swaps it to
+        // the boundary, so both halves stay O(1) to sample.
+        let mut streamed: Vec<usize> = vec![0; num_communities];
+
+        let mut present: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut present_set: std::collections::HashSet<(VertexId, VertexId)> =
+            std::collections::HashSet::new();
+        let mut updates = Vec::with_capacity(num_ops);
+        while updates.len() < num_ops {
+            let roll: f64 = rng.gen();
+            let insert_p = if present.len() < target_edges {
+                0.7
+            } else {
+                0.2
+            };
+            if present.is_empty() || roll < insert_p {
+                // Draw an absent pair per the planted distribution (64 tries, then churn).
+                let mut drawn = None;
+                for _ in 0..64 {
+                    let cross = num_communities > 1 && rng.gen_bool(cross_fraction);
+                    let (a, b) = if cross {
+                        // Cross-community links connect *established* members (the usual
+                        // shape of inter-community interaction: hubs talk to hubs); fresh
+                        // vertices enter the stream through their own community instead.
+                        let ca = rng.gen_range(0..num_communities);
+                        let cb = (ca + 1 + rng.gen_range(0..num_communities - 1)) % num_communities;
+                        let pick = |list: &[VertexId], core: usize, rng: &mut SmallRng| {
+                            if core > 0 {
+                                list[rng.gen_range(0..core)]
+                            } else {
+                                list[rng.gen_range(0..list.len())]
+                            }
+                        };
+                        (
+                            pick(&members[ca], streamed[ca], &mut rng),
+                            pick(&members[cb], streamed[cb], &mut rng),
+                        )
+                    } else {
+                        let c = rng.gen_range(0..num_communities);
+                        let list = &members[c];
+                        let core = streamed[c];
+                        let fresh = list.len() - core;
+                        if core < 2 {
+                            // Founding edge: two random members open the community.
+                            (
+                                list[rng.gen_range(0..list.len())],
+                                list[rng.gen_range(0..list.len())],
+                            )
+                        } else if fresh > 0 && rng.gen_bool(0.5) {
+                            // Attachment: a fresh member arrives holding an edge into the
+                            // streamed core.
+                            (
+                                list[core + rng.gen_range(0..fresh)],
+                                list[rng.gen_range(0..core)],
+                            )
+                        } else {
+                            // Densification: an extra edge inside the streamed core.
+                            (list[rng.gen_range(0..core)], list[rng.gen_range(0..core)])
+                        }
+                    };
+                    if a == b {
+                        continue;
+                    }
+                    let key = crate::ids::ordered_pair(a, b);
+                    if !present_set.contains(&key) {
+                        drawn = Some(key);
+                        break;
+                    }
+                }
+                let Some((u, v)) = drawn else {
+                    continue; // saturated; fall through to a deletion next round
+                };
+                for end in [u, v] {
+                    let c = membership[end.index()];
+                    let pos = members[c]
+                        .iter()
+                        .position(|&m| m == end)
+                        .expect("members cover the community");
+                    if pos >= streamed[c] {
+                        members[c].swap(pos, streamed[c]);
+                        streamed[c] += 1;
+                    }
+                }
+                let weight = rng.gen::<Weight>() * self.weight_scale;
+                present.push((u, v));
+                present_set.insert((u, v));
+                updates.push(GraphUpdate::Insert { u, v, weight });
+            } else if roll < insert_p + 0.15 && !present.is_empty() {
+                let (u, v) = present[rng.gen_range(0..present.len())];
+                let weight = rng.gen::<Weight>() * self.weight_scale;
+                updates.push(GraphUpdate::Reweight { u, v, weight });
+            } else {
+                let idx = rng.gen_range(0..present.len());
+                let (u, v) = present.swap_remove(idx);
+                present_set.remove(&(u, v));
+                updates.push(GraphUpdate::Delete { u, v });
+            }
+        }
+        CommunityStream {
+            updates,
+            membership,
+            num_communities,
+        }
+    }
+
     /// A sliding-window stream over `num_edges` random distinct edges: insert the first
     /// `window` edges, then alternately delete the oldest live edge and insert the next unseen
     /// one — the serving scenario of `examples/streaming_clustering.rs` lifted from forests to
@@ -367,6 +524,52 @@ impl GraphWorkloadBuilder {
             stream.push(GraphUpdate::Insert { u, v, weight });
         }
         stream
+    }
+}
+
+/// A community-structured graph-update stream plus the planted ground truth it was generated
+/// from. Produced by [`GraphWorkloadBuilder::community_stream`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommunityStream {
+    /// The update stream (valid from an empty graph).
+    pub updates: Vec<GraphUpdate>,
+    /// `membership[v]` is the hidden community of vertex `v`, in `0..num_communities`.
+    pub membership: Vec<usize>,
+    /// Number of planted communities.
+    pub num_communities: usize,
+}
+
+impl CommunityStream {
+    /// Number of updates in the stream.
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// True if the stream holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// Fraction of *insert* events whose endpoints straddle two planted communities — the
+    /// realized cross-community rate (0 for a stream with no inserts). An ideal
+    /// locality-aware partitioner that rediscovers the planted communities can push its
+    /// spill/edge-cut share down to roughly this number, and no lower.
+    pub fn planted_cut_fraction(&self) -> f64 {
+        let mut inserts = 0usize;
+        let mut cut = 0usize;
+        for up in &self.updates {
+            if let GraphUpdate::Insert { u, v, .. } = *up {
+                inserts += 1;
+                if self.membership[u.index()] != self.membership[v.index()] {
+                    cut += 1;
+                }
+            }
+        }
+        if inserts == 0 {
+            0.0
+        } else {
+            cut as f64 / inserts as f64
+        }
     }
 }
 
@@ -673,6 +876,47 @@ mod tests {
         }
         assert_eq!(max_live, 25); // the oldest edge is evicted before each new insertion
         assert_eq!(live, 25);
+    }
+
+    #[test]
+    fn community_stream_is_valid_and_respects_the_planted_rate() {
+        let n = 120usize;
+        let wb = GraphWorkloadBuilder::new(n).weight_scale(6.0);
+        let cs = wb.community_stream(8, 0.1, 200, 2_000, 9);
+        assert_eq!(cs.len(), 2_000);
+        assert!(!cs.is_empty());
+        assert_eq!(validate_graph_stream(n, &cs.updates), Ok(2_000));
+        // The membership covers every vertex with near-equal community sizes.
+        assert_eq!(cs.membership.len(), n);
+        assert_eq!(cs.num_communities, 8);
+        let mut sizes = [0usize; 8];
+        for &c in &cs.membership {
+            assert!(c < 8);
+            sizes[c] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s == n / 8));
+        // Communities are id-scattered, not laid out in blocks: some adjacent id pair
+        // belongs to different communities.
+        assert!(cs.membership.windows(2).any(|w| w[0] != w[1]));
+        // The realized cross rate tracks the planted probability (loosely — it is a sample).
+        let cut = cs.planted_cut_fraction();
+        assert!((0.02..0.25).contains(&cut), "cut fraction {cut} off target");
+        // Deterministic in the seed.
+        assert_eq!(cs, wb.community_stream(8, 0.1, 200, 2_000, 9));
+        assert_ne!(
+            cs.updates,
+            wb.community_stream(8, 0.1, 200, 2_000, 10).updates
+        );
+        // Zero cross traffic keeps every insert intra-community.
+        let pure = wb.community_stream(4, 0.0, 100, 600, 3);
+        assert_eq!(pure.planted_cut_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two members")]
+    fn community_stream_rejects_too_many_communities() {
+        let wb = GraphWorkloadBuilder::new(10);
+        let _ = wb.community_stream(6, 0.1, 10, 10, 0);
     }
 
     #[test]

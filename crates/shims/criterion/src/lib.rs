@@ -15,7 +15,9 @@
 //! count, derived throughput — to `<path>` as a single JSON document. The file
 //! is rewritten after each benchmark group with the accumulated results, so it
 //! is complete whenever the process exits normally. This is how the repo's
-//! committed `BENCH_PR*.json` trajectory files are produced.
+//! committed `BENCH_PR*.json` trajectory files are produced. Benches can also
+//! attach non-timing scalars (e.g. a partitioner's spill share) to the same
+//! document with [`record_quality`].
 //!
 //! Capture is **per bench binary** (the result registry is process-local and
 //! the file is rewritten, not merged): under `cargo bench --workspace` each
@@ -40,6 +42,35 @@ struct SavedResult {
 }
 
 static SAVED_RESULTS: Mutex<Vec<SavedResult>> = Mutex::new(Vec::new());
+
+/// One quality record: a benchmark-style id plus the named scalars measured under it.
+type QualityRecord = (String, Vec<(String, f64)>);
+
+/// Non-timing scalars recorded by the benches themselves (quality metrics such as a
+/// partitioner's spill share), keyed by a benchmark-style id.
+static QUALITY_RESULTS: Mutex<Vec<QualityRecord>> = Mutex::new(Vec::new());
+
+/// Records bench-measured *quality* scalars (not timings) under a benchmark-style id. They
+/// are printed immediately and, when `--save-json` / `DYNSLD_BENCH_JSON` capture is active,
+/// written to the same document as a `"quality"` array next to `"benchmarks"` — this is how
+/// the partitioner-sweep bench persists spill shares and load ratios alongside its
+/// throughput numbers. Real `criterion` has no such API; callers are expected to be behind
+/// the workspace shim.
+pub fn record_quality(id: impl Into<String>, metrics: &[(&str, f64)]) {
+    let id = id.into();
+    let rendered: Vec<String> = metrics
+        .iter()
+        .map(|(k, v)| format!("{k}: {v:.4}"))
+        .collect();
+    println!("{id:<60} {}", rendered.join("  "));
+    QUALITY_RESULTS
+        .lock()
+        .expect("quality result registry poisoned")
+        .push((
+            id,
+            metrics.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        ));
+}
 
 /// Minimal JSON string escaping (benchmark ids are plain ASCII identifiers,
 /// but quoting defensively costs nothing).
@@ -77,7 +108,36 @@ fn write_saved_results(path: &str) {
             sep
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    let quality = QUALITY_RESULTS
+        .lock()
+        .expect("quality result registry poisoned");
+    if !quality.is_empty() {
+        out.push_str(",\n  \"quality\": [\n");
+        for (i, (id, metrics)) in quality.iter().enumerate() {
+            let sep = if i + 1 < quality.len() { "," } else { "" };
+            let fields: Vec<String> = metrics
+                .iter()
+                .map(|(k, v)| {
+                    // JSON has no Infinity/NaN literals; non-finite metrics become null.
+                    let value = if v.is_finite() {
+                        format!("{v}")
+                    } else {
+                        "null".to_string()
+                    };
+                    format!("\"{}\": {value}", escape_json(k))
+                })
+                .collect();
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", {}}}{}\n",
+                escape_json(id),
+                fields.join(", "),
+                sep
+            ));
+        }
+        out.push_str("  ]");
+    }
+    out.push_str("\n}\n");
     if let Err(e) = std::fs::write(path, out) {
         eprintln!("warning: could not write bench results to {path}: {e}");
     }
@@ -500,6 +560,24 @@ mod tests {
         assert!(contents.contains("\"id\": \"save_json/probe/4\""));
         assert!(contents.contains("\"mean_ns\""));
         assert!(contents.contains("\"unit\": \"elements\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_quality_lands_in_the_saved_document() {
+        let path = std::env::temp_dir().join("criterion_shim_quality_test.json");
+        let path_str = path.to_str().expect("temp path is valid UTF-8").to_string();
+        record_quality(
+            "quality_probe/greedy",
+            &[("spill_share", 0.125), ("load_ratio", f64::INFINITY)],
+        );
+        write_saved_results(&path_str);
+        let contents = std::fs::read_to_string(&path).expect("results file written");
+        assert!(contents.contains("\"quality\""));
+        assert!(contents.contains("\"id\": \"quality_probe/greedy\""));
+        assert!(contents.contains("\"spill_share\": 0.125"));
+        // Non-finite scalars serialize as null, keeping the document valid JSON.
+        assert!(contents.contains("\"load_ratio\": null"));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -9,7 +9,7 @@
 
 use dynsld_engine::{
     BlockPartitioner, ClusterService, ClusteringEngine, FlushPolicy, FlusherDriver,
-    HashPartitioner, ServiceBuilder, ServiceSnapshot, ShardId,
+    GreedyPartitioner, HashPartitioner, ServiceBuilder, ServiceSnapshot, ShardId,
 };
 use dynsld_forest::workload::{split_graph_stream, GraphWorkloadBuilder};
 use dynsld_forest::VertexId;
@@ -83,7 +83,7 @@ proptest! {
         shards in 2usize..6,
         num_ops in 20usize..320,
         policy_pick in 0usize..3,
-        use_block_partitioner in any::<bool>(),
+        partitioner_pick in 0usize..3,
     ) {
         let policy = match policy_pick {
             0 => FlushPolicy::Manual,
@@ -91,10 +91,12 @@ proptest! {
             _ => FlushPolicy::OnRead,
         };
         let builder = ServiceBuilder::new().vertices(n).shards(shards).flush_policy(policy);
-        let builder = if use_block_partitioner {
-            builder.partitioner(BlockPartitioner { block_size: 1 + n / shards })
-        } else {
-            builder.partitioner(HashPartitioner)
+        // Pure partitioners (hash, block) and the stateful assign-on-first-sight greedy
+        // partitioner must all be invisible to the merged answers.
+        let builder = match partitioner_pick {
+            0 => builder.partitioner(HashPartitioner),
+            1 => builder.partitioner(BlockPartitioner { block_size: 1 + n / shards }),
+            _ => builder.stateful_partitioner(GreedyPartitioner::default()),
         };
         let service = builder.build().expect("valid configuration");
         let ingest = service.ingest_handle();
@@ -185,6 +187,78 @@ proptest! {
         assert_equivalent(&merged, &oracle, &thresholds, "final state");
     }
 
+    /// The greedy partitioner under churn *and* vertex growth: the stream is ingested in
+    /// random-size chunks with `add_vertices` interleaved mid-stream, and edges into the
+    /// grown range arrive afterwards — first-sight assignment, table growth and spill
+    /// routing must all stay invisible to the merged answers.
+    #[test]
+    fn greedy_partitioner_matches_oracle_across_midstream_growth(
+        seed in 0u64..1 << 48,
+        n in 8usize..32,
+        shards in 2usize..6,
+        grow in 1usize..6,
+        num_ops in 30usize..200,
+        balance_slack in 1usize..4,
+    ) {
+        let service = ServiceBuilder::new()
+            .vertices(n)
+            .shards(shards)
+            .stateful_partitioner(GreedyPartitioner {
+                balance_slack: 1.0 + balance_slack as f64 / 4.0,
+            })
+            .build()
+            .expect("valid configuration");
+        let ingest = service.ingest_handle();
+        let mut driver = service.into_driver();
+        let mut oracle = ClusteringEngine::new(n);
+
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9EED);
+        let stream = GraphWorkloadBuilder::new(n)
+            .weight_scale(8.0)
+            .churn_stream(2 * n, num_ops, seed);
+        let thresholds = [1.5, 4.0, 6.5, f64::INFINITY];
+
+        // First half: plain churn with random sync points.
+        let half = stream.len() / 2;
+        for &update in &stream[..half] {
+            ingest.submit(update).expect("queue open");
+            oracle.submit(update).expect("generated stream is valid");
+            if rng.gen_bool(0.08) {
+                let merged = sync(&mut driver);
+                oracle.flush().expect("validated stream");
+                assert_equivalent(&merged, &oracle, &thresholds, "first half");
+            }
+        }
+        // Grow mid-stream on both sides; the assignment table must grow in lockstep.
+        let first_svc = driver.add_vertices(grow);
+        let first_eng = oracle.add_vertices(grow);
+        prop_assert_eq!(first_svc, first_eng);
+        prop_assert_eq!(
+            driver.service().assignment_table().expect("greedy owns a table").num_vertices(),
+            n + grow
+        );
+        // Second half: remaining churn plus edges into the grown id range.
+        for (i, &update) in stream[half..].iter().enumerate() {
+            ingest.submit(update).expect("queue open");
+            oracle.submit(update).expect("generated stream is valid");
+            if i < grow {
+                let u = VertexId((n + i) as u32);
+                let v = VertexId(rng.gen_range(0..n as u32));
+                let weight = rng.gen::<f64>() * 8.0;
+                let ev = dynsld_engine::GraphUpdate::Insert { u, v, weight };
+                ingest.submit(ev).expect("queue open");
+                oracle.submit(ev).expect("new vertices accept edges");
+            }
+        }
+        let merged = sync(&mut driver);
+        oracle.flush().expect("validated stream");
+        assert_equivalent(&merged, &oracle, &thresholds, "final state");
+        // The stateful router actually assigned the vertices it routed.
+        let m = driver.service().metrics();
+        prop_assert!(m.vertices_assigned > 0);
+        prop_assert_eq!(m.ops_applied + m.events_saved(), m.events_submitted);
+    }
+
     /// Vertex growth mid-stream: growing the pipeline and the oracle identically keeps them
     /// observationally equivalent, and new vertices accept edges on both sides.
     #[test]
@@ -230,6 +304,90 @@ proptest! {
         oracle.flush().unwrap();
         prop_assert_eq!(merged.num_vertices(), grown);
         assert_equivalent(&merged, &oracle, &[2.5, 7.5, f64::INFINITY], "after growth");
+    }
+}
+
+/// Replays `stream` through a greedy 4-shard pipeline, draining in chunks of `chunk`, and
+/// returns the final assignment table (cloned) plus per-shard routed-event loads.
+fn greedy_replay(
+    stream: &[dynsld_engine::GraphUpdate],
+    chunk: usize,
+) -> (dynsld_engine::AssignmentTable, Vec<(ShardId, u64)>) {
+    let n = 48usize;
+    let service = ServiceBuilder::new()
+        .vertices(n)
+        .shards(4)
+        .stateful_partitioner(GreedyPartitioner::default())
+        .queue_capacity(stream.len().max(1))
+        .build()
+        .expect("valid configuration");
+    let ingest = service.ingest_handle();
+    let mut driver = service.into_driver();
+    for part in stream.chunks(chunk) {
+        for &event in part {
+            ingest.submit(event).expect("queue open");
+        }
+        driver.pump().expect("validated stream");
+    }
+    driver.flush().expect("validated stream");
+    let svc = driver.service();
+    (
+        svc.assignment_table().expect("greedy owns a table").clone(),
+        svc.shard_event_loads(),
+    )
+}
+
+/// The first-sight assignments are a pure function of the *routed event order*, not of how
+/// the driver happens to chunk its drains: replaying one stream through drains of size 1
+/// (pump per event), a ragged middle size, and one whole-stream drain must produce identical
+/// assignment tables, identical per-shard loads — and hence identical routing forever after.
+#[test]
+fn assignment_table_is_deterministic_across_drain_orderings() {
+    let stream = GraphWorkloadBuilder::new(48)
+        .weight_scale(5.0)
+        .churn_stream(70, 500, 0xA551);
+    let (table_1, loads_1) = greedy_replay(&stream, 1);
+    let (table_7, loads_7) = greedy_replay(&stream, 7);
+    let (table_all, loads_all) = greedy_replay(&stream, stream.len());
+    assert_eq!(table_1, table_7, "chunk 1 vs 7 diverged");
+    assert_eq!(table_1, table_all, "chunk 1 vs whole-stream diverged");
+    assert_eq!(loads_1, loads_7);
+    assert_eq!(loads_1, loads_all);
+    // Every vertex the stream touched is pinned to a routed shard; untouched ones are not.
+    let touched: std::collections::HashSet<u32> = stream
+        .iter()
+        .flat_map(|u| {
+            let (a, b) = u.endpoints();
+            [a.0, b.0]
+        })
+        .collect();
+    for i in 0..48u32 {
+        let pinned = table_1.get(VertexId(i));
+        assert_eq!(pinned.is_some(), touched.contains(&i), "vertex {i}");
+        if let Some(s) = pinned {
+            assert!(s < 4);
+        }
+    }
+    assert_eq!(table_1.assigned() as usize, touched.len());
+}
+
+/// Assignments never move once made: replaying the prefix of a stream pins exactly the same
+/// shards the full replay ends up with (append-only means the suffix can only add pins).
+#[test]
+fn assignments_are_pinned_forever() {
+    let stream = GraphWorkloadBuilder::new(48)
+        .weight_scale(5.0)
+        .churn_stream(70, 400, 0xF1F0);
+    let (full, _) = greedy_replay(&stream, 13);
+    let (prefix, _) = greedy_replay(&stream[..stream.len() / 2], 13);
+    for i in 0..48u32 {
+        if let Some(s) = prefix.get(VertexId(i)) {
+            assert_eq!(
+                full.get(VertexId(i)),
+                Some(s),
+                "vertex {i} moved after being pinned"
+            );
+        }
     }
 }
 
