@@ -8,7 +8,9 @@
 //! individually. The `flush_every` parameter sweeps the ingest window from per-event flushing
 //! (no coalescing possible) to large batches.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, record_telemetry_json, BenchmarkId, Criterion, Throughput,
+};
 use dynsld_bench::config;
 use dynsld_engine::{
     Backpressure, BlockPartitioner, ClusterService, ClusteringEngine, FlushPolicy, ServiceBuilder,
@@ -16,6 +18,7 @@ use dynsld_engine::{
 use dynsld_forest::workload::{GraphUpdate, GraphWorkloadBuilder};
 use dynsld_forest::VertexId;
 use dynsld_msf::DynamicGraphClustering;
+use dynsld_telemetry::{export, Telemetry};
 
 const N: usize = 2_000;
 const NUM_EDGES: usize = 4_000;
@@ -280,9 +283,46 @@ fn bench_ingest_queue(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry pass: one *instrumented* run of the sharded pipeline per `flush_every` setting,
+/// outside the timing loops, capturing the stage-attributed view — per-shard flush phases
+/// (coalesce / classify / apply / export / publish), submit-side queue latency quantiles,
+/// drain sizes — into the `--save-json` document's `"telemetry"` array. This is the
+/// `BENCH_PR6.json` breakdown: it says *where* the milliseconds of the timing entries above
+/// go, at the cost of running with recording on (so its absolute numbers sit slightly above
+/// the untraced entries).
+fn capture_pipeline_telemetry(_c: &mut Criterion) {
+    let local = block_local_stream();
+    for flush_every in [1usize, 512] {
+        let telemetry = Telemetry::enabled();
+        let service = ServiceBuilder::new()
+            .vertices(N)
+            .shards(SHARDS)
+            .partitioner(BlockPartitioner {
+                block_size: N / SHARDS,
+            })
+            .queue_capacity(flush_every)
+            .telemetry(telemetry.clone())
+            .build()
+            .expect("valid bench configuration");
+        let ingest = service.ingest_handle();
+        let mut driver = service.into_driver();
+        for chunk in local.chunks(flush_every) {
+            for &u in chunk {
+                ingest.submit(u).expect("valid stream");
+            }
+            driver.pump().expect("validated at routing time");
+            driver.flush().expect("validated at routing time");
+        }
+        record_telemetry_json(
+            format!("engine_throughput/telemetry/shards_{SHARDS}_flush_every_{flush_every}"),
+            export::to_json(&telemetry.snapshot()),
+        );
+    }
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_engine_vs_naive, bench_redundant_stream, bench_sharded_service, bench_ingest_queue
+    targets = bench_engine_vs_naive, bench_redundant_stream, bench_sharded_service, bench_ingest_queue, capture_pipeline_telemetry
 }
 criterion_main!(benches);

@@ -21,7 +21,8 @@
 //!   (vs ~0.75 for hash) with a load ratio ≤ 2.
 
 use criterion::{
-    criterion_group, criterion_main, record_quality, BenchmarkId, Criterion, Throughput,
+    criterion_group, criterion_main, record_quality, record_telemetry_json, BenchmarkId, Criterion,
+    Throughput,
 };
 use dynsld_bench::config;
 use dynsld_engine::{
@@ -30,6 +31,7 @@ use dynsld_engine::{
 };
 use dynsld_forest::workload::{CommunityStream, GraphUpdate};
 use dynsld_forest::GraphWorkloadBuilder;
+use dynsld_telemetry::{export, Telemetry};
 
 const N: usize = 2_000;
 const COMMUNITIES: usize = 16;
@@ -80,9 +82,21 @@ fn apply(
     sweep: Sweep,
     shards: usize,
 ) -> (ClusterService, ServiceFlushReport) {
+    apply_with_telemetry(updates, sweep, shards, Telemetry::disabled())
+}
+
+/// [`apply`] with an explicit telemetry registry on the pipeline — the telemetry pass runs
+/// one instrumented routing run per partitioner through this.
+fn apply_with_telemetry(
+    updates: &[GraphUpdate],
+    sweep: Sweep,
+    shards: usize,
+    telemetry: Telemetry,
+) -> (ClusterService, ServiceFlushReport) {
     let service = sweep
         .configure(ServiceBuilder::new().vertices(N).shards(shards), shards)
         .queue_capacity(FLUSH_EVERY)
+        .telemetry(telemetry)
         .build()
         .expect("valid sweep configuration");
     let ingest = service.ingest_handle();
@@ -123,6 +137,19 @@ fn bench_partitioner_sweep(c: &mut Criterion) {
                 ],
             );
         }
+    }
+
+    // Telemetry pass: one instrumented run per partitioner at the headline shard count,
+    // capturing the stage-attributed breakdown (flush phases, submit latency quantiles,
+    // routing time) into the saved document — greedy's routing is where its spill savings
+    // are bought, and this is the series that prices it.
+    for sweep in Sweep::ALL {
+        let telemetry = Telemetry::enabled();
+        apply_with_telemetry(&cs.updates, sweep, 4, telemetry.clone());
+        record_telemetry_json(
+            format!("partitioner_sweep/telemetry/{}_shards_4", sweep.name()),
+            export::to_json(&telemetry.snapshot()),
+        );
     }
 
     // Timing pass: end-to-end pipeline throughput per partitioner at the headline shard

@@ -16,6 +16,7 @@ use dynsld::{DynSldError, DynSldOptions};
 use dynsld_forest::workload::GraphUpdate;
 use dynsld_forest::VertexId;
 use dynsld_msf::{DynamicGraphClustering, MsfChange};
+use dynsld_telemetry::Telemetry;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -56,6 +57,41 @@ impl From<DynSldError> for EngineError {
     }
 }
 
+/// Wall-time decomposition of one flush into its pipeline stages. All fields are zero for an
+/// empty (no-op) flush.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushPhases {
+    /// Draining and coalescing the pending buffer into homogeneous batches.
+    pub coalesce: Duration,
+    /// Kruskal-style batch classification (forest-vs-cycle on insert, tree/non-tree split
+    /// plus replacement-candidate search on delete).
+    pub classify: Duration,
+    /// Mutating the MSF/dendrogram: `batch_insert`/`batch_delete`, fallbacks, promotions.
+    pub apply: Duration,
+    /// `export_snapshot` — walking the dendrogram into the immutable snapshot form.
+    pub export: Duration,
+    /// Wrapping the export into an [`EngineSnapshot`] and swapping it in.
+    pub publish: Duration,
+}
+
+impl FlushPhases {
+    /// Sum of all phases (the instrumented share of the flush wall time).
+    pub fn total(&self) -> Duration {
+        self.coalesce + self.classify + self.apply + self.export + self.publish
+    }
+
+    /// Element-wise sum — aggregates phase breakdowns across shards or flushes.
+    pub fn merge(&self, other: &FlushPhases) -> FlushPhases {
+        FlushPhases {
+            coalesce: self.coalesce + other.coalesce,
+            classify: self.classify + other.classify,
+            apply: self.apply + other.apply,
+            export: self.export + other.export,
+            publish: self.publish + other.publish,
+        }
+    }
+}
+
 /// What one [`ClusteringEngine::flush`] did.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FlushReport {
@@ -74,6 +110,9 @@ pub struct FlushReport {
     pub fallback: usize,
     /// Wall-clock duration of the flush.
     pub duration: Duration,
+    /// Per-stage decomposition of `duration` (coalesce / classify / apply / export /
+    /// publish).
+    pub phases: FlushPhases,
 }
 
 /// Running counters owned by the engine (the coalescer keeps its own).
@@ -99,6 +138,7 @@ pub struct ClusteringEngine {
     published: EngineSnapshot,
     counters: Counters,
     cache_stats: Arc<CacheStats>,
+    telemetry: Telemetry,
 }
 
 impl ClusteringEngine {
@@ -124,7 +164,14 @@ impl ClusteringEngine {
             published,
             counters: Counters::default(),
             cache_stats,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: spans and stage histograms are recorded into it on every
+    /// non-empty flush. The default (disabled) handle makes all of that a no-op.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of vertices.
@@ -186,6 +233,7 @@ impl ClusteringEngine {
     /// Flushing with an empty buffer is a no-op: the epoch does not advance and the published
     /// snapshot is unchanged.
     pub fn flush(&mut self) -> Result<FlushReport, EngineError> {
+        let started = Instant::now();
         let batch = self.coalescer.drain();
         if batch.is_empty() {
             return Ok(FlushReport {
@@ -196,9 +244,14 @@ impl ClusteringEngine {
                 fast_path: 0,
                 fallback: 0,
                 duration: Duration::ZERO,
+                phases: FlushPhases::default(),
             });
         }
-        let started = Instant::now();
+        let _span = self.telemetry.span("engine.flush");
+        let mut phases = FlushPhases {
+            coalesce: started.elapsed(),
+            ..FlushPhases::default()
+        };
         let ops_applied = batch.num_ops();
         let CoalescedBatch {
             deletions,
@@ -216,22 +269,46 @@ impl ClusteringEngine {
             fast_path += outcome.fast_path;
             fallback += outcome.fallback;
             promoted = outcome.promoted;
+            phases.classify += outcome.classify_time;
+            phases.apply += outcome.apply_time;
         }
         if !insertions.is_empty() {
             let outcome = self.graph.batch_insert_edges(&insertions)?;
             changes.extend(outcome.changes);
             fast_path += outcome.fast_path;
             fallback += outcome.fallback;
+            phases.classify += outcome.classify_time;
+            phases.apply += outcome.apply_time;
         }
 
         self.epoch += 1;
+        let export_start = Instant::now();
+        let exported = self.graph.sld().export_snapshot();
+        phases.export = export_start.elapsed();
+        let publish_start = Instant::now();
         self.published = EngineSnapshot::publish(
             self.epoch,
-            self.graph.sld().export_snapshot(),
+            exported,
             self.graph.num_graph_edges(),
             Arc::clone(&self.cache_stats),
         );
+        phases.publish = publish_start.elapsed();
         let duration = started.elapsed();
+        if self.telemetry.is_enabled() {
+            self.telemetry.record_duration("engine.flush_ns", duration);
+            self.telemetry
+                .record_duration("engine.coalesce_ns", phases.coalesce);
+            self.telemetry
+                .record_duration("engine.classify_ns", phases.classify);
+            self.telemetry
+                .record_duration("engine.apply_ns", phases.apply);
+            self.telemetry
+                .record_duration("engine.export_ns", phases.export);
+            self.telemetry
+                .record_duration("engine.publish_ns", phases.publish);
+            self.telemetry.add("engine.flushes", 1);
+            self.telemetry.add("engine.ops_applied", ops_applied as u64);
+        }
         self.counters.flushes += 1;
         self.counters.ops_applied += ops_applied as u64;
         self.counters.fast_path_ops += fast_path as u64;
@@ -248,6 +325,7 @@ impl ClusteringEngine {
             fast_path,
             fallback,
             duration,
+            phases,
         })
     }
 
@@ -295,6 +373,8 @@ impl ClusteringEngine {
             events_compacted_in_queue: 0,
             queue_block_waits: 0,
             queue_full_rejections: 0,
+            queue_depth_max: 0,
+            queue_depth_last_drain: 0,
             pending_ops: self.coalescer.pending_ops(),
             flushes: self.counters.flushes,
             ops_applied: self.counters.ops_applied,
@@ -498,6 +578,50 @@ mod tests {
         // k == 0 is a no-op that names the next id.
         assert_eq!(engine.add_vertices(0), v(5));
         assert_eq!(engine.snapshot().epoch(), 3);
+    }
+
+    #[test]
+    fn flush_reports_phase_breakdown_and_feeds_telemetry() {
+        let mut engine = ClusteringEngine::new(8);
+        let telemetry = Telemetry::enabled();
+        engine.set_telemetry(telemetry.clone());
+
+        // Empty flush: no phases, no trace events.
+        let report = engine.flush().unwrap();
+        assert_eq!(report.phases, FlushPhases::default());
+        assert_eq!(telemetry.snapshot().trace.total_events(), 0);
+
+        engine
+            .submit_all([
+                ins(0, 1, 1.0),
+                ins(1, 2, 2.0),
+                ins(0, 2, 9.0),
+                ins(3, 4, 4.0),
+            ])
+            .unwrap();
+        let report = engine.flush().unwrap();
+        // Phases are disjoint sub-intervals of the flush, so they are populated and their
+        // sum never exceeds the wall duration.
+        assert!(report.phases.apply > Duration::ZERO);
+        assert!(report.phases.export > Duration::ZERO);
+        assert!(report.phases.publish > Duration::ZERO);
+        assert!(report.phases.total() <= report.duration);
+        // Deleting a tree edge exercises the classify (replacement search) phase too.
+        engine.submit(del(0, 1)).unwrap();
+        let report = engine.flush().unwrap();
+        assert!(report.phases.classify > Duration::ZERO);
+
+        let snap = telemetry.snapshot();
+        let flush_hist = snap.histogram("engine.flush_ns").expect("flush histogram");
+        assert_eq!(flush_hist.count, 2);
+        assert_eq!(snap.counter("engine.flushes"), Some(2));
+        assert_eq!(snap.trace.total_events(), 4); // two begin/end pairs
+        snap.trace.check_well_formed().expect("balanced spans");
+
+        // merge() aggregates element-wise.
+        let merged = report.phases.merge(&report.phases);
+        assert_eq!(merged.apply, report.phases.apply * 2);
+        assert_eq!(merged.total(), report.phases.total() * 2);
     }
 
     #[test]

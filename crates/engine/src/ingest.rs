@@ -37,9 +37,11 @@ use crate::service::{ClusterService, ServiceError, ServiceFlushReport, ServiceSh
 use crate::FlushPolicy;
 use dynsld_forest::workload::GraphUpdate;
 use dynsld_forest::VertexId;
+use dynsld_telemetry::Telemetry;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// What a full submission queue does to the submitting producer.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -139,6 +141,23 @@ pub(crate) struct IngestQueue {
     block_waits: AtomicU64,
     /// Submits bounced with [`IngestError::QueueFull`] (`Fail` mode).
     full_rejections: AtomicU64,
+    /// Highest queue depth ever observed at enqueue time — the contention high-watermark.
+    depth_watermark: AtomicU64,
+    /// Depth of the most recent non-empty drain.
+    last_drain_depth: AtomicU64,
+    /// Submit-latency and queue-depth instrumentation; a no-op unless enabled.
+    telemetry: Telemetry,
+}
+
+/// A point-in-time copy of the queue's counters (see the fields on [`IngestQueue`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct QueueCounters {
+    pub(crate) enqueued: u64,
+    pub(crate) compacted: u64,
+    pub(crate) block_waits: u64,
+    pub(crate) full_rejections: u64,
+    pub(crate) depth_watermark: u64,
+    pub(crate) last_drain_depth: u64,
 }
 
 /// One blocking pop by the driver.
@@ -150,7 +169,7 @@ pub(crate) enum Pop {
 }
 
 impl IngestQueue {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize, telemetry: Telemetry) -> Self {
         debug_assert!(capacity >= 1, "builder validation enforces capacity >= 1");
         IngestQueue {
             state: Mutex::new(QueueState::default()),
@@ -161,6 +180,9 @@ impl IngestQueue {
             compacted: AtomicU64::new(0),
             block_waits: AtomicU64::new(0),
             full_rejections: AtomicU64::new(0),
+            depth_watermark: AtomicU64::new(0),
+            last_drain_depth: AtomicU64::new(0),
+            telemetry,
         }
     }
 
@@ -176,13 +198,15 @@ impl IngestQueue {
         self.state.lock().expect("ingest queue poisoned").closed
     }
 
-    pub(crate) fn counters(&self) -> (u64, u64, u64, u64) {
-        (
-            self.enqueued.load(Ordering::Relaxed),
-            self.compacted.load(Ordering::Relaxed),
-            self.block_waits.load(Ordering::Relaxed),
-            self.full_rejections.load(Ordering::Relaxed),
-        )
+    pub(crate) fn counters(&self) -> QueueCounters {
+        QueueCounters {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            compacted: self.compacted.load(Ordering::Relaxed),
+            block_waits: self.block_waits.load(Ordering::Relaxed),
+            full_rejections: self.full_rejections.load(Ordering::Relaxed),
+            depth_watermark: self.depth_watermark.load(Ordering::Relaxed),
+            last_drain_depth: self.last_drain_depth.load(Ordering::Relaxed),
+        }
     }
 
     /// Enqueues one event under the given backpressure mode.
@@ -191,6 +215,9 @@ impl IngestQueue {
         event: GraphUpdate,
         backpressure: Backpressure,
     ) -> Result<(), IngestError> {
+        // Clock reads are gated on telemetry so the disabled submit path stays untouched.
+        let submit_start = self.telemetry.is_enabled().then(Instant::now);
+        let mut block_start: Option<Instant> = None;
         let mut state = self.state.lock().expect("ingest queue poisoned");
         // `block_waits` counts *submits* that had to wait, not wait-loop rounds: a woken
         // producer that loses the race for the freed slot goes around the loop again but
@@ -203,7 +230,17 @@ impl IngestQueue {
             if state.buf.len() < self.capacity {
                 state.buf.push_back(event);
                 self.enqueued.fetch_add(1, Ordering::Relaxed);
+                self.depth_watermark
+                    .fetch_max(state.buf.len() as u64, Ordering::Relaxed);
                 self.not_empty.notify_one();
+                if let Some(start) = submit_start {
+                    if let Some(blocked) = block_start {
+                        self.telemetry
+                            .record_duration("ingest.block_wait_ns", blocked.elapsed());
+                    }
+                    self.telemetry
+                        .record_duration("ingest.submit_ns", start.elapsed());
+                }
                 return Ok(());
             }
             match backpressure {
@@ -220,7 +257,17 @@ impl IngestQueue {
                     self.compacted.fetch_add(absorbed as u64, Ordering::Relaxed);
                     if state.buf.len() <= self.capacity {
                         self.enqueued.fetch_add(1, Ordering::Relaxed);
+                        self.depth_watermark
+                            .fetch_max(state.buf.len() as u64, Ordering::Relaxed);
                         self.not_empty.notify_one();
+                        if let Some(start) = submit_start {
+                            if let Some(blocked) = block_start {
+                                self.telemetry
+                                    .record_duration("ingest.block_wait_ns", blocked.elapsed());
+                            }
+                            self.telemetry
+                                .record_duration("ingest.submit_ns", start.elapsed());
+                        }
                         return Ok(());
                     }
                     // No redundancy to absorb: take the event back (nothing merged, so it is
@@ -231,6 +278,9 @@ impl IngestQueue {
                         wait_counted = true;
                         self.block_waits.fetch_add(1, Ordering::Relaxed);
                     }
+                    if submit_start.is_some() && block_start.is_none() {
+                        block_start = Some(Instant::now());
+                    }
                     state = self.not_full.wait(state).expect("ingest queue poisoned");
                 }
                 Backpressure::Block => {
@@ -238,10 +288,19 @@ impl IngestQueue {
                         wait_counted = true;
                         self.block_waits.fetch_add(1, Ordering::Relaxed);
                     }
+                    if submit_start.is_some() && block_start.is_none() {
+                        block_start = Some(Instant::now());
+                    }
                     state = self.not_full.wait(state).expect("ingest queue poisoned");
                 }
             }
         }
+    }
+
+    /// Records a non-empty drain: the per-drain depth gauge plus the sampled depth histogram.
+    fn note_drain(&self, depth: usize) {
+        self.last_drain_depth.store(depth as u64, Ordering::Relaxed);
+        self.telemetry.record("queue.drain_depth", depth as u64);
     }
 
     /// Drains everything queued right now without blocking (empty when idle).
@@ -250,6 +309,7 @@ impl IngestQueue {
         let batch: Vec<GraphUpdate> = state.buf.drain(..).collect();
         if !batch.is_empty() {
             self.not_full.notify_all();
+            self.note_drain(batch.len());
         }
         batch
     }
@@ -261,6 +321,7 @@ impl IngestQueue {
             if !state.buf.is_empty() {
                 let batch: Vec<GraphUpdate> = state.buf.drain(..).collect();
                 self.not_full.notify_all();
+                self.note_drain(batch.len());
                 return Pop::Batch(batch);
             }
             if state.closed {
@@ -582,6 +643,11 @@ impl FlusherDriver {
     }
 
     fn process(&mut self, batch: Vec<GraphUpdate>) -> Result<DrainReport, ServiceError> {
+        let telemetry = self.service.telemetry().clone();
+        let _span = (!batch.is_empty() && telemetry.is_enabled()).then(|| {
+            telemetry.record("driver.drain_size", batch.len() as u64);
+            telemetry.span("driver.drain")
+        });
         let mut report = DrainReport {
             events_drained: batch.len(),
             ..DrainReport::default()
@@ -656,7 +722,7 @@ mod tests {
 
     #[test]
     fn fail_mode_bounces_when_full_without_blocking() {
-        let q = IngestQueue::new(2);
+        let q = IngestQueue::new(2, Telemetry::disabled());
         q.push(ins(0, 1, 1.0), Backpressure::Fail).unwrap();
         q.push(ins(2, 3, 1.0), Backpressure::Fail).unwrap();
         assert_eq!(
@@ -666,7 +732,11 @@ mod tests {
             })
         );
         assert_eq!(q.len(), 2);
-        assert_eq!(q.counters().3, 1, "one full rejection counted");
+        assert_eq!(
+            q.counters().full_rejections,
+            1,
+            "one full rejection counted"
+        );
         // Draining frees the slots.
         assert_eq!(q.pop_all().len(), 2);
         q.push(ins(4, 5, 1.0), Backpressure::Fail).unwrap();
@@ -674,14 +744,14 @@ mod tests {
 
     #[test]
     fn block_mode_waits_for_the_consumer() {
-        let q = Arc::new(IngestQueue::new(1));
+        let q = Arc::new(IngestQueue::new(1, Telemetry::disabled()));
         q.push(ins(0, 1, 1.0), Backpressure::Block).unwrap();
         let producer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.push(ins(2, 3, 1.0), Backpressure::Block))
         };
         // Busy-wait until the producer is parked, then drain to release it.
-        while q.counters().2 == 0 {
+        while q.counters().block_waits == 0 {
             std::thread::yield_now();
         }
         assert_eq!(q.pop_all(), vec![ins(0, 1, 1.0)]);
@@ -691,7 +761,7 @@ mod tests {
 
     #[test]
     fn coalesce_mode_compacts_redundant_queued_events() {
-        let q = IngestQueue::new(1);
+        let q = IngestQueue::new(1, Telemetry::disabled());
         q.push(ins(0, 1, 1.0), Backpressure::Coalesce).unwrap();
         // Queue full; the re-weight of the *queued* insert compacts to an insert at the new
         // weight and takes the freed slot — no blocking, no consumer involved.
@@ -703,7 +773,7 @@ mod tests {
         q.push(ins(2, 3, 1.0), Backpressure::Coalesce).unwrap();
         q.push(del(2, 3), Backpressure::Coalesce).unwrap();
         assert_eq!(q.len(), 0);
-        assert!(q.counters().1 >= 3, "compaction counters advanced");
+        assert!(q.counters().compacted >= 3, "compaction counters advanced");
     }
 
     #[test]
@@ -741,13 +811,13 @@ mod tests {
 
     #[test]
     fn close_wakes_producers_and_consumer() {
-        let q = Arc::new(IngestQueue::new(1));
+        let q = Arc::new(IngestQueue::new(1, Telemetry::disabled()));
         q.push(ins(0, 1, 1.0), Backpressure::Block).unwrap();
         let producer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.push(ins(2, 3, 1.0), Backpressure::Block))
         };
-        while q.counters().2 == 0 {
+        while q.counters().block_waits == 0 {
             std::thread::yield_now();
         }
         q.close();

@@ -50,6 +50,14 @@ pub struct Metrics {
     pub queue_block_waits: u64,
     /// Submits bounced with `IngestError::QueueFull` under `Backpressure::Fail`.
     pub queue_full_rejections: u64,
+    /// High-watermark of the submission-queue depth: the most events that were ever buffered
+    /// at once. Zero on single-engine metrics; set by `ClusterService::metrics`. A watermark
+    /// pinned at the queue capacity means producers saturate the queue and the driver is the
+    /// bottleneck.
+    pub queue_depth_max: u64,
+    /// Queue depth observed by the most recent driver drain (a gauge, not a counter). Zero on
+    /// single-engine metrics and before the first drain; set by `ClusterService::metrics`.
+    pub queue_depth_last_drain: u64,
     /// Operations currently buffered (one per edge, by coalescing).
     pub pending_ops: usize,
     /// Completed flushes (= the current epoch).
@@ -78,9 +86,10 @@ pub struct Metrics {
 
 impl Metrics {
     /// Merges per-shard metrics into one cross-shard aggregate: every counter is summed,
-    /// except `max_flush_time`, which keeps the maximum (the slowest single flush anywhere is
-    /// still the slowest single flush of the aggregate — summing it would fabricate a latency
-    /// no flush ever had).
+    /// except `max_flush_time` and the queue-depth gauges (`queue_depth_max`,
+    /// `queue_depth_last_drain`), which keep the maximum (the slowest single flush anywhere
+    /// is still the slowest single flush of the aggregate, and the deepest queue anywhere is
+    /// still the deepest queue — summing either would fabricate a value nothing observed).
     ///
     /// The merge is associative with [`Metrics::default`] as the identity, so shard counters
     /// can be aggregated incrementally or hierarchically in any grouping.
@@ -98,6 +107,8 @@ impl Metrics {
             out.events_compacted_in_queue += m.events_compacted_in_queue;
             out.queue_block_waits += m.queue_block_waits;
             out.queue_full_rejections += m.queue_full_rejections;
+            out.queue_depth_max = out.queue_depth_max.max(m.queue_depth_max);
+            out.queue_depth_last_drain = out.queue_depth_last_drain.max(m.queue_depth_last_drain);
             out.pending_ops += m.pending_ops;
             out.flushes += m.flushes;
             out.ops_applied += m.ops_applied;
@@ -223,6 +234,8 @@ mod tests {
             events_compacted_in_queue: 2 + k,
             queue_block_waits: 6 * k,
             queue_full_rejections: 1 + 2 * k,
+            queue_depth_max: 30 + 7 * k,
+            queue_depth_last_drain: 3 + 5 * k,
             pending_ops: 1 + k as usize,
             flushes: 4 + k,
             ops_applied: 100 * (k + 1),
@@ -251,6 +264,9 @@ mod tests {
         assert_eq!(merged.events_compacted_in_queue, 2 + 3 + 4);
         assert_eq!(merged.queue_block_waits, 6 + 12);
         assert_eq!(merged.queue_full_rejections, 1 + 3 + 5);
+        // Depth gauges keep the maximum across shards — NOT a sum.
+        assert_eq!(merged.queue_depth_max, 30 + 14);
+        assert_eq!(merged.queue_depth_last_drain, 3 + 10);
         assert_eq!(merged.pending_ops, 1 + 2 + 3);
         assert_eq!(merged.flushes, 4 + 5 + 6);
         assert_eq!(merged.ops_applied, 100 + 200 + 300);

@@ -35,7 +35,7 @@
 //! early stop on a shard failure — which the determinism tests pin down.
 
 use crate::coalesce::RejectReason;
-use crate::engine::{ClusteringEngine, EngineError, FlushReport};
+use crate::engine::{ClusteringEngine, EngineError, FlushPhases, FlushReport};
 use crate::ingest::{Backpressure, FlusherDriver, IngestHandle, IngestQueue, ReadHandle};
 use crate::metrics::Metrics;
 use crate::partition::{
@@ -45,9 +45,11 @@ use crate::snapshot::EngineSnapshot;
 use dynsld::{DynSldError, DynSldOptions, FlatClustering};
 use dynsld_forest::workload::GraphUpdate;
 use dynsld_forest::{Dsu, VertexId, Weight};
+use dynsld_telemetry::Telemetry;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Why a [`ServiceBuilder`] configuration was rejected by [`ServiceBuilder::build`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -366,6 +368,7 @@ pub struct ServiceBuilder {
     threads: Option<usize>,
     queue_capacity: usize,
     backpressure: Backpressure,
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for ServiceBuilder {
@@ -379,6 +382,7 @@ impl Default for ServiceBuilder {
             threads: None,
             queue_capacity: 1024,
             backpressure: Backpressure::Block,
+            telemetry: None,
         }
     }
 }
@@ -472,6 +476,16 @@ impl ServiceBuilder {
         self
     }
 
+    /// The [`Telemetry`] registry the built pipeline records into: queue submit/block-wait
+    /// latency, drain sizes, routing time, and per-shard flush-phase histograms all land
+    /// here, and [`ClusterService::telemetry`] exposes it for snapshots. Defaults to
+    /// [`Telemetry::from_env`] — a true no-op unless `DYNSLD_TRACE=1` — so instrumentation
+    /// costs one branch per site when nobody is looking.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Validates the configuration and builds the service (the owner of the shard engines).
     /// Interact with it through [`ClusterService::ingest_handle`],
     /// [`ClusterService::read_handle`], and a [`FlusherDriver`].
@@ -511,8 +525,13 @@ impl ServiceBuilder {
         } else {
             self.num_shards + 1 // + the spill shard
         };
+        let telemetry = self.telemetry.unwrap_or_else(Telemetry::from_env);
         let engines: Vec<ClusteringEngine> = (0..num_engines)
-            .map(|_| ClusteringEngine::with_options(n, self.options))
+            .map(|_| {
+                let mut engine = ClusteringEngine::with_options(n, self.options);
+                engine.set_telemetry(telemetry.clone());
+                engine
+            })
             .collect();
         let published =
             ServiceSnapshot::merge(engines.iter().map(ClusteringEngine::snapshot).collect());
@@ -535,9 +554,10 @@ impl ServiceBuilder {
             edge_inserts_cut: 0,
             backpressure: self.backpressure,
             shared: Arc::new(ServiceShared {
-                queue: IngestQueue::new(self.queue_capacity),
+                queue: IngestQueue::new(self.queue_capacity, telemetry.clone()),
                 published: RwLock::new(published),
             }),
+            telemetry,
         })
     }
 }
@@ -558,6 +578,13 @@ pub struct ServiceFlushReport {
     /// flush's snapshot, and it is empty on the default value (a drain that only performed
     /// per-shard threshold flushes).
     pub shard_event_loads: Vec<(ShardId, u64)>,
+    /// Wall-clock time of the whole service flush — the time the flushing thread was
+    /// occupied, fan-out and joins included. With concurrent shard flushes this is less than
+    /// [`shard_time_sum`](Self::shard_time_sum) (the pool overlaps shards) and at least
+    /// [`slowest_shard_time`](Self::slowest_shard_time) (no flush finishes before its
+    /// slowest shard). Summed across flushes by report absorption in a
+    /// [`DrainReport`](crate::DrainReport).
+    pub wall_time: Duration,
 }
 
 impl ServiceFlushReport {
@@ -579,6 +606,35 @@ impl ServiceFlushReport {
     /// The epoch vector after the flush, in shard order.
     pub fn epochs(&self) -> Vec<u64> {
         self.reports.iter().map(|(_, r)| r.epoch).collect()
+    }
+
+    /// The slowest single shard flush in this report — the critical path of a concurrent
+    /// flush: however many threads the pool has, the service flush cannot beat its slowest
+    /// shard. Compare with [`shard_time_sum`](Self::shard_time_sum) to see how much work the
+    /// pool overlapped, and with [`wall_time`](Self::wall_time) for the fan-out overhead.
+    pub fn slowest_shard_time(&self) -> Duration {
+        self.reports
+            .iter()
+            .map(|(_, r)| r.duration)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total busy time across all shard flushes — what a strictly sequential flush would
+    /// have cost. `shard_time_sum / wall_time` is the effective flush speedup.
+    pub fn shard_time_sum(&self) -> Duration {
+        self.reports.iter().map(|(_, r)| r.duration).sum()
+    }
+
+    /// Per-stage decomposition summed over every shard flush in the report: total busy time
+    /// spent coalescing, classifying (Kruskal partitioning + replacement search), applying
+    /// MSF mutations, exporting snapshots, and publishing.
+    pub fn phase_totals(&self) -> FlushPhases {
+        let mut total = FlushPhases::default();
+        for (_, r) in &self.reports {
+            total = total.merge(&r.phases);
+        }
+        total
     }
 
     /// Number of shards that actually applied operations.
@@ -681,10 +737,12 @@ impl ServiceFlushReport {
     }
 
     /// Folds `other` into this report: per-shard flush reports are appended in execution
-    /// order, and the load snapshot is replaced by `other`'s when present (loads are
-    /// lifetime counters, so the later snapshot subsumes the earlier one).
+    /// order, wall time accumulates, and the load snapshot is replaced by `other`'s when
+    /// present (loads are lifetime counters, so the later snapshot subsumes the earlier
+    /// one).
     pub(crate) fn absorb(&mut self, other: ServiceFlushReport) {
         self.reports.extend(other.reports);
+        self.wall_time += other.wall_time;
         if !other.shard_event_loads.is_empty() {
             self.shard_event_loads = other.shard_event_loads;
         }
@@ -725,6 +783,9 @@ pub struct ClusterService {
     backpressure: Backpressure,
     /// The queue + published-view state shared with handles.
     shared: Arc<ServiceShared>,
+    /// The pipeline-wide telemetry registry (shared with every shard engine and the
+    /// submission queue); a no-op unless enabled at build time.
+    telemetry: Telemetry,
 }
 
 impl ClusterService {
@@ -763,6 +824,15 @@ impl ClusterService {
 
     pub(crate) fn shared(&self) -> &Arc<ServiceShared> {
         &self.shared
+    }
+
+    /// The pipeline's [`Telemetry`] registry — the one handed to every shard engine and the
+    /// submission queue at build time (see [`ServiceBuilder::telemetry`]). Call
+    /// [`Telemetry::snapshot`] on it to read the stage-latency histograms, counters, and the
+    /// span trace; it stays readable after the service moves into a [`FlusherDriver`] if you
+    /// clone it first (clones share the registry).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Number of endpoint-partitioned (routed) shards, excluding the spill shard.
@@ -898,10 +968,15 @@ impl ClusterService {
         event: GraphUpdate,
     ) -> Result<(ShardId, Option<(ShardId, FlushReport)>), ServiceError> {
         let (u, v) = event.endpoints();
+        let route_start = self.telemetry.is_enabled().then(Instant::now);
         let id = match &self.router {
             Router::Pure(_) if self.num_shards == 1 => ShardId::Routed(0),
             _ => self.router.route_edge_pinned(u, v, self.num_shards),
         };
+        if let Some(start) = route_start {
+            self.telemetry
+                .record_duration("service.route_ns", start.elapsed());
+        }
         let idx = self.index_of(id);
         self.engines[idx]
             .submit(event)
@@ -995,6 +1070,7 @@ impl ClusterService {
     /// flushed, while `threads(1)` preserves the historical sequential contract of stopping at
     /// the first failing shard.
     pub(crate) fn flush_direct(&mut self) -> Result<ServiceFlushReport, ServiceError> {
+        let started = Instant::now();
         let sequential = self.threads() <= 1 || self.engines.len() <= 1;
         let mut reports = Vec::with_capacity(self.engines.len());
         let mut failure = None;
@@ -1032,11 +1108,17 @@ impl ClusterService {
         // Refresh even on failure: shards flushed before (or besides) the failing one have
         // already published new states, and served views must reflect them.
         self.refresh_published();
+        let wall_time = started.elapsed();
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .record_duration("service.flush_wall_ns", wall_time);
+        }
         match failure {
             Some(e) => Err(e),
             None => Ok(ServiceFlushReport {
                 reports,
                 shard_event_loads: self.shard_event_loads(),
+                wall_time,
             }),
         }
     }
@@ -1101,11 +1183,13 @@ impl ClusterService {
         merged.edge_inserts_routed = self.edge_inserts_routed;
         merged.edge_inserts_cut = self.edge_inserts_cut;
         merged.vertices_assigned = self.router.table().map_or(0, AssignmentTable::assigned);
-        let (enqueued, compacted, block_waits, full_rejections) = self.shared.queue.counters();
-        merged.events_enqueued = enqueued;
-        merged.events_compacted_in_queue = compacted;
-        merged.queue_block_waits = block_waits;
-        merged.queue_full_rejections = full_rejections;
+        let q = self.shared.queue.counters();
+        merged.events_enqueued = q.enqueued;
+        merged.events_compacted_in_queue = q.compacted;
+        merged.queue_block_waits = q.block_waits;
+        merged.queue_full_rejections = q.full_rejections;
+        merged.queue_depth_max = q.depth_watermark;
+        merged.queue_depth_last_drain = q.last_drain_depth;
         merged
     }
 
@@ -1592,6 +1676,103 @@ mod tests {
         h.submit(ins(0, 1, 1.0)).unwrap();
         assert!(h.submit(ins(1, 2, 1.0)).is_err());
         assert_eq!(tight.metrics().queue_full_rejections, 1);
+    }
+
+    #[test]
+    fn metrics_gauge_queue_depths() {
+        let svc = blocked(2, 8, FlushPolicy::Manual);
+        let ingest = svc.ingest_handle();
+        ingest.submit(ins(0, 1, 1.0)).unwrap();
+        ingest.submit(ins(4, 5, 1.0)).unwrap();
+        ingest.submit(ins(1, 2, 1.0)).unwrap();
+        let before = svc.metrics();
+        // Three events buffered at once; nothing drained yet.
+        assert_eq!(before.queue_depth_max, 3);
+        assert_eq!(before.queue_depth_last_drain, 0);
+        let mut driver = FlusherDriver::new(svc);
+        driver.pump().unwrap();
+        let after = driver.service().metrics();
+        // The drain observed the full queue; the watermark survives the drain.
+        assert_eq!(after.queue_depth_max, 3);
+        assert_eq!(after.queue_depth_last_drain, 3);
+        // A shallower follow-up drain moves the gauge but not the watermark.
+        driver
+            .service()
+            .ingest_handle()
+            .submit(ins(2, 3, 1.0))
+            .unwrap();
+        driver.pump().unwrap();
+        let last = driver.service().metrics();
+        assert_eq!(last.queue_depth_max, 3);
+        assert_eq!(last.queue_depth_last_drain, 1);
+    }
+
+    #[test]
+    fn flush_reports_carry_wall_time_and_phase_totals() {
+        let svc = blocked(2, 8, FlushPolicy::Manual);
+        let ingest = svc.ingest_handle();
+        ingest.submit(ins(0, 1, 1.0)).unwrap();
+        ingest.submit(ins(4, 5, 1.0)).unwrap();
+        ingest.submit(ins(1, 4, 2.0)).unwrap(); // cross-shard → spill
+        let mut driver = FlusherDriver::new(svc);
+        driver.pump().unwrap();
+        let report = driver.flush().unwrap();
+        assert!(report.wall_time > Duration::ZERO);
+        // Three shards applied one op each: the busy-time sum dominates the slowest shard,
+        // and no shard outlasted the whole flush.
+        assert!(report.shard_time_sum() >= report.slowest_shard_time());
+        assert!(report.slowest_shard_time() > Duration::ZERO);
+        assert!(report.wall_time >= report.slowest_shard_time());
+        let phases = report.phase_totals();
+        assert!(phases.apply > Duration::ZERO);
+        assert!(phases.total() <= report.shard_time_sum());
+        // An idle follow-up flush still reports its (tiny) wall time.
+        let idle = driver.flush().unwrap();
+        assert_eq!(idle.slowest_shard_time(), Duration::ZERO);
+        assert_eq!(idle.phase_totals(), FlushPhases::default());
+    }
+
+    #[test]
+    fn builder_telemetry_instruments_the_whole_pipeline() {
+        let telemetry = Telemetry::enabled();
+        let svc = ServiceBuilder::new()
+            .vertices(8)
+            .shards(2)
+            .partitioner(BlockPartitioner { block_size: 4 })
+            .telemetry(telemetry.clone())
+            .build()
+            .unwrap();
+        assert!(svc.telemetry().is_enabled());
+        let ingest = svc.ingest_handle();
+        ingest.submit(ins(0, 1, 1.0)).unwrap();
+        ingest.submit(ins(4, 5, 1.0)).unwrap();
+        let mut driver = FlusherDriver::new(svc);
+        driver.pump().unwrap();
+        driver.flush().unwrap();
+        let snap = telemetry.snapshot();
+        // Submit-side latency, drain depth, routing, and flush phases all recorded.
+        for series in [
+            "ingest.submit_ns",
+            "queue.drain_depth",
+            "driver.drain_size",
+            "service.route_ns",
+            "service.flush_wall_ns",
+            "engine.flush_ns",
+            "engine.apply_ns",
+        ] {
+            assert!(
+                snap.histogram(series).is_some_and(|h| !h.is_empty()),
+                "series {series} missing or empty"
+            );
+        }
+        assert!(snap.counter("engine.flushes").unwrap_or(0) >= 1);
+        snap.trace.check_well_formed().unwrap();
+        assert!(snap.trace.total_events() > 0);
+        // The default builder stays inert without the env opt-in.
+        let inert = blocked(2, 8, FlushPolicy::Manual);
+        if std::env::var("DYNSLD_TRACE").is_err() {
+            assert!(!inert.telemetry().is_enabled());
+        }
     }
 
     /// A 2-shard greedy service for the assignment tests below.

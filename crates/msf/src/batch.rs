@@ -24,6 +24,7 @@ use crate::{pair, DynamicGraphClustering, MsfChange};
 use dynsld::{DynSld, DynSldError};
 use dynsld_forest::{Dsu, VertexId, Weight};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// The result of applying one batch of graph updates.
 #[derive(Clone, Debug, PartialEq)]
@@ -37,6 +38,12 @@ pub struct BatchOutcome {
     pub fallback: usize,
     /// Reserve edges promoted into the MSF by a deletion batch, in promotion order.
     pub promoted: Vec<(VertexId, VertexId)>,
+    /// Wall time spent classifying the batch: the Kruskal-style union-find pass on insert,
+    /// and the tree/non-tree split plus replacement-candidate search on delete.
+    pub classify_time: Duration,
+    /// Wall time spent mutating the structure: `batch_insert`/`batch_delete`, per-edge
+    /// fallbacks, promotions, and membership bookkeeping.
+    pub apply_time: Duration,
 }
 
 /// Maps arbitrary component representatives (as returned by [`DynSld::component_repr`]) to
@@ -104,6 +111,7 @@ impl DynamicGraphClustering {
         }
 
         // ---- classify: Kruskal over (current components ∪ lighter batch edges) ----------
+        let classify_start = Instant::now();
         let order = rank_order(edges);
         let mut comps = LocalComponents::default();
         let locals: Vec<(VertexId, VertexId)> = edges
@@ -124,7 +132,10 @@ impl DynamicGraphClustering {
             }
         }
 
+        let classify_time = classify_start.elapsed();
+
         // ---- fast path: all forest edges in one Theorem-1.5 batch ------------------------
+        let apply_start = Instant::now();
         if !forest_batch.is_empty() {
             self.sld
                 .batch_insert(&forest_batch)
@@ -153,6 +164,8 @@ impl DynamicGraphClustering {
             fast_path: forest_batch.len(),
             fallback,
             promoted: Vec::new(),
+            classify_time,
+            apply_time: apply_start.elapsed(),
         })
     }
 
@@ -183,7 +196,14 @@ impl DynamicGraphClustering {
 
         let mut changes: Vec<Option<MsfChange>> = vec![None; pairs.len()];
 
+        // Classify/apply wall time is accumulated across the interleaved segments below:
+        // classify = tree/non-tree split + replacement-candidate search; apply = the
+        // Theorem-1.5 batch delete, bookkeeping, and promotions.
+        let mut classify_time = Duration::ZERO;
+        let mut apply_time = Duration::ZERO;
+
         // ---- non-tree deletions: reserve bookkeeping only --------------------------------
+        let split_start = Instant::now();
         let mut tree_idx: Vec<usize> = Vec::new();
         for (i, &(u, v)) in pairs.iter().enumerate() {
             let key = pair(u, v);
@@ -196,6 +216,7 @@ impl DynamicGraphClustering {
                 changes[i] = Some(MsfChange::RemovedNonTree);
             }
         }
+        classify_time += split_start.elapsed();
         if tree_idx.is_empty() {
             return Ok(BatchOutcome {
                 changes: changes
@@ -205,10 +226,13 @@ impl DynamicGraphClustering {
                 fast_path: 0,
                 fallback: 0,
                 promoted: Vec::new(),
+                classify_time,
+                apply_time,
             });
         }
 
         // ---- tree deletions: one Theorem-1.5 batch ---------------------------------------
+        let delete_start = Instant::now();
         let tree_pairs: Vec<(VertexId, VertexId)> = tree_idx.iter().map(|&i| pairs[i]).collect();
         self.sld
             .batch_delete(&tree_pairs)
@@ -218,8 +242,10 @@ impl DynamicGraphClustering {
             self.membership.remove(&key);
             self.weights.remove(&key);
         }
+        apply_time += delete_start.elapsed();
 
         // ---- replacement search: Kruskal over reserve edges across affected cuts ---------
+        let search_start = Instant::now();
         // Affected components are the post-deletion components of the deleted edges'
         // endpoints. Every reserve edge is intra-tree, so a candidate crossing a cut connects
         // two affected pieces of the *same original tree*. Per original tree, scan every piece
@@ -312,8 +338,10 @@ impl DynamicGraphClustering {
         for j in pending {
             changes[tree_idx[j]] = Some(MsfChange::RemovedAndSplit);
         }
+        classify_time += search_start.elapsed();
 
         // ---- promotions ride the batch fast path -----------------------------------------
+        let promote_start = Instant::now();
         if !promoted.is_empty() {
             self.sld
                 .batch_insert(&promoted)
@@ -325,6 +353,8 @@ impl DynamicGraphClustering {
             }
         }
 
+        apply_time += promote_start.elapsed();
+
         Ok(BatchOutcome {
             changes: changes
                 .into_iter()
@@ -333,6 +363,8 @@ impl DynamicGraphClustering {
             fast_path: tree_pairs.len() + promoted.len(),
             fallback: 0,
             promoted: promoted.iter().map(|&(a, b, _)| (a, b)).collect(),
+            classify_time,
+            apply_time,
         })
     }
 }

@@ -50,6 +50,24 @@ type QualityRecord = (String, Vec<(String, f64)>);
 /// partitioner's spill share), keyed by a benchmark-style id.
 static QUALITY_RESULTS: Mutex<Vec<QualityRecord>> = Mutex::new(Vec::new());
 
+/// Pre-serialized telemetry documents recorded by the benches (stage-latency histograms,
+/// counters, trace totals), keyed by a benchmark-style id.
+static TELEMETRY_RESULTS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Attaches a pre-serialized JSON object (typically `dynsld_telemetry`'s `to_json` output:
+/// per-stage latency histograms, counters, trace totals) to the `--save-json` document under
+/// a benchmark-style id. The document gains a `"telemetry"` array next to `"benchmarks"`,
+/// each entry `{"id": ..., "data": <the object, verbatim>}` — this is how the engine benches
+/// persist their flush-phase breakdowns and submit-latency quantiles alongside throughput.
+/// `json` must be a valid JSON value; it is embedded without re-validation. Real `criterion`
+/// has no such API; callers are expected to be behind the workspace shim.
+pub fn record_telemetry_json(id: impl Into<String>, json: impl Into<String>) {
+    TELEMETRY_RESULTS
+        .lock()
+        .expect("telemetry result registry poisoned")
+        .push((id.into(), json.into()));
+}
+
 /// Records bench-measured *quality* scalars (not timings) under a benchmark-style id. They
 /// are printed immediately and, when `--save-json` / `DYNSLD_BENCH_JSON` capture is active,
 /// written to the same document as a `"quality"` array next to `"benchmarks"` — this is how
@@ -132,6 +150,22 @@ fn write_saved_results(path: &str) {
                 "    {{\"id\": \"{}\", {}}}{}\n",
                 escape_json(id),
                 fields.join(", "),
+                sep
+            ));
+        }
+        out.push_str("  ]");
+    }
+    let telemetry = TELEMETRY_RESULTS
+        .lock()
+        .expect("telemetry result registry poisoned");
+    if !telemetry.is_empty() {
+        out.push_str(",\n  \"telemetry\": [\n");
+        for (i, (id, json)) in telemetry.iter().enumerate() {
+            let sep = if i + 1 < telemetry.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"data\": {}}}{}\n",
+                escape_json(id),
+                json,
                 sep
             ));
         }
@@ -578,6 +612,26 @@ mod tests {
         assert!(contents.contains("\"spill_share\": 0.125"));
         // Non-finite scalars serialize as null, keeping the document valid JSON.
         assert!(contents.contains("\"load_ratio\": null"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_telemetry_json_lands_in_the_saved_document() {
+        let path = std::env::temp_dir().join("criterion_shim_telemetry_test.json");
+        let path_str = path.to_str().expect("temp path is valid UTF-8").to_string();
+        record_telemetry_json(
+            "telemetry_probe/flush",
+            "{\"histograms\": {\"engine.flush_ns\": {\"count\": 3, \"p99\": 120}}}",
+        );
+        write_saved_results(&path_str);
+        let contents = std::fs::read_to_string(&path).expect("results file written");
+        assert!(contents.contains("\"telemetry\""));
+        assert!(contents.contains("\"id\": \"telemetry_probe/flush\""));
+        // The payload is embedded verbatim as a nested object, not as a quoted string.
+        assert!(contents.contains("\"data\": {\"histograms\""));
+        assert!(contents.contains("\"engine.flush_ns\""));
+        // Still structurally balanced JSON.
+        assert_eq!(contents.matches('{').count(), contents.matches('}').count());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,328 @@
+//! Log-bucketed latency histograms: cheap to record, mergeable across threads and shards.
+//!
+//! A [`Histogram`] is a fixed array of 65 power-of-two buckets plus exact count / sum /
+//! min / max, all atomic — recording is a handful of relaxed atomic adds, so one histogram
+//! can be shared by every producer thread and every shard without locking. Quantiles are
+//! answered from an immutable [`HistogramSnapshot`]: the reported value is the upper bound
+//! of the bucket holding the requested rank, clamped into the exactly-tracked `[min, max]`
+//! range, so every quantile is within a factor of two of the true order statistic and the
+//! familiar ordering `min <= p50 <= p90 <= p99 <= max` always holds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: bucket `0` holds the value `0`, bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`, up to bucket `64` holding `[2^63, u64::MAX]`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket index of `value`: `0` for `0`, otherwise `floor(log2(value)) + 1`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Upper bound of bucket `i` (the largest value the bucket can hold).
+#[inline]
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A concurrently-recordable log-bucketed histogram (see the [module docs](self)).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first record.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. Lock-free: four relaxed atomic adds plus two atomic
+    /// min/max updates.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// An immutable point-in-time copy of the counters. Racing recorders may make the copy
+    /// *torn* in the weak sense that a concurrent record is partially visible; every
+    /// counter is still individually valid, which is all quantile estimation needs.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable histogram state: mergeable, queryable, serializable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_of`]).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping on overflow, like the recorder).
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (`0` when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merges two snapshots: buckets, counts, and sums add; min/max combine. Associative and
+    /// commutative with [`HistogramSnapshot::default`] as the identity, so per-thread or
+    /// per-shard histograms can be aggregated in any grouping.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` (clamped to `[0, 1]`): the upper bound of the bucket that
+    /// holds the `ceil(q * count)`-th smallest observation, clamped into the exact
+    /// `[min, max]` range. Within a factor of two of the true order statistic, and monotone
+    /// in `q`. Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_upper_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`quantile`](Self::quantile)).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Every bucket's upper bound lands in that bucket.
+        for i in 1..NUM_BUCKETS {
+            assert_eq!(bucket_of(bucket_upper_bound(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_answers_zeroes() {
+        let h = Histogram::new().snapshot();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn record_tracks_exact_extremes_and_count() {
+        let h = Histogram::new();
+        for v in [7u64, 0, 1_000_000, 3] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1_000_010);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn duration_recording_uses_nanoseconds() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(3));
+        let s = h.snapshot();
+        assert_eq!(s.min, 3_000);
+        assert_eq!(s.max, 3_000);
+    }
+
+    /// A strategy for arbitrary small observation sets (mixing tiny and huge values so both
+    /// bucket ends participate).
+    fn observations() -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::vec(
+            proptest::prelude::any::<u64>().prop_map(|x| {
+                // Skew towards small values but keep some full-range ones.
+                if x % 4 == 0 {
+                    x
+                } else {
+                    x % 10_000
+                }
+            }),
+            0..200,
+        )
+    }
+
+    fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Merge is associative with the default as identity, and agrees with recording
+        /// everything into one histogram.
+        #[test]
+        fn merge_is_associative_with_identity(a in observations(), b in observations(), c in observations()) {
+            let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+            let left = sa.merge(&sb).merge(&sc);
+            let right = sa.merge(&sb.merge(&sc));
+            prop_assert_eq!(&left, &right);
+            // Identity on both sides.
+            prop_assert_eq!(&sa.merge(&HistogramSnapshot::default()), &sa);
+            prop_assert_eq!(&HistogramSnapshot::default().merge(&sa), &sa);
+            // Merging equals recording the union.
+            let mut all = a.clone();
+            all.extend(&b);
+            all.extend(&c);
+            prop_assert_eq!(&left, &snapshot_of(&all));
+        }
+
+        /// Cumulative bucket counts are monotone, so quantiles are monotone in `q`.
+        #[test]
+        fn quantiles_are_monotone_and_bounded(values in observations()) {
+            let s = snapshot_of(&values);
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let mut last = 0u64;
+            for &q in &qs {
+                let v = s.quantile(q);
+                prop_assert!(v >= last, "quantile({q}) = {v} < previous {last}");
+                last = v;
+            }
+            if !values.is_empty() {
+                let (&min, &max) = (
+                    values.iter().min().unwrap(),
+                    values.iter().max().unwrap(),
+                );
+                prop_assert_eq!(s.min, min);
+                prop_assert_eq!(s.max, max);
+                for &q in &qs {
+                    let v = s.quantile(q);
+                    prop_assert!(v >= min && v <= max, "quantile({q}) = {v} outside [{min}, {max}]");
+                }
+            }
+        }
+
+        /// Each quantile is within a factor of two of the true order statistic (the
+        /// log-bucket guarantee), because the answer is the covering bucket's upper bound.
+        #[test]
+        fn quantile_is_within_one_bucket_of_truth(values in observations()) {
+            if !values.is_empty() {
+                let s = snapshot_of(&values);
+                let mut sorted = values.clone();
+                sorted.sort_unstable();
+                for &q in &[0.5, 0.9, 0.99] {
+                    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                    let truth = sorted[rank - 1];
+                    let est = s.quantile(q);
+                    // The estimate is the covering bucket's upper bound, clamped into
+                    // [min, max]: never below the true order statistic, and at most one
+                    // log-bucket (a factor of two) above it unless the exact max is nearer.
+                    prop_assert!(est >= truth, "estimate {est} under-reports true {truth}");
+                    prop_assert!(
+                        est <= truth.saturating_mul(2).max(1) || est <= s.max,
+                        "estimate {est} more than a bucket above true {truth}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -12,10 +12,18 @@
 //! polls epoch-pinned snapshots the whole time. Backpressure is `Block`: when producers
 //! outrun the driver, they wait for queue slots instead of dropping events — visible in the
 //! `queue_block_waits` counter at the end.
+//!
+//! **Telemetry.** With `DYNSLD_TRACE=1` (or `DYNSLD_TRACE_OUT=<path>`, which implies it) the
+//! pipeline records stage-latency histograms and a span trace while it runs; the example
+//! then prints the histogram table and, when `DYNSLD_TRACE_OUT` names a file, writes the
+//! trace there in Chrome trace-event JSON — load it in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev) to see the driver's drains and every shard flush on
+//! a timeline.
 
 use dynsld_engine::{Backpressure, BlockPartitioner, FlushPolicy, ServiceBuilder};
 use dynsld_forest::workload::{GraphUpdate, GraphWorkloadBuilder};
 use dynsld_forest::VertexId;
+use dynsld_telemetry::{export, Telemetry};
 use std::time::{Duration, Instant};
 
 const PRODUCERS: usize = 4;
@@ -46,6 +54,12 @@ fn shift(update: GraphUpdate, offset: u32) -> GraphUpdate {
 }
 
 fn main() {
+    let trace_out = std::env::var("DYNSLD_TRACE_OUT").ok();
+    let telemetry = if trace_out.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::from_env()
+    };
     let service = ServiceBuilder::new()
         .vertices(N)
         .shards(PRODUCERS)
@@ -53,6 +67,7 @@ fn main() {
         .flush_policy(FlushPolicy::EveryNOps(256))
         .queue_capacity(QUEUE_CAPACITY)
         .backpressure(Backpressure::Block)
+        .telemetry(telemetry.clone())
         .build()
         .expect("a valid configuration");
     let ingest = service.ingest_handle();
@@ -156,4 +171,25 @@ fn main() {
         snap.num_components(),
         snap.num_clusters(25.0)
     );
+
+    if telemetry.is_enabled() {
+        let t = telemetry.snapshot();
+        println!("\n--- telemetry (DYNSLD_TRACE) ---");
+        print!("{}", export::render_table(&t));
+        println!(
+            "queue depth: high watermark {}, last drain {}",
+            m.queue_depth_max, m.queue_depth_last_drain
+        );
+        t.trace
+            .check_well_formed()
+            .expect("span trace is balanced and monotone");
+        if let Some(path) = trace_out {
+            std::fs::write(&path, export::chrome_json(&t)).expect("trace file is writable");
+            println!(
+                "wrote {} trace events from {} threads to {path} (Chrome trace format)",
+                t.trace.total_events(),
+                t.trace.threads.len()
+            );
+        }
+    }
 }

@@ -501,6 +501,75 @@ fn invalid_events_surface_in_the_drain_report() {
     assert!(snap.same_cluster(v(0), v(2), 2.0));
 }
 
+/// The observability acceptance criterion: running the identical pipeline with telemetry
+/// recording enabled changes *nothing* about the output — published clusterings (labels and
+/// member lists), epoch vectors, and edge counts are bit-identical to the untraced run, with
+/// submits and drains interleaved the same way on both sides. Meanwhile the enabled side
+/// actually records: stage histograms populated, span trace well-formed.
+#[test]
+fn telemetry_enabled_pipeline_is_bit_identical_to_disabled() {
+    use dynsld_telemetry::Telemetry;
+    let n = 40;
+    let stream = GraphWorkloadBuilder::new(n)
+        .weight_scale(8.0)
+        .churn_stream(2 * n, 320, 0x7E1E);
+    let telemetry = Telemetry::enabled();
+    let build = |telemetry: Telemetry| {
+        ServiceBuilder::new()
+            .vertices(n)
+            .shards(3)
+            .flush_policy(FlushPolicy::EveryNOps(7))
+            .queue_capacity(queue_cap(5))
+            .telemetry(telemetry)
+            .build()
+            .expect("valid configuration")
+    };
+    let traced = build(telemetry.clone());
+    let untraced = build(Telemetry::disabled());
+    let (traced_ingest, untraced_ingest) = (traced.ingest_handle(), untraced.ingest_handle());
+    let mut traced_driver = traced.into_driver();
+    let mut untraced_driver = untraced.into_driver();
+
+    let mut rng = SmallRng::seed_from_u64(0x0B5);
+    for &update in &stream {
+        submit_or_pump(&traced_ingest, &mut traced_driver, update);
+        submit_or_pump(&untraced_ingest, &mut untraced_driver, update);
+        if rng.gen_bool(0.08) {
+            traced_driver.pump().expect("validated stream");
+            untraced_driver.pump().expect("validated stream");
+        }
+    }
+    for driver in [&mut traced_driver, &mut untraced_driver] {
+        driver.pump().expect("validated stream");
+        driver.flush().expect("validated stream");
+    }
+
+    let (a, b) = (
+        traced_driver.service().published(),
+        untraced_driver.service().published(),
+    );
+    assert_eq!(a.epochs(), b.epochs(), "epoch vectors diverged");
+    assert_eq!(a.num_graph_edges(), b.num_graph_edges());
+    for tau in [1.0, 3.0, 5.5, f64::INFINITY] {
+        let (ca, cb) = (a.flat_clustering(tau), b.flat_clustering(tau));
+        assert_eq!(ca.labels, cb.labels, "labels diverged at tau={tau}");
+        assert_eq!(ca.clusters, cb.clusters, "members diverged at tau={tau}");
+    }
+
+    // The traced side really was recording, and its trace is structurally sound.
+    let snap = telemetry.snapshot();
+    for series in ["ingest.submit_ns", "engine.flush_ns", "engine.apply_ns"] {
+        assert!(
+            snap.histogram(series).is_some_and(|h| !h.is_empty()),
+            "series {series} missing or empty"
+        );
+    }
+    snap.trace.check_well_formed().expect("well-formed trace");
+    assert!(snap.trace.total_events() > 0);
+    // And the untraced side recorded nothing anywhere.
+    assert!(untraced_driver.service().telemetry().snapshot().is_empty());
+}
+
 /// Read handles are epoch-pinned: a held snapshot keeps answering for its epoch vector while
 /// the driver advances, and fresh reads observe the new epochs.
 #[test]

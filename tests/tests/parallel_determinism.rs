@@ -98,6 +98,29 @@ fn threads_1_and_threads_4_produce_identical_clusterings() {
             assert_eq!(rs.fast_path(), rp.fast_path());
             assert_eq!(rs.fallback(), rp.fallback());
             assert_eq!(rs.spill_routing_share(), rp.spill_routing_share());
+            // Timing telemetry is populated on both sides — a wall clock for the whole
+            // flush, per-shard busy times underneath it — and respects the invariant
+            // chain wall >= slowest shard, sum of shards >= slowest shard. Absolute
+            // values differ between the runs (that is the point of measuring), so only
+            // the structure is compared.
+            for report in [&rs, &rp] {
+                assert!(
+                    report.wall_time > std::time::Duration::ZERO,
+                    "flush round {i}: wall time not populated"
+                );
+                if report.ops_applied() > 0 {
+                    assert!(
+                        report.slowest_shard_time() > std::time::Duration::ZERO,
+                        "flush round {i}: per-shard durations not populated"
+                    );
+                }
+                assert!(report.shard_time_sum() >= report.slowest_shard_time());
+                assert!(report.wall_time >= report.slowest_shard_time());
+                assert!(
+                    report.phase_totals().total() <= report.shard_time_sum(),
+                    "flush round {i}: phase breakdown exceeds shard busy time"
+                );
+            }
             assert_identical(
                 &seq.service().published(),
                 &par.service().published(),
