@@ -16,6 +16,7 @@
 //! * [`crate::cartesian`] — dynamic Cartesian trees (Section 6.2).
 
 use crate::dendrogram::Dendrogram;
+use crate::snapshot::ExportTracker;
 use crate::static_sld;
 use dynsld_dyntree::{EulerTourForest, LctNodeId, LinkCutTree};
 use dynsld_forest::{EdgeId, Forest, RankKey, VertexId, Weight};
@@ -206,6 +207,8 @@ pub struct DynSld {
     /// applied (batch operations advance it once per edge). Serving layers (`dynsld-engine`)
     /// use it to tag snapshots and detect staleness.
     pub(crate) version: u64,
+    /// Dirty-set tracker feeding [`DynSld::export_snapshot_incremental`].
+    pub(crate) export: ExportTracker,
 }
 
 impl DynSld {
@@ -229,6 +232,7 @@ impl DynSld {
             options,
             stats: UpdateStats::default(),
             version: 0,
+            export: ExportTracker::default(),
         }
     }
 
@@ -273,6 +277,7 @@ impl DynSld {
             options,
             stats: UpdateStats::default(),
             version: 0,
+            export: ExportTracker::default(),
         }
     }
 
@@ -423,6 +428,7 @@ impl DynSld {
     ) -> (EdgeId, Option<EdgeId>, Option<EdgeId>) {
         self.version += 1;
         let e = self.forest.insert_edge(u, v, weight);
+        self.export.touch(e);
         let e_star_u = self.forest.min_incident_excluding(u, e);
         let e_star_v = self.forest.min_incident_excluding(v, e);
         self.dendro.add_node(e);
@@ -448,6 +454,7 @@ impl DynSld {
         e: EdgeId,
     ) -> (VertexId, VertexId, Option<EdgeId>, Option<EdgeId>) {
         self.version += 1;
+        self.export.touch(e);
         let (u, v) = self.forest.endpoints(e);
         let e_star_u = self.forest.min_incident_excluding(u, e);
         let e_star_v = self.forest.min_incident_excluding(v, e);
@@ -486,6 +493,7 @@ impl DynSld {
         }
         let changed = self.dendro.set_parent(e, new_parent);
         debug_assert!(changed);
+        self.export.touch(e);
         if let Some(spine) = &mut self.spine {
             let node = spine.node(e);
             if old.is_some() {
@@ -503,6 +511,7 @@ impl DynSld {
     /// Removes the (already detached) dendrogram node of a deleted edge.
     pub(crate) fn destroy_node(&mut self, e: EdgeId) {
         self.set_parent(e, None);
+        self.export.touch(e);
         self.dendro.remove_node(e);
         // The spine-index LCT node (if any) is left isolated and will be re-keyed if the edge id
         // is recycled.

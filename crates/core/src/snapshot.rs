@@ -142,34 +142,214 @@ impl DendrogramSnapshot {
     }
 }
 
+/// Counters describing how incremental exports were produced, exposed via
+/// [`DynSld::export_stats`]. Tests use them to pin which path ran; benches report them.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExportStats {
+    /// Exports answered straight from the cache (version unchanged since the last export).
+    pub cache_hits: u64,
+    /// Exports produced by splicing the dirty set into the cached rank order.
+    pub incremental_splices: u64,
+    /// Exports that fell back to the full `O(m log m)` rebuild (cold cache, overflowed or
+    /// too-large dirty set).
+    pub full_rebuilds: u64,
+    /// Total dendrogram records re-exported by the splice path (dirty and still alive).
+    pub nodes_respliced: u64,
+}
+
+/// Tracks which dendrogram records may differ from the last exported snapshot.
+///
+/// Every structural mutation funnels through `register_insert` / `register_delete` /
+/// `set_parent` / `destroy_node`, each of which marks the touched edge id dirty here. A record
+/// of a *non-dirty* edge is provably unchanged: weight and endpoints are fixed for the lifetime
+/// of an edge id (re-weighting is delete + insert, and id recycling goes through
+/// `register_insert`), and every parent change goes through `set_parent`. The dirty set is
+/// bounded: past [`ExportTracker::DIRTY_CAP`] it overflows and the next export rebuilds fully.
+///
+/// Membership is a generation-stamped slot array, not a hash set: `stamp[e] == generation`
+/// means `e` is dirty in the current export window. `touch` dedups with one indexed load, the
+/// splice's drop-stale walk tests each cached record with one indexed load (no hashing on the
+/// `O(m)` path), and invalidation after an export is a single `generation += 1`.
+#[derive(Clone, Debug)]
+pub(crate) struct ExportTracker {
+    dirty: Vec<EdgeId>,
+    stamp: Vec<u64>,
+    generation: u64,
+    overflowed: bool,
+    cached_version: u64,
+    cached_nodes: Option<Vec<SnapshotNode>>,
+    stats: ExportStats,
+}
+
+impl Default for ExportTracker {
+    fn default() -> Self {
+        ExportTracker {
+            dirty: Vec::new(),
+            stamp: Vec::new(),
+            // Starts above the all-zero stamps so a fresh tracker has nothing dirty.
+            generation: 1,
+            overflowed: false,
+            cached_version: 0,
+            cached_nodes: None,
+            stats: ExportStats::default(),
+        }
+    }
+}
+
+impl ExportTracker {
+    /// Beyond this many distinct dirty edges, stop tracking and fall back to a full rebuild at
+    /// the next export — bounds tracker memory on huge batches, where the splice would lose to
+    /// the rebuild anyway.
+    const DIRTY_CAP: usize = 1 << 16;
+
+    /// Marks edge `e` as possibly differing from the cached export.
+    pub(crate) fn touch(&mut self, e: EdgeId) {
+        if self.overflowed {
+            return;
+        }
+        if self.dirty.len() >= Self::DIRTY_CAP {
+            self.overflowed = true;
+            self.dirty = Vec::new();
+            return;
+        }
+        let slot = e.index();
+        if slot >= self.stamp.len() {
+            self.stamp.resize(slot + 1, 0);
+        }
+        if self.stamp[slot] != self.generation {
+            self.stamp[slot] = self.generation;
+            self.dirty.push(e);
+        }
+    }
+}
+
+/// Rank order of snapshot records: `(weight, edge id)` ascending, total on all floats.
+fn rank_cmp(a: &SnapshotNode, b: &SnapshotNode) -> std::cmp::Ordering {
+    a.weight
+        .total_cmp(&b.weight)
+        .then_with(|| a.edge.cmp(&b.edge))
+}
+
 impl DynSld {
-    /// Exports a flat immutable snapshot of the current dendrogram (see
-    /// [`DendrogramSnapshot`]). `O(m log m)`.
-    pub fn export_snapshot(&self) -> DendrogramSnapshot {
+    fn snapshot_node(&self, e: EdgeId) -> SnapshotNode {
+        let (u, v) = self.forest.endpoints(e);
+        SnapshotNode {
+            edge: e,
+            u,
+            v,
+            weight: self.forest.weight(e),
+            parent: self.dendrogram().parent(e),
+        }
+    }
+
+    /// The full rank-sorted export — shared by the oracle path and the incremental fallback.
+    fn rebuild_nodes(&self) -> Vec<SnapshotNode> {
         let mut nodes: Vec<SnapshotNode> = self
             .dendrogram()
             .nodes()
-            .map(|e| {
-                let (u, v) = self.forest.endpoints(e);
-                SnapshotNode {
-                    edge: e,
-                    u,
-                    v,
-                    weight: self.forest.weight(e),
-                    parent: self.dendrogram().parent(e),
-                }
-            })
+            .map(|e| self.snapshot_node(e))
             .collect();
-        nodes.sort_by(|a, b| {
-            a.weight
-                .total_cmp(&b.weight)
-                .then_with(|| a.edge.cmp(&b.edge))
-        });
+        nodes.sort_by(rank_cmp);
+        nodes
+    }
+
+    /// Exports a flat immutable snapshot of the current dendrogram (see
+    /// [`DendrogramSnapshot`]). `O(m log m)` — always a full rebuild; this is the oracle that
+    /// [`export_snapshot_incremental`](Self::export_snapshot_incremental) is tested against and
+    /// falls back to.
+    pub fn export_snapshot(&self) -> DendrogramSnapshot {
         DendrogramSnapshot {
             version: self.version(),
             num_vertices: self.num_vertices(),
+            nodes: self.rebuild_nodes(),
+        }
+    }
+
+    /// Exports a snapshot, reusing the previous export where possible.
+    ///
+    /// Cost is proportional to the records touched since the last export, not `O(m log m)`:
+    /// unchanged calls clone the cached node list; small dirty sets are re-exported and spliced
+    /// into the cached rank order in one linear merge pass; anything else (cold cache, dirty-set
+    /// overflow, or a dirty set large enough that sorting from scratch is comparable) falls back
+    /// to the full rebuild. The result is bit-identical to
+    /// [`export_snapshot`](Self::export_snapshot) at every version — pinned by oracle tests.
+    pub fn export_snapshot_incremental(&mut self) -> DendrogramSnapshot {
+        let version = self.version();
+        let num_vertices = self.num_vertices();
+        if self.export.cached_nodes.is_some() && self.export.cached_version == version {
+            // No structural change since the last export (mutations always bump the version).
+            debug_assert!(self.export.dirty.is_empty() && !self.export.overflowed);
+            self.export.stats.cache_hits += 1;
+            let nodes = self.export.cached_nodes.clone().unwrap();
+            return DendrogramSnapshot {
+                version,
+                num_vertices,
+                nodes,
+            };
+        }
+        // Splice only when the dirty set is clearly small relative to the cached export; at a
+        // quarter of `m` the re-sort of the dirty records stops paying for itself.
+        let splice = match &self.export.cached_nodes {
+            Some(nodes) if !self.export.overflowed => {
+                self.export.dirty.len() <= nodes.len() / 4 + 16
+            }
+            _ => false,
+        };
+        let nodes = if splice {
+            let dirty = std::mem::take(&mut self.export.dirty);
+            let cached = self.export.cached_nodes.take().unwrap();
+            // Re-export the dirty records that are still alive (a dirty id may have been
+            // deleted, or deleted and recycled — the live structure is authoritative).
+            let mut fresh: Vec<SnapshotNode> = dirty
+                .iter()
+                .filter(|&&e| self.dendro.contains(e))
+                .map(|&e| self.snapshot_node(e))
+                .collect();
+            fresh.sort_by(rank_cmp);
+            self.export.stats.incremental_splices += 1;
+            self.export.stats.nodes_respliced += fresh.len() as u64;
+            // One merge pass: cached records of dirty edges are dropped (stale, detected by
+            // one stamp load each), fresh records take their rank-ordered places.
+            let generation = self.export.generation;
+            let stamp = &self.export.stamp;
+            let mut out = Vec::with_capacity(cached.len() + fresh.len());
+            let mut fresh_iter = fresh.iter().peekable();
+            for node in cached
+                .iter()
+                .filter(|n| stamp.get(n.edge.index()).copied() != Some(generation))
+            {
+                while let Some(f) = fresh_iter.peek() {
+                    if rank_cmp(f, node) == std::cmp::Ordering::Less {
+                        out.push(**f);
+                        fresh_iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(*node);
+            }
+            out.extend(fresh_iter.copied());
+            out
+        } else {
+            self.export.dirty.clear();
+            self.export.overflowed = false;
+            self.export.stats.full_rebuilds += 1;
+            self.rebuild_nodes()
+        };
+        // One bump un-dirties every stamped slot for the next export window.
+        self.export.generation += 1;
+        self.export.cached_version = version;
+        self.export.cached_nodes = Some(nodes.clone());
+        DendrogramSnapshot {
+            version,
+            num_vertices,
             nodes,
         }
+    }
+
+    /// Running counters for the incremental-export paths taken so far.
+    pub fn export_stats(&self) -> ExportStats {
+        self.export.stats
     }
 }
 
@@ -273,5 +453,125 @@ mod tests {
         d.add_vertices(3);
         assert_eq!(d.version(), 8);
         assert_eq!(d.export_snapshot().num_components(), 7);
+    }
+
+    #[test]
+    fn incremental_export_matches_full_and_reuses_cache() {
+        let mut d = example();
+        let s1 = d.export_snapshot_incremental();
+        assert_eq!(s1, d.export_snapshot());
+        assert_eq!(d.export_stats().full_rebuilds, 1);
+        // No mutation: answered from the cache, bit-identical.
+        let s2 = d.export_snapshot_incremental();
+        assert_eq!(s2, s1);
+        assert_eq!(d.export_stats().cache_hits, 1);
+        // A small mutation goes through the splice path and still matches the oracle.
+        d.delete_seq(v(2), v(3)).unwrap();
+        d.insert_seq(v(2), v(3), 9.0).unwrap();
+        let s3 = d.export_snapshot_incremental();
+        assert_eq!(s3, d.export_snapshot());
+        assert_eq!(d.export_stats().incremental_splices, 1);
+        assert_eq!(d.export_stats().full_rebuilds, 1);
+        // Vertex growth alone is an empty splice, not a rebuild.
+        d.add_vertices(2);
+        let s4 = d.export_snapshot_incremental();
+        assert_eq!(s4, d.export_snapshot());
+        assert_eq!(s4.num_vertices, 8);
+        assert_eq!(d.export_stats().incremental_splices, 2);
+        assert_eq!(d.export_stats().full_rebuilds, 1);
+    }
+
+    #[test]
+    fn incremental_export_oracle_under_random_churn() {
+        // Mixed sequential/batch inserts, deletes, re-weights (delete+insert on the same pair)
+        // and vertex growth, with exports interleaved at random points. Every incremental
+        // export must be bit-identical to the full-rebuild oracle.
+        let mut seed: u64 = 0x9e3779b97f4a7c15;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for strategy in [
+            crate::dynsld::UpdateStrategy::Sequential,
+            crate::dynsld::UpdateStrategy::Parallel,
+        ] {
+            let mut n: usize = 24;
+            let mut d = DynSld::with_options(n, DynSldOptions::with_strategy(strategy));
+            let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+            for step in 0..400 {
+                match rng() % 10 {
+                    0..=4 => {
+                        let u = v((rng() % n as u64) as u32);
+                        let w = v((rng() % n as u64) as u32);
+                        let weight = (rng() % 1000) as f64 / 8.0;
+                        if d.insert(u, w, weight).is_ok() {
+                            edges.push((u, w));
+                        }
+                    }
+                    5..=6 => {
+                        if !edges.is_empty() {
+                            let i = (rng() % edges.len() as u64) as usize;
+                            let (u, w) = edges.swap_remove(i);
+                            d.delete(u, w).unwrap();
+                        }
+                    }
+                    7 => {
+                        // Re-weight: delete + insert of the same pair (what the graph layers do).
+                        if !edges.is_empty() {
+                            let i = (rng() % edges.len() as u64) as usize;
+                            let (u, w) = edges[i];
+                            d.delete(u, w).unwrap();
+                            let weight = (rng() % 1000) as f64 / 8.0;
+                            d.insert(u, w, weight).unwrap();
+                        }
+                    }
+                    8 => {
+                        let mut batch = Vec::new();
+                        for _ in 0..3 {
+                            let u = v((rng() % n as u64) as u32);
+                            let w = v((rng() % n as u64) as u32);
+                            batch.push((u, w, (rng() % 1000) as f64 / 8.0));
+                        }
+                        if let Ok(ids) = d.batch_insert(&batch) {
+                            for (id, (u, w, _)) in ids.iter().zip(&batch) {
+                                let _ = id;
+                                edges.push((*u, *w));
+                            }
+                        }
+                    }
+                    _ => {
+                        let k = 1 + (rng() % 3) as usize;
+                        d.add_vertices(k);
+                        n += k;
+                    }
+                }
+                if step % 7 == 0 {
+                    let incremental = d.export_snapshot_incremental();
+                    let full = d.export_snapshot();
+                    assert_eq!(incremental, full, "divergence at step {step}");
+                }
+            }
+            let stats = d.export_stats();
+            assert!(stats.incremental_splices > 0, "splice path never exercised");
+            let incremental = d.export_snapshot_incremental();
+            assert_eq!(incremental, d.export_snapshot());
+        }
+    }
+
+    #[test]
+    fn incremental_export_falls_back_on_large_dirty_sets() {
+        let mut d = DynSld::new(64);
+        d.export_snapshot_incremental();
+        assert_eq!(d.export_stats().full_rebuilds, 1);
+        // Insert far more edges than the splice heuristic tolerates over an empty cache.
+        for i in 0..63u32 {
+            d.insert_seq(v(i), v(i + 1), i as f64).unwrap();
+        }
+        let s = d.export_snapshot_incremental();
+        assert_eq!(s, d.export_snapshot());
+        assert_eq!(d.export_stats().full_rebuilds, 2);
+        assert_eq!(d.export_stats().incremental_splices, 0);
     }
 }

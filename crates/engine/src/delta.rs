@@ -1,0 +1,510 @@
+//! Epoch deltas: what changed between two published service views.
+//!
+//! Every time the service publishes a new merged view ([`ServiceSnapshot`]), it can also
+//! compute a [`SnapshotDelta`] — the added / removed / re-parented dendrogram records per
+//! shard, plus the changed cluster labels at any tracked thresholds — and retain it in a
+//! bounded `DeltaRing` inside the shared state. A reader that last saw revision `r` then
+//! syncs with a [`Patch`] (the chain of deltas `r → now`) instead of a full snapshot; only
+//! when `r` has aged out of the ring does it fall back to a full view. This is the read-side
+//! story for many connected subscribers: steady-state traffic is proportional to what
+//! *changed*, not to the graph.
+//!
+//! The wire front end and the subscriber mirror live in the `dynsld-serve` crate; this module
+//! owns the delta representation and the in-process sync protocol ([`SyncResponse`]).
+
+use crate::service::ServiceSnapshot;
+use dynsld::snapshot::{DendrogramSnapshot, SnapshotNode};
+use dynsld::FlatClustering;
+use dynsld_forest::{Dsu, EdgeId, VertexId, Weight};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Rank order of snapshot records — the order [`DendrogramSnapshot::nodes`] is sorted in.
+fn rank_cmp(a: &SnapshotNode, b: &SnapshotNode) -> std::cmp::Ordering {
+    a.weight
+        .total_cmp(&b.weight)
+        .then_with(|| a.edge.cmp(&b.edge))
+}
+
+/// The difference between two rank-sorted exports of **one shard**.
+///
+/// `upserts` carries the full record of every edge whose snapshot record changed (inserted,
+/// re-weighted, or re-parented), in rank order; `removed` lists edge ids present in the old
+/// export but absent from the new one. Applying the delta to the old export reproduces the
+/// new one bit for bit, including its `version` ([`Self::apply_to`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardDelta {
+    /// The shard's engine epoch after this step.
+    pub epoch: u64,
+    /// The shard's core structural version after this step.
+    pub version: u64,
+    /// Vertex count after this step (vertex growth is part of the delta).
+    pub num_vertices: usize,
+    /// Alive graph edges (tree + non-tree) on this shard after this step.
+    pub num_graph_edges: usize,
+    /// Changed records, sorted by rank (`(weight, edge id)` ascending).
+    pub upserts: Vec<SnapshotNode>,
+    /// Edge ids removed since the old export (never also present in `upserts`).
+    pub removed: Vec<EdgeId>,
+}
+
+impl ShardDelta {
+    /// Diffs two rank-sorted exports of the same shard in one linear walk (no sorting, no
+    /// per-record hashing of the unchanged majority).
+    pub fn diff(
+        old: &DendrogramSnapshot,
+        new: &DendrogramSnapshot,
+        epoch: u64,
+        num_graph_edges: usize,
+    ) -> ShardDelta {
+        let mut upserts: Vec<SnapshotNode> = Vec::new();
+        let mut removed_candidates: Vec<EdgeId> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < old.nodes.len() && j < new.nodes.len() {
+            let (a, b) = (&old.nodes[i], &new.nodes[j]);
+            match rank_cmp(a, b) {
+                std::cmp::Ordering::Equal => {
+                    // Same edge at the same rank; only the parent can have changed.
+                    if a != b {
+                        upserts.push(*b);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    // `a`'s (weight, edge) pair is gone — deleted, or re-weighted (in which
+                    // case the same id reappears as an upsert and is filtered below).
+                    removed_candidates.push(a.edge);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    upserts.push(*b);
+                    j += 1;
+                }
+            }
+        }
+        removed_candidates.extend(old.nodes[i..].iter().map(|n| n.edge));
+        upserts.extend(new.nodes[j..].iter().copied());
+        let upserted: HashSet<EdgeId> = upserts.iter().map(|n| n.edge).collect();
+        let removed = removed_candidates
+            .into_iter()
+            .filter(|e| !upserted.contains(e))
+            .collect();
+        ShardDelta {
+            epoch,
+            version: new.version,
+            num_vertices: new.num_vertices,
+            num_graph_edges,
+            upserts,
+            removed,
+        }
+    }
+
+    /// True when the shard did not change in this step (epoch and records identical).
+    pub fn is_noop(&self) -> bool {
+        self.upserts.is_empty() && self.removed.is_empty()
+    }
+
+    /// Replays this delta onto the shard's previous export, reproducing the next export bit
+    /// for bit (rank order, `version`, `num_vertices` included). One linear merge pass.
+    pub fn apply_to(&self, base: &DendrogramSnapshot) -> DendrogramSnapshot {
+        let nodes = if self.is_noop() {
+            base.nodes.clone()
+        } else {
+            let stale: HashSet<EdgeId> = self
+                .removed
+                .iter()
+                .chain(self.upserts.iter().map(|n| &n.edge))
+                .copied()
+                .collect();
+            let mut out = Vec::with_capacity(base.nodes.len() + self.upserts.len());
+            let mut fresh = self.upserts.iter().peekable();
+            for node in base.nodes.iter().filter(|n| !stale.contains(&n.edge)) {
+                while let Some(f) = fresh.peek() {
+                    if rank_cmp(f, node) == std::cmp::Ordering::Less {
+                        out.push(**f);
+                        fresh.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(*node);
+            }
+            out.extend(fresh.copied());
+            out
+        };
+        DendrogramSnapshot {
+            version: self.version,
+            num_vertices: self.num_vertices,
+            nodes,
+        }
+    }
+}
+
+/// The cluster-label changes at one tracked threshold across one publish step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThresholdRelabel {
+    /// The tracked threshold.
+    pub tau: Weight,
+    /// Number of clusters in the *new* view at `tau`.
+    pub num_clusters: usize,
+    /// `(vertex, new label)` for every vertex whose canonical label changed (new vertices
+    /// count as changed), in vertex order.
+    pub changed: Vec<(VertexId, usize)>,
+}
+
+impl ThresholdRelabel {
+    /// Diffs two canonical clusterings at the same threshold.
+    pub fn diff(tau: Weight, old: &FlatClustering, new: &FlatClustering) -> ThresholdRelabel {
+        let changed = new
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &label)| old.labels.get(i) != Some(&label))
+            .map(|(i, &label)| (VertexId(i as u32), label))
+            .collect();
+        ThresholdRelabel {
+            tau,
+            num_clusters: new.num_clusters(),
+            changed,
+        }
+    }
+}
+
+/// One publish step of the whole service: per-shard record deltas plus per-threshold label
+/// changes, anchored by the service revisions and epoch vectors on both sides.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotDelta {
+    /// The service revision this delta starts from.
+    pub from_revision: u64,
+    /// The service revision this delta produces (always `from_revision + 1`).
+    pub to_revision: u64,
+    /// Epoch vector before the step (routed shards first, spill last).
+    pub from_epochs: Vec<u64>,
+    /// Epoch vector after the step.
+    pub to_epochs: Vec<u64>,
+    /// Per-shard record deltas, in shard order (no-op entries for untouched shards).
+    pub shards: Vec<ShardDelta>,
+    /// Label changes at each threshold the service was built to track
+    /// (`ServiceBuilder::track_thresholds`); empty when none are tracked.
+    pub relabels: Vec<ThresholdRelabel>,
+}
+
+impl SnapshotDelta {
+    /// Computes the delta between two consecutively published service views.
+    pub fn between(
+        old: &ServiceSnapshot,
+        new: &ServiceSnapshot,
+        tracked: &[Weight],
+    ) -> SnapshotDelta {
+        let shards = old
+            .shard_snapshots()
+            .iter()
+            .zip(new.shard_snapshots())
+            .map(|(o, n)| {
+                ShardDelta::diff(
+                    o.dendrogram(),
+                    n.dendrogram(),
+                    n.epoch(),
+                    n.num_graph_edges(),
+                )
+            })
+            .collect();
+        let relabels = tracked
+            .iter()
+            .map(|&tau| {
+                ThresholdRelabel::diff(tau, &old.flat_clustering(tau), &new.flat_clustering(tau))
+            })
+            .collect();
+        SnapshotDelta {
+            from_revision: old.revision(),
+            to_revision: new.revision(),
+            from_epochs: old.epochs(),
+            to_epochs: new.epochs(),
+            shards,
+            relabels,
+        }
+    }
+
+    /// Total changed records across all shards — the natural "size" of the step.
+    pub fn num_changes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.upserts.len() + s.removed.len())
+            .sum()
+    }
+}
+
+/// A chain of consecutive [`SnapshotDelta`]s bringing a reader from `from_revision` to
+/// `to_revision` — what [`crate::ReadHandle::sync_from`] returns when the requested revision
+/// is still covered by the delta ring.
+#[derive(Clone, Debug)]
+pub struct Patch {
+    /// The revision the chain starts from (the reader's current revision).
+    pub from_revision: u64,
+    /// The revision the chain ends at (the service's published revision).
+    pub to_revision: u64,
+    /// The epoch vector at `to_revision`.
+    pub to_epochs: Vec<u64>,
+    /// The deltas, consecutive by revision (`deltas[i].to_revision ==
+    /// deltas[i + 1].from_revision`).
+    pub deltas: Vec<Arc<SnapshotDelta>>,
+}
+
+impl Patch {
+    /// Replays the chain onto per-shard exports taken at `from_revision`, producing the
+    /// per-shard exports of `to_revision` bit for bit.
+    pub fn apply_to_shards(&self, shards: &mut [DendrogramSnapshot]) {
+        for delta in &self.deltas {
+            for (base, shard_delta) in shards.iter_mut().zip(&delta.shards) {
+                *base = shard_delta.apply_to(base);
+            }
+        }
+    }
+
+    /// Total changed records across the whole chain.
+    pub fn num_changes(&self) -> usize {
+        self.deltas.iter().map(|d| d.num_changes()).sum()
+    }
+}
+
+/// What a sync request produced (see [`crate::ReadHandle::sync_from`]).
+#[derive(Clone, Debug)]
+pub enum SyncResponse {
+    /// The reader is already at the published revision — nothing to send (the wire layer
+    /// turns this into a 304-style no-body reply).
+    Unchanged {
+        /// The published (= the reader's) revision.
+        revision: u64,
+        /// The epoch vector at that revision.
+        epochs: Vec<u64>,
+    },
+    /// The reader's revision is still covered by the delta ring: a chain of deltas.
+    Delta(Patch),
+    /// No usable base revision (first sync, or the requested revision aged out of the ring):
+    /// the full published view.
+    Full(ServiceSnapshot),
+}
+
+/// A bounded ring of the most recent [`SnapshotDelta`]s, kept in the service's shared state.
+///
+/// Sized by `ServiceBuilder::delta_ring`; capacity 0 disables delta retention entirely
+/// (every stale sync falls back to a full snapshot).
+#[derive(Debug, Default)]
+pub(crate) struct DeltaRing {
+    capacity: usize,
+    entries: VecDeque<Arc<SnapshotDelta>>,
+}
+
+impl DeltaRing {
+    pub(crate) fn new(capacity: usize) -> DeltaRing {
+        DeltaRing {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub(crate) fn push(&mut self, delta: Arc<SnapshotDelta>) {
+        if self.capacity == 0 {
+            return;
+        }
+        debug_assert!(
+            self.entries
+                .back()
+                .is_none_or(|last| last.to_revision == delta.from_revision),
+            "delta ring must stay consecutive by revision"
+        );
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(delta);
+    }
+
+    /// The consecutive chain `since → upto`, or `None` when `since` has aged out (or was
+    /// never retained). Entries past `upto` — pushed for a revision not yet published at the
+    /// time the caller read the published view — are excluded, which is what makes the
+    /// push-then-publish ordering race-free for readers.
+    pub(crate) fn chain(&self, since: u64, upto: u64) -> Option<Vec<Arc<SnapshotDelta>>> {
+        let mut chain = Vec::new();
+        for entry in &self.entries {
+            if entry.to_revision <= since {
+                continue;
+            }
+            if entry.from_revision >= upto {
+                break;
+            }
+            match chain.last().map(|c: &Arc<SnapshotDelta>| c.to_revision) {
+                None if entry.from_revision != since => return None,
+                Some(prev) if entry.from_revision != prev => return None,
+                _ => chain.push(Arc::clone(entry)),
+            }
+        }
+        match chain.last() {
+            Some(last) if last.to_revision == upto => Some(chain),
+            _ => None,
+        }
+    }
+}
+
+/// Glues canonical per-shard clusterings into the canonical clustering of the full graph:
+/// one union-find pass over the shard clusters, then labels assigned in vertex order (so
+/// clusters are numbered by their smallest member and member lists are sorted ascending —
+/// identical to what a single un-sharded engine produces).
+///
+/// This is the merge the service itself uses for [`ServiceSnapshot::flat_clustering`]; the
+/// `dynsld-serve` mirror reuses it so replayed views are bit-identical to served ones.
+pub fn merge_flat_clusterings<'a>(
+    parts: impl IntoIterator<Item = &'a FlatClustering>,
+    num_vertices: usize,
+) -> FlatClustering {
+    let mut dsu = Dsu::new(num_vertices);
+    for part in parts {
+        for cluster in &part.clusters {
+            let (&first, rest) = cluster
+                .split_first()
+                .expect("flat clusterings have no empty clusters");
+            for &member in rest {
+                dsu.union(first, member);
+            }
+        }
+    }
+    let mut label_of_root: HashMap<u32, usize> = HashMap::new();
+    let mut labels = Vec::with_capacity(num_vertices);
+    let mut clusters: Vec<Vec<VertexId>> = Vec::new();
+    for i in 0..num_vertices as u32 {
+        let v = VertexId(i);
+        let root = dsu.find(v);
+        let label = *label_of_root.entry(root.0).or_insert_with(|| {
+            clusters.push(Vec::new());
+            clusters.len() - 1
+        });
+        labels.push(label);
+        clusters[label].push(v);
+    }
+    FlatClustering { labels, clusters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(edge: u32, u: u32, v: u32, weight: f64, parent: Option<u32>) -> SnapshotNode {
+        SnapshotNode {
+            edge: EdgeId(edge),
+            u: VertexId(u),
+            v: VertexId(v),
+            weight,
+            parent: parent.map(EdgeId),
+        }
+    }
+
+    fn snap(version: u64, n: usize, mut nodes: Vec<SnapshotNode>) -> DendrogramSnapshot {
+        nodes.sort_by(rank_cmp);
+        DendrogramSnapshot {
+            version,
+            num_vertices: n,
+            nodes,
+        }
+    }
+
+    #[test]
+    fn diff_and_apply_roundtrip_covers_upsert_remove_reweight() {
+        let old = snap(
+            5,
+            6,
+            vec![
+                node(0, 0, 1, 1.0, Some(2)),
+                node(1, 1, 2, 3.0, None),
+                node(2, 2, 3, 2.0, Some(1)),
+            ],
+        );
+        // Edge 1 deleted; edge 0 re-weighted (same id, new rank); edge 2 re-parented; edge 3
+        // inserted; two vertices added.
+        let new = snap(
+            9,
+            8,
+            vec![
+                node(0, 0, 1, 4.0, None),
+                node(2, 2, 3, 2.0, Some(3)),
+                node(3, 3, 4, 2.5, Some(0)),
+            ],
+        );
+        let delta = ShardDelta::diff(&old, &new, 2, 3);
+        assert_eq!(delta.removed, vec![EdgeId(1)]);
+        // Upserts ride in the new export's rank order: edge 2 @ 2.0, edge 3 @ 2.5, edge 0 @ 4.0.
+        let upserted: Vec<u32> = delta.upserts.iter().map(|n| n.edge.0).collect();
+        assert_eq!(upserted, vec![2, 3, 0]);
+        assert_eq!(delta.apply_to(&old), new);
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_noop() {
+        let s = snap(4, 5, vec![node(0, 0, 1, 1.0, None)]);
+        let delta = ShardDelta::diff(&s, &s, 1, 1);
+        assert!(delta.is_noop());
+        assert_eq!(delta.apply_to(&s), s);
+    }
+
+    #[test]
+    fn ring_serves_consecutive_chains_and_ages_out() {
+        let mut ring = DeltaRing::new(2);
+        let step = |from: u64| {
+            Arc::new(SnapshotDelta {
+                from_revision: from,
+                to_revision: from + 1,
+                from_epochs: vec![from],
+                to_epochs: vec![from + 1],
+                shards: Vec::new(),
+                relabels: Vec::new(),
+            })
+        };
+        ring.push(step(0));
+        ring.push(step(1));
+        assert_eq!(ring.chain(0, 2).map(|c| c.len()), Some(2));
+        assert_eq!(ring.chain(1, 2).map(|c| c.len()), Some(1));
+        // Pushing a third evicts the first: revision 0 has aged out.
+        ring.push(step(2));
+        assert!(ring.chain(0, 3).is_none());
+        assert_eq!(ring.chain(1, 3).map(|c| c.len()), Some(2));
+        // Entries past the published revision are excluded.
+        assert_eq!(ring.chain(1, 2).map(|c| c.len()), Some(1));
+    }
+
+    #[test]
+    fn disabled_ring_retains_nothing() {
+        let mut ring = DeltaRing::new(0);
+        assert!(!ring.is_enabled());
+        ring.push(Arc::new(SnapshotDelta {
+            from_revision: 0,
+            to_revision: 1,
+            from_epochs: vec![0],
+            to_epochs: vec![1],
+            shards: Vec::new(),
+            relabels: Vec::new(),
+        }));
+        assert!(ring.chain(0, 1).is_none());
+    }
+
+    #[test]
+    fn relabel_diff_marks_new_and_changed_vertices() {
+        let old = FlatClustering {
+            labels: vec![0, 0, 1],
+            clusters: vec![vec![VertexId(0), VertexId(1)], vec![VertexId(2)]],
+        };
+        let new = FlatClustering {
+            labels: vec![0, 1, 1, 2],
+            clusters: vec![
+                vec![VertexId(0)],
+                vec![VertexId(1), VertexId(2)],
+                vec![VertexId(3)],
+            ],
+        };
+        let relabel = ThresholdRelabel::diff(0.5, &old, &new);
+        assert_eq!(relabel.num_clusters, 3);
+        assert_eq!(relabel.changed, vec![(VertexId(1), 1), (VertexId(3), 2)]);
+    }
+}

@@ -283,7 +283,7 @@ impl ClusteringEngine {
 
         self.epoch += 1;
         let export_start = Instant::now();
-        let exported = self.graph.sld().export_snapshot();
+        let exported = self.graph.export_snapshot_incremental();
         phases.export = export_start.elapsed();
         let publish_start = Instant::now();
         self.published = EngineSnapshot::publish(
@@ -344,7 +344,7 @@ impl ClusteringEngine {
         self.epoch += 1;
         self.published = EngineSnapshot::publish(
             self.epoch,
-            self.graph.sld().export_snapshot(),
+            self.graph.export_snapshot_incremental(),
             self.graph.num_graph_edges(),
             Arc::clone(&self.cache_stats),
         );
@@ -386,6 +386,11 @@ impl ClusteringEngine {
             max_flush_time: self.counters.max_flush_time,
             snapshot_cache_hits: self.cache_stats.hits.load(Ordering::Relaxed),
             snapshot_cache_misses: self.cache_stats.misses.load(Ordering::Relaxed),
+            // Delta serving is a service-level concept too; see `ClusterService::metrics`.
+            snapshots_served: 0,
+            deltas_served: 0,
+            delta_bytes_out: 0,
+            full_fallbacks: 0,
         }
     }
 }

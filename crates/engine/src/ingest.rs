@@ -33,6 +33,7 @@
 //! clusterings are bit-identical to the pre-redesign sequential path (pinned by
 //! `tests/tests/ingest_pipeline.rs`).
 
+use crate::delta::SyncResponse;
 use crate::service::{ClusterService, ServiceError, ServiceFlushReport, ServiceShared};
 use crate::FlushPolicy;
 use dynsld_forest::workload::GraphUpdate;
@@ -536,6 +537,40 @@ impl ReadHandle {
     /// The epoch vector of the currently published view (routed shards first, spill last).
     pub fn epochs(&self) -> Vec<u64> {
         self.shared.published().epochs()
+    }
+
+    /// The revision of the currently published view (see
+    /// [`ServiceSnapshot::revision`](crate::ServiceSnapshot::revision)).
+    pub fn revision(&self) -> u64 {
+        self.shared.published().revision()
+    }
+
+    /// "What changed since revision `since`?" — the heart of the delta serving tier.
+    ///
+    /// * `since == Some(current revision)` → [`SyncResponse::Unchanged`] (wire layers turn
+    ///   this into a 304-style no-body reply);
+    /// * `since` still covered by the delta ring → [`SyncResponse::Delta`] with the
+    ///   consecutive [`Patch`](crate::Patch) chain `since → current`;
+    /// * `since == None` (first sync) or aged out of the ring → [`SyncResponse::Full`] with
+    ///   the published view (the latter also counts as a
+    ///   [`Metrics::full_fallbacks`](crate::Metrics::full_fallbacks)).
+    ///
+    /// The ring is sized by [`ServiceBuilder::delta_ring`](crate::ServiceBuilder::delta_ring).
+    /// The `dynsld-serve` crate builds its `Subscriber` mirror and wire front end on exactly
+    /// this call.
+    pub fn sync_from(&self, since: Option<u64>) -> SyncResponse {
+        self.shared.sync_from(since)
+    }
+
+    /// Credits `bytes` of encoded delta payload to
+    /// [`Metrics::delta_bytes_out`](crate::Metrics::delta_bytes_out). Called by wire front
+    /// ends after encoding a delta response; in-process subscribers (which ship no bytes)
+    /// don't call it.
+    pub fn record_served_bytes(&self, bytes: u64) {
+        self.shared
+            .serve
+            .delta_bytes_out
+            .fetch_add(bytes, std::sync::atomic::Ordering::Relaxed);
     }
 }
 

@@ -108,6 +108,7 @@
 #![warn(missing_docs)]
 
 pub mod coalesce;
+pub mod delta;
 pub mod engine;
 pub mod ingest;
 pub mod metrics;
@@ -116,6 +117,9 @@ pub mod service;
 pub mod snapshot;
 
 pub use coalesce::{CoalescedBatch, Coalescer, RejectReason};
+pub use delta::{
+    merge_flat_clusterings, Patch, ShardDelta, SnapshotDelta, SyncResponse, ThresholdRelabel,
+};
 pub use engine::{ClusteringEngine, EngineError, FlushReport};
 pub use ingest::{Backpressure, DrainReport, FlusherDriver, IngestError, IngestHandle, ReadHandle};
 pub use metrics::Metrics;

@@ -82,6 +82,21 @@ pub struct Metrics {
     pub snapshot_cache_hits: u64,
     /// Snapshot flat-clustering cache misses (= clusterings actually computed).
     pub snapshot_cache_misses: u64,
+    /// Full snapshots handed to sync requests (`ReadHandle::sync_from`): first syncs plus
+    /// ring-ageout fallbacks. Zero on single-engine metrics (serving is a service-level
+    /// concept); set by `ClusterService::metrics`.
+    pub snapshots_served: u64,
+    /// Sync requests answered with a delta chain instead of a full snapshot — the numerator
+    /// of [`Metrics::delta_hit_share`].
+    pub deltas_served: u64,
+    /// Encoded delta payload bytes shipped by wire front ends
+    /// (`ReadHandle::record_served_bytes`). Zero for purely in-process subscribers.
+    pub delta_bytes_out: u64,
+    /// Syncs that asked for a delta but got a full snapshot because the requested revision
+    /// had aged out of the delta ring — a subset of
+    /// [`snapshots_served`](Self::snapshots_served). A rising rate means the ring
+    /// (`ServiceBuilder::delta_ring`) is undersized for how far subscribers fall behind.
+    pub full_fallbacks: u64,
 }
 
 impl Metrics {
@@ -120,6 +135,10 @@ impl Metrics {
             out.max_flush_time = out.max_flush_time.max(m.max_flush_time);
             out.snapshot_cache_hits += m.snapshot_cache_hits;
             out.snapshot_cache_misses += m.snapshot_cache_misses;
+            out.snapshots_served += m.snapshots_served;
+            out.deltas_served += m.deltas_served;
+            out.delta_bytes_out += m.delta_bytes_out;
+            out.full_fallbacks += m.full_fallbacks;
         }
         out
     }
@@ -201,6 +220,20 @@ impl Metrics {
             self.snapshot_cache_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of sync requests answered with a delta chain instead of a full snapshot (0
+    /// when nothing was synced). The steady-state health metric of the delta serving tier: a
+    /// share near 1.0 means subscribers keep up and reads cost what *changed*; a falling
+    /// share (rising [`full_fallbacks`](Self::full_fallbacks)) means the delta ring is
+    /// undersized.
+    pub fn delta_hit_share(&self) -> f64 {
+        let total = self.deltas_served + self.snapshots_served;
+        if total == 0 {
+            0.0
+        } else {
+            self.deltas_served as f64 / total as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +280,10 @@ mod tests {
             max_flush_time: Duration::from_millis(40 + 13 * k),
             snapshot_cache_hits: 9 + k,
             snapshot_cache_misses: 1 + k,
+            snapshots_served: 12 + k,
+            deltas_served: 50 + 3 * k,
+            delta_bytes_out: 1024 * (k + 1),
+            full_fallbacks: 2 + k,
         }
     }
 
@@ -279,6 +316,11 @@ mod tests {
         assert_eq!(merged.max_flush_time, Duration::from_millis(66));
         assert_eq!(merged.snapshot_cache_hits, 9 + 10 + 11);
         assert_eq!(merged.snapshot_cache_misses, 1 + 2 + 3);
+        // The serving-tier counters sum like every other counter (no max-kept convention).
+        assert_eq!(merged.snapshots_served, 12 + 13 + 14);
+        assert_eq!(merged.deltas_served, 50 + 53 + 56);
+        assert_eq!(merged.delta_bytes_out, 1024 + 2048 + 3072);
+        assert_eq!(merged.full_fallbacks, 2 + 3 + 4);
     }
 
     #[test]
@@ -313,6 +355,9 @@ mod tests {
             total_flush_time: Duration::from_secs(2),
             snapshot_cache_hits: 9,
             snapshot_cache_misses: 1,
+            snapshots_served: 5,
+            deltas_served: 15,
+            full_fallbacks: 2,
             ..Metrics::default()
         };
         assert_eq!(m.events_saved(), 5);
@@ -323,5 +368,7 @@ mod tests {
         assert!((m.ops_per_second() - 50.0).abs() < 1e-9);
         assert_eq!(m.mean_flush_time(), Duration::from_millis(500));
         assert!((m.snapshot_cache_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((m.delta_hit_share() - 0.75).abs() < 1e-12);
+        assert_eq!(Metrics::default().delta_hit_share(), 0.0);
     }
 }

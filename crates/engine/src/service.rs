@@ -35,6 +35,7 @@
 //! early stop on a shard failure — which the determinism tests pin down.
 
 use crate::coalesce::RejectReason;
+use crate::delta::{merge_flat_clusterings, DeltaRing, Patch, SnapshotDelta, SyncResponse};
 use crate::engine::{ClusteringEngine, EngineError, FlushPhases, FlushReport};
 use crate::ingest::{Backpressure, FlusherDriver, IngestHandle, IngestQueue, ReadHandle};
 use crate::metrics::Metrics;
@@ -42,12 +43,13 @@ use crate::partition::{
     AssignmentTable, GreedyPartitioner, HashPartitioner, Partitioner, ShardId, StatefulPartitioner,
 };
 use crate::snapshot::EngineSnapshot;
+use crate::snapshot::ThresholdCache;
 use dynsld::{DynSldError, DynSldOptions, FlatClustering};
 use dynsld_forest::workload::GraphUpdate;
-use dynsld_forest::{Dsu, VertexId, Weight};
+use dynsld_forest::{VertexId, Weight};
 use dynsld_telemetry::Telemetry;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -324,6 +326,27 @@ pub(crate) struct ServiceShared {
     /// publishes a new state (flush with work, vertex growth), so repeated reads at one epoch
     /// vector share a single merged-clustering cache.
     published: RwLock<ServiceSnapshot>,
+    /// The bounded ring of recent publish-step deltas (`ServiceBuilder::delta_ring`). Deltas
+    /// are pushed *before* the new view is published, so a reader that observed revision `r`
+    /// always finds the chain up to `r` in the ring unless it has aged out.
+    deltas: Mutex<DeltaRing>,
+    /// Serving-tier counters, surfaced through [`Metrics`].
+    pub(crate) serve: ServeCounters,
+}
+
+/// Lifetime counters of the delta serving tier, shared between the publishing writer and all
+/// [`ReadHandle`]s (relaxed atomics — these are statistics, not synchronization).
+#[derive(Debug, Default)]
+pub(crate) struct ServeCounters {
+    /// Full snapshots handed to sync requests (first syncs and ring-ageout fallbacks).
+    pub(crate) snapshots_served: AtomicU64,
+    /// Sync requests answered with a delta chain.
+    pub(crate) deltas_served: AtomicU64,
+    /// Encoded delta bytes written by wire front ends ([`ReadHandle::record_served_bytes`]).
+    pub(crate) delta_bytes_out: AtomicU64,
+    /// Syncs that *asked* for a delta but fell back to a full snapshot because the requested
+    /// revision had aged out of the ring (a subset of `snapshots_served`).
+    pub(crate) full_fallbacks: AtomicU64,
 }
 
 impl ServiceShared {
@@ -337,6 +360,53 @@ impl ServiceShared {
 
     fn publish(&self, snapshot: ServiceSnapshot) {
         *self.published.write().expect("published slot poisoned") = snapshot;
+    }
+
+    /// Whether the service retains publish-step deltas at all (ring capacity > 0).
+    pub(crate) fn deltas_enabled(&self) -> bool {
+        self.deltas
+            .lock()
+            .expect("delta ring poisoned")
+            .is_enabled()
+    }
+
+    fn push_delta(&self, delta: Arc<SnapshotDelta>) {
+        self.deltas.lock().expect("delta ring poisoned").push(delta);
+    }
+
+    /// The in-process sync protocol behind [`ReadHandle::sync_from`]: answers "what changed
+    /// since revision `since`" with the cheapest sufficient response.
+    pub(crate) fn sync_from(&self, since: Option<u64>) -> SyncResponse {
+        let snapshot = self.published();
+        let revision = snapshot.revision();
+        if let Some(since) = since {
+            if since == revision {
+                return SyncResponse::Unchanged {
+                    revision,
+                    epochs: snapshot.epochs(),
+                };
+            }
+            if since < revision {
+                let chain = self
+                    .deltas
+                    .lock()
+                    .expect("delta ring poisoned")
+                    .chain(since, revision);
+                if let Some(deltas) = chain {
+                    self.serve.deltas_served.fetch_add(1, Ordering::Relaxed);
+                    return SyncResponse::Delta(Patch {
+                        from_revision: since,
+                        to_revision: revision,
+                        to_epochs: snapshot.epochs(),
+                        deltas,
+                    });
+                }
+            }
+            // Aged out of the ring (or a bogus future revision): full fallback.
+            self.serve.full_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        self.serve.snapshots_served.fetch_add(1, Ordering::Relaxed);
+        SyncResponse::Full(snapshot)
     }
 }
 
@@ -369,6 +439,8 @@ pub struct ServiceBuilder {
     queue_capacity: usize,
     backpressure: Backpressure,
     telemetry: Option<Telemetry>,
+    delta_ring: usize,
+    tracked_thresholds: Vec<Weight>,
 }
 
 impl Default for ServiceBuilder {
@@ -383,6 +455,8 @@ impl Default for ServiceBuilder {
             queue_capacity: 1024,
             backpressure: Backpressure::Block,
             telemetry: None,
+            delta_ring: 64,
+            tracked_thresholds: Vec::new(),
         }
     }
 }
@@ -486,6 +560,33 @@ impl ServiceBuilder {
         self
     }
 
+    /// Capacity of the publish-step delta ring behind [`ReadHandle::sync_from`]: how many
+    /// publishes a subscriber may fall behind and still catch up with a [`Patch`] instead of
+    /// a full snapshot. Defaults to 64. `delta_ring(0)` disables delta retention entirely —
+    /// publishes skip the diff work and every stale sync is a full-snapshot fallback.
+    pub fn delta_ring(mut self, capacity: usize) -> Self {
+        self.delta_ring = capacity;
+        self
+    }
+
+    /// Thresholds whose cluster labels each publish-step delta reports
+    /// ([`SnapshotDelta::relabels`]): subscribers watching these cuts learn exactly which
+    /// vertices moved without recomputing the clustering. Each tracked threshold costs one
+    /// merged-clustering evaluation per publish (cached on the published view, so readers at
+    /// the same threshold get it for free). Defaults to none; duplicates are dropped.
+    pub fn track_thresholds(mut self, thresholds: impl IntoIterator<Item = Weight>) -> Self {
+        for tau in thresholds {
+            if !self
+                .tracked_thresholds
+                .iter()
+                .any(|t| t.to_bits() == tau.to_bits())
+            {
+                self.tracked_thresholds.push(tau);
+            }
+        }
+        self
+    }
+
     /// Validates the configuration and builds the service (the owner of the shard engines).
     /// Interact with it through [`ClusterService::ingest_handle`],
     /// [`ClusterService::read_handle`], and a [`FlusherDriver`].
@@ -534,7 +635,7 @@ impl ServiceBuilder {
             })
             .collect();
         let published =
-            ServiceSnapshot::merge(engines.iter().map(ClusteringEngine::snapshot).collect());
+            ServiceSnapshot::merge(engines.iter().map(ClusteringEngine::snapshot).collect(), 0);
         let router = match self.partitioner {
             PartitionerChoice::Pure(p) => Router::Pure(p),
             PartitionerChoice::Stateful(p) => Router::Stateful {
@@ -556,7 +657,10 @@ impl ServiceBuilder {
             shared: Arc::new(ServiceShared {
                 queue: IngestQueue::new(self.queue_capacity, telemetry.clone()),
                 published: RwLock::new(published),
+                deltas: Mutex::new(DeltaRing::new(self.delta_ring)),
+                serve: ServeCounters::default(),
             }),
+            tracked_thresholds: self.tracked_thresholds,
             telemetry,
         })
     }
@@ -783,6 +887,9 @@ pub struct ClusterService {
     backpressure: Backpressure,
     /// The queue + published-view state shared with handles.
     shared: Arc<ServiceShared>,
+    /// Thresholds whose label changes each publish-step delta reports
+    /// ([`ServiceBuilder::track_thresholds`]).
+    tracked_thresholds: Vec<Weight>,
     /// The pipeline-wide telemetry registry (shared with every shard engine and the
     /// submission queue); a no-op unless enabled at build time.
     telemetry: Telemetry,
@@ -1030,16 +1137,34 @@ impl ClusterService {
     /// Rebuilds the cached merged view iff some shard published a new state since the last
     /// rebuild. Keeping the same [`ServiceSnapshot`] across no-op flushes and pure reads lets
     /// repeated queries at one epoch vector share one merged-clustering cache.
+    ///
+    /// When the delta ring is enabled, the publish step also diffs the outgoing view against
+    /// the new one and retains the [`SnapshotDelta`] — pushed *before* the new view becomes
+    /// visible, so any reader that observes the new revision can find its delta in the ring
+    /// (until it ages out).
     fn refresh_published(&mut self) {
         let current: Vec<u64> = self.engines.iter().map(ClusteringEngine::epoch).collect();
-        if self.shared.published().epochs() != current {
-            self.shared.publish(ServiceSnapshot::merge(
-                self.engines
-                    .iter()
-                    .map(ClusteringEngine::snapshot)
-                    .collect(),
-            ));
+        let old = self.shared.published();
+        if old.epochs() == current {
+            return;
         }
+        let new = ServiceSnapshot::merge(
+            self.engines
+                .iter()
+                .map(ClusteringEngine::snapshot)
+                .collect(),
+            old.revision() + 1,
+        );
+        if self.shared.deltas_enabled() {
+            let started = Instant::now();
+            let delta = SnapshotDelta::between(&old, &new, &self.tracked_thresholds);
+            self.shared.push_delta(Arc::new(delta));
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .record_duration("service.delta_build_ns", started.elapsed());
+            }
+        }
+        self.shared.publish(new);
     }
 
     pub(crate) fn flush_shard_direct(&mut self, id: ShardId) -> Result<FlushReport, ServiceError> {
@@ -1190,6 +1315,11 @@ impl ClusterService {
         merged.queue_full_rejections = q.full_rejections;
         merged.queue_depth_max = q.depth_watermark;
         merged.queue_depth_last_drain = q.last_drain_depth;
+        let serve = &self.shared.serve;
+        merged.snapshots_served = serve.snapshots_served.load(Ordering::Relaxed);
+        merged.deltas_served = serve.deltas_served.load(Ordering::Relaxed);
+        merged.delta_bytes_out = serve.delta_bytes_out.load(Ordering::Relaxed);
+        merged.full_fallbacks = serve.full_fallbacks.load(Ordering::Relaxed);
         merged
     }
 
@@ -1201,10 +1331,13 @@ impl ClusterService {
 
 #[derive(Debug)]
 struct ServiceSnapshotInner {
+    /// The service revision: how many merged views have been published before this one.
+    /// Strictly increasing by one per publish — the anchor of the delta protocol.
+    revision: u64,
     /// Per-shard snapshots, routed shards first, spill shard last.
     shards: Vec<EngineSnapshot>,
-    /// Merged flat clusterings by threshold bit pattern.
-    merged: Mutex<HashMap<u64, Arc<FlatClustering>>>,
+    /// Merged flat clusterings by threshold, shared across every clone of this view.
+    merged: ThresholdCache,
 }
 
 /// An immutable merged view over one [`EngineSnapshot`] per shard.
@@ -1221,7 +1354,7 @@ pub struct ServiceSnapshot {
 }
 
 impl ServiceSnapshot {
-    fn merge(shards: Vec<EngineSnapshot>) -> Self {
+    fn merge(shards: Vec<EngineSnapshot>, revision: u64) -> Self {
         debug_assert!(!shards.is_empty());
         debug_assert!(
             shards
@@ -1231,10 +1364,18 @@ impl ServiceSnapshot {
         );
         ServiceSnapshot {
             inner: Arc::new(ServiceSnapshotInner {
+                revision,
                 shards,
-                merged: Mutex::new(HashMap::new()),
+                merged: ThresholdCache::default(),
             }),
         }
+    }
+
+    /// The service revision of this view: 0 for the initial (empty) publication, then +1 per
+    /// publish. Two views of one service with equal revisions are the same view; the delta
+    /// protocol ([`ReadHandle::sync_from`]) is anchored on it.
+    pub fn revision(&self) -> u64 {
+        self.inner.revision
     }
 
     /// The per-shard epoch vector this view was taken at (routed shards first, spill last).
@@ -1279,50 +1420,27 @@ impl ServiceSnapshot {
             // Single shard: the engine's own (already canonical, already cached) clustering.
             return self.inner.shards[0].flat_clustering(tau);
         }
-        let key = tau.to_bits();
-        {
-            let merged = self.inner.merged.lock().expect("merged cache poisoned");
-            if let Some(hit) = merged.get(&key) {
-                return Arc::clone(hit);
-            }
+        if let Some(hit) = self.inner.merged.lookup(tau) {
+            return hit;
         }
-        // Compute outside the lock (racing readers compute equal values; first insert wins).
-        let computed = Arc::new(self.merge_clustering(tau));
-        let mut merged = self.inner.merged.lock().expect("merged cache poisoned");
-        Arc::clone(merged.entry(key).or_insert(computed))
+        // Compute outside the lock (racing readers compute equal values; first commit wins).
+        let computed = self.merge_clustering(tau);
+        self.inner.merged.commit(tau, computed)
     }
 
     /// One union-find pass over the per-shard clusterings: since the shard edge sets
     /// partition the graph's edges, gluing per-shard clusters together yields exactly the
-    /// connected components of the full graph restricted to edges of weight `<= tau`.
+    /// connected components of the full graph restricted to edges of weight `<= tau`. The
+    /// glue itself is [`merge_flat_clusterings`], shared with the `dynsld-serve` mirror so
+    /// replayed views are bit-identical to served ones.
     fn merge_clustering(&self, tau: Weight) -> FlatClustering {
-        let n = self.num_vertices();
-        let mut dsu = Dsu::new(n);
-        for shard in &self.inner.shards {
-            let fc = shard.flat_clustering(tau);
-            for cluster in &fc.clusters {
-                let (&first, rest) = cluster
-                    .split_first()
-                    .expect("flat clusterings have no empty clusters");
-                for &member in rest {
-                    dsu.union(first, member);
-                }
-            }
-        }
-        let mut label_of_root: HashMap<u32, usize> = HashMap::new();
-        let mut labels = Vec::with_capacity(n);
-        let mut clusters: Vec<Vec<VertexId>> = Vec::new();
-        for i in 0..n as u32 {
-            let v = VertexId(i);
-            let root = dsu.find(v);
-            let label = *label_of_root.entry(root.0).or_insert_with(|| {
-                clusters.push(Vec::new());
-                clusters.len() - 1
-            });
-            labels.push(label);
-            clusters[label].push(v);
-        }
-        FlatClustering { labels, clusters }
+        let parts: Vec<Arc<FlatClustering>> = self
+            .inner
+            .shards
+            .iter()
+            .map(|shard| shard.flat_clustering(tau))
+            .collect();
+        merge_flat_clusterings(parts.iter().map(Arc::as_ref), self.num_vertices())
     }
 
     /// The cluster label of `v` at threshold `tau` (canonical per epoch vector and `tau`).
@@ -1394,6 +1512,173 @@ mod tests {
             .flush_policy(policy)
             .build()
             .expect("valid test configuration")
+    }
+
+    #[test]
+    fn read_handle_clones_share_one_threshold_cache() {
+        // Satellite pin: the per-threshold cache lives inside the published snapshot's shared
+        // allocation, so two ReadHandle clones (and any further snapshot clones) hit the SAME
+        // cached threshold cut — one union-find pass per (publication, tau), not per handle.
+        let service = blocked(2, 8, FlushPolicy::Manual);
+        let ingest = service.ingest_handle();
+        let read_a = service.read_handle();
+        let read_b = read_a.clone();
+        let mut driver = FlusherDriver::new(service);
+        ingest.submit(ins(0, 1, 1.0)).unwrap();
+        ingest.submit(ins(4, 5, 2.0)).unwrap();
+        ingest.submit(ins(1, 4, 3.0)).unwrap();
+        driver.pump().unwrap();
+        driver.flush().unwrap();
+        let cut_a = read_a.snapshot().flat_clustering(2.5);
+        let cut_b = read_b.snapshot().flat_clustering(2.5);
+        assert!(
+            Arc::ptr_eq(&cut_a, &cut_b),
+            "clones of one published view must share one cached cut"
+        );
+        // The same holds for the per-shard engine snapshots behind the merged view.
+        let shard_a = read_a.snapshot().shard_snapshots()[0].flat_clustering(1.5);
+        let shard_b = read_b.snapshot().shard_snapshots()[0].flat_clustering(1.5);
+        assert!(Arc::ptr_eq(&shard_a, &shard_b));
+    }
+
+    #[test]
+    fn revision_advances_once_per_publish() {
+        let service = blocked(2, 8, FlushPolicy::Manual);
+        let ingest = service.ingest_handle();
+        let read = service.read_handle();
+        let mut driver = FlusherDriver::new(service);
+        assert_eq!(read.revision(), 0);
+        ingest.submit(ins(0, 1, 1.0)).unwrap();
+        driver.pump().unwrap();
+        driver.flush().unwrap();
+        assert_eq!(read.revision(), 1);
+        // A flush with nothing pending publishes nothing: revision unchanged.
+        driver.flush().unwrap();
+        assert_eq!(read.revision(), 1);
+        // Vertex growth publishes.
+        driver.add_vertices(2);
+        assert_eq!(read.revision(), 2);
+        assert_eq!(read.snapshot().revision(), 2);
+    }
+
+    #[test]
+    fn sync_from_serves_unchanged_delta_and_full() {
+        let service = blocked(2, 8, FlushPolicy::Manual);
+        let ingest = service.ingest_handle();
+        let read = service.read_handle();
+        let mut driver = FlusherDriver::new(service);
+
+        // First sync: no base revision → full snapshot.
+        let SyncResponse::Full(full) = read.sync_from(None) else {
+            panic!("first sync must be a full snapshot");
+        };
+        assert_eq!(full.revision(), 0);
+
+        // Caught up → Unchanged.
+        match read.sync_from(Some(0)) {
+            SyncResponse::Unchanged { revision, .. } => assert_eq!(revision, 0),
+            other => panic!("expected Unchanged, got {other:?}"),
+        }
+
+        // Publish twice, then sync from revision 0: a two-delta chain whose replay
+        // reproduces the published per-shard exports bit for bit.
+        let mut shards: Vec<_> = full
+            .shard_snapshots()
+            .iter()
+            .map(|s| s.dendrogram().clone())
+            .collect();
+        ingest.submit(ins(0, 1, 1.0)).unwrap();
+        ingest.submit(ins(4, 5, 2.0)).unwrap();
+        driver.pump().unwrap();
+        driver.flush().unwrap();
+        ingest.submit(ins(1, 2, 3.0)).unwrap();
+        ingest.submit(del(4, 5)).unwrap();
+        driver.pump().unwrap();
+        driver.flush().unwrap();
+        let SyncResponse::Delta(patch) = read.sync_from(Some(0)) else {
+            panic!("revision 0 is still in the ring");
+        };
+        assert_eq!(patch.from_revision, 0);
+        assert_eq!(patch.to_revision, 2);
+        assert_eq!(patch.deltas.len(), 2);
+        patch.apply_to_shards(&mut shards);
+        let now = read.snapshot();
+        for (replayed, published) in shards.iter().zip(now.shard_snapshots()) {
+            assert_eq!(replayed, published.dendrogram());
+        }
+
+        // Serve counters flow into the service metrics.
+        read.record_served_bytes(128);
+        let metrics = driver.service().metrics();
+        assert_eq!(metrics.snapshots_served, 1);
+        assert_eq!(metrics.deltas_served, 1);
+        assert_eq!(metrics.delta_bytes_out, 128);
+        assert_eq!(metrics.full_fallbacks, 0);
+        assert!((metrics.delta_hit_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_from_falls_back_to_full_when_ring_ages_out() {
+        let service = ServiceBuilder::new()
+            .vertices(8)
+            .shards(2)
+            .partitioner(BlockPartitioner { block_size: 4 })
+            .delta_ring(1)
+            .build()
+            .unwrap();
+        let ingest = service.ingest_handle();
+        let read = service.read_handle();
+        let mut driver = FlusherDriver::new(service);
+        for (i, w) in [(0u32, 1.0), (1, 2.0), (2, 3.0)] {
+            ingest.submit(ins(i, i + 1, w)).unwrap();
+            driver.pump().unwrap();
+            driver.flush().unwrap();
+        }
+        assert_eq!(read.revision(), 3);
+        // Revision 0 aged out of the 1-deep ring → full fallback, counted as such.
+        let SyncResponse::Full(full) = read.sync_from(Some(0)) else {
+            panic!("aged-out revision must fall back to a full snapshot");
+        };
+        assert_eq!(full.revision(), 3);
+        // The newest step is still deliverable as a delta.
+        assert!(matches!(read.sync_from(Some(2)), SyncResponse::Delta(_)));
+        let metrics = driver.service().metrics();
+        assert_eq!(metrics.full_fallbacks, 1);
+        assert_eq!(metrics.snapshots_served, 1);
+        assert_eq!(metrics.deltas_served, 1);
+    }
+
+    #[test]
+    fn tracked_thresholds_report_label_changes_in_deltas() {
+        let service = ServiceBuilder::new()
+            .vertices(8)
+            .shards(2)
+            .partitioner(BlockPartitioner { block_size: 4 })
+            .track_thresholds([2.5])
+            .build()
+            .unwrap();
+        let ingest = service.ingest_handle();
+        let read = service.read_handle();
+        let mut driver = FlusherDriver::new(service);
+        ingest.submit(ins(0, 1, 1.0)).unwrap();
+        ingest.submit(ins(1, 4, 2.0)).unwrap(); // cross-shard: lands on the spill shard
+        driver.pump().unwrap();
+        driver.flush().unwrap();
+        let SyncResponse::Delta(patch) = read.sync_from(Some(0)) else {
+            panic!("expected a delta");
+        };
+        let relabels = &patch.deltas[0].relabels;
+        assert_eq!(relabels.len(), 1);
+        assert_eq!(relabels[0].tau, 2.5);
+        // {0,1,4} merged below 2.5: vertices 1 and 4 joined vertex 0's cluster, and every
+        // later vertex's canonical label shifted down — exactly what the published view says.
+        let now = read.snapshot();
+        let fc = now.flat_clustering(2.5);
+        for &(v, label) in &relabels[0].changed {
+            assert_eq!(fc.labels[v.index()], label);
+        }
+        assert_eq!(relabels[0].num_clusters, fc.num_clusters());
+        assert!(!relabels[0].changed.is_empty());
     }
 
     #[test]

@@ -23,13 +23,45 @@ pub(crate) struct CacheStats {
     pub(crate) misses: AtomicU64,
 }
 
+/// A per-snapshot memo of flat clusterings by threshold bit pattern — the one cache type
+/// behind both [`EngineSnapshot::flat_clustering`] and the service's merged view.
+///
+/// The cache lives inside the snapshot's shared `Arc` allocation, so every clone of a
+/// published snapshot — every `ReadHandle`, every held copy — shares the *same* memo: a
+/// threshold cut is computed at most once per publication, never once per handle. Pinned by
+/// the `read_handle_clones_share_one_threshold_cache` test in `crate::service`.
+#[derive(Debug, Default)]
+pub(crate) struct ThresholdCache {
+    map: Mutex<HashMap<u64, Arc<FlatClustering>>>,
+}
+
+impl ThresholdCache {
+    /// The cached clustering at `tau`, if any.
+    pub(crate) fn lookup(&self, tau: Weight) -> Option<Arc<FlatClustering>> {
+        self.map
+            .lock()
+            .expect("threshold cache poisoned")
+            .get(&tau.to_bits())
+            .cloned()
+    }
+
+    /// Commits a clustering computed outside the lock; if a racing reader committed first,
+    /// theirs is kept (the values are equal) and returned.
+    pub(crate) fn commit(&self, tau: Weight, computed: FlatClustering) -> Arc<FlatClustering> {
+        let mut map = self.map.lock().expect("threshold cache poisoned");
+        Arc::clone(
+            map.entry(tau.to_bits())
+                .or_insert_with(|| Arc::new(computed)),
+        )
+    }
+}
+
 #[derive(Debug)]
 struct SnapshotInner {
     epoch: u64,
     dendro: DendrogramSnapshot,
     num_graph_edges: usize,
-    /// Flat clusterings by threshold bit pattern.
-    cache: Mutex<HashMap<u64, Arc<FlatClustering>>>,
+    cache: ThresholdCache,
     stats: Arc<CacheStats>,
 }
 
@@ -53,7 +85,7 @@ impl EngineSnapshot {
                 epoch,
                 dendro,
                 num_graph_edges,
-                cache: Mutex::new(HashMap::new()),
+                cache: ThresholdCache::default(),
                 stats,
             }),
         }
@@ -90,23 +122,20 @@ impl EngineSnapshot {
     }
 
     /// The flat clustering at threshold `tau`, memoised per snapshot: repeated queries at the
-    /// same epoch and threshold return the same shared `Arc` without recomputation.
+    /// same epoch and threshold return the same shared `Arc` without recomputation — across
+    /// *all* clones of this snapshot, since the per-threshold cache lives inside the shared
+    /// allocation.
     pub fn flat_clustering(&self, tau: Weight) -> Arc<FlatClustering> {
-        let key = tau.to_bits();
-        {
-            let cache = self.inner.cache.lock().expect("snapshot cache poisoned");
-            if let Some(hit) = cache.get(&key) {
-                self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(hit);
-            }
+        if let Some(hit) = self.inner.cache.lookup(tau) {
+            self.inner.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
         }
         // Compute outside the lock: clustering construction is the expensive part, and two
         // racing readers computing the same threshold is harmless — the values are equal and
-        // `or_insert` keeps the first one (the loser's computation is dropped).
-        let computed = Arc::new(self.inner.dendro.flat_clustering(tau));
+        // the cache keeps the first commit (the loser's computation is dropped).
+        let computed = self.inner.dendro.flat_clustering(tau);
         self.inner.stats.misses.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.inner.cache.lock().expect("snapshot cache poisoned");
-        Arc::clone(cache.entry(key).or_insert(computed))
+        self.inner.cache.commit(tau, computed)
     }
 
     /// The cluster label of `v` at threshold `tau`. Labels are canonical within one

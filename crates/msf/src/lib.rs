@@ -114,6 +114,13 @@ impl DynamicGraphClustering {
         &mut self.sld
     }
 
+    /// Exports a dendrogram snapshot of the MSF, reusing the previous export where possible
+    /// (see [`DynSld::export_snapshot_incremental`]) — the hot republish path of the serving
+    /// layers. Bit-identical to `self.sld().export_snapshot()`.
+    pub fn export_snapshot_incremental(&mut self) -> dynsld::DendrogramSnapshot {
+        self.sld.export_snapshot_incremental()
+    }
+
     /// Returns the weight of the graph edge `{u, v}` if it is alive.
     pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
         self.weights.get(&pair(u, v)).copied()

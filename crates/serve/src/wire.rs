@@ -1,0 +1,601 @@
+//! The wire front end: an HTTP-shaped delta server over a local TCP socket, plus the
+//! matching subscriber client.
+//!
+//! The registry is offline, so the framing is hand-rolled over `std::net` — a deliberately
+//! small HTTP/1.1 subset: `GET` only, `Connection: close` on every exchange, bodies framed
+//! by `Content-Length`. Three endpoints:
+//!
+//! | endpoint              | reply                                                        |
+//! |-----------------------|--------------------------------------------------------------|
+//! | `GET /v1/head`        | `{"kind":"head",...}` — published revision + epoch vector    |
+//! | `GET /v1/snapshot`    | `{"kind":"snapshot",...}` — the full published view          |
+//! | `GET /v1/delta?since=R` | `{"kind":"delta",...}` when `R` is still in the delta ring, else the full snapshot (`X-Sync` header says which) |
+//!
+//! **Cache validators.** Every reply carries `ETag: "<epochs joined by .>"` — the epoch
+//! vector is the identity of a published view — plus an `X-Revision` header. A request
+//! whose `If-None-Match` matches the published ETag gets a `304 Not Modified` with no body,
+//! so a caught-up subscriber polling costs a handful of header bytes.
+
+use crate::codec::{decode_message, encode_head, encode_patch, encode_snapshot, WireMessage};
+use crate::mirror::{Mirror, MirrorError};
+use crate::{RefreshReason, SyncOutcome, SyncReport};
+use dynsld_engine::{ReadHandle, SyncResponse};
+use dynsld_telemetry::Telemetry;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A wire-layer failure on the subscriber side.
+#[derive(Debug)]
+pub enum WireError {
+    /// A socket-level failure.
+    Io(std::io::Error),
+    /// The peer spoke something that is not the expected HTTP subset or payload shape.
+    Protocol(String),
+    /// The body did not decode as a wire payload.
+    Codec(crate::codec::CodecError),
+    /// The decoded patch did not apply to the local mirror.
+    Mirror(MirrorError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireError::Protocol(m) => write!(f, "wire protocol error: {m}"),
+            WireError::Codec(e) => write!(f, "{e}"),
+            WireError::Mirror(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<crate::codec::CodecError> for WireError {
+    fn from(e: crate::codec::CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+impl From<MirrorError> for WireError {
+    fn from(e: MirrorError) -> Self {
+        WireError::Mirror(e)
+    }
+}
+
+/// The ETag of a published view: its epoch vector, dot-joined, quoted.
+fn etag_of(epochs: &[u64]) -> String {
+    let joined = epochs
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(".");
+    format!("\"{joined}\"")
+}
+
+/// The delta server: accepts connections on a local socket and answers sync requests from
+/// the service's published state via a [`ReadHandle`].
+///
+/// One accept thread plus one short-lived thread per connection (every exchange is
+/// `Connection: close`). [`DeltaServer::shutdown`] stops accepting, joins all handlers, and
+/// returns; dropping the server does the same.
+pub struct DeltaServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DeltaServer {
+    /// Binds a listener (e.g. on `"127.0.0.1:0"` for an ephemeral port) and starts serving
+    /// `read`'s service. `telemetry` records `serve.delta_ns` (time to build each reply) and
+    /// `serve.bytes_out` (body bytes written); pass [`Telemetry::disabled`] to opt out.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        read: ReadHandle,
+        telemetry: Telemetry,
+    ) -> std::io::Result<DeltaServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut handlers = Vec::new();
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let read = read.clone();
+                let telemetry = telemetry.clone();
+                handlers.push(std::thread::spawn(move || {
+                    // A torn-down client mid-exchange is the client's problem, not ours.
+                    let _ = handle_connection(stream, &read, &telemetry);
+                }));
+            }
+            for handler in handlers {
+                let _ = handler.join();
+            }
+        });
+        Ok(DeltaServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, joins the accept thread and every in-flight handler.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(accept_thread) = self.accept_thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in `incoming()`; poke it with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept_thread.join();
+    }
+}
+
+impl Drop for DeltaServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One request–response exchange on a fresh connection.
+fn handle_connection(
+    stream: TcpStream,
+    read: &ReadHandle,
+    telemetry: &Telemetry,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let Some(request) = read_request(&mut reader)? else {
+        return Ok(()); // peer closed without sending a request (e.g. the shutdown poke)
+    };
+    let started = telemetry.is_enabled().then(Instant::now);
+    let reply = route(&request, read);
+    if let Some(started) = started {
+        telemetry.record_duration("serve.delta_ns", started.elapsed());
+        telemetry.add("serve.bytes_out", reply.body.len() as u64);
+    }
+    let mut stream = reader.into_inner();
+    write_response(&mut stream, &reply)
+}
+
+struct Request {
+    method: String,
+    path: String,
+    query: Option<String>,
+    if_none_match: Option<String>,
+}
+
+/// Reads one request head (request line + headers). `Ok(None)` on an immediately-closed
+/// connection.
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    let mut if_none_match = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("if-none-match") {
+                if_none_match = Some(value.trim().to_string());
+            }
+        }
+    }
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        if_none_match,
+    }))
+}
+
+struct Reply {
+    status: &'static str,
+    etag: Option<String>,
+    revision: Option<u64>,
+    sync_mode: Option<&'static str>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn plain(status: &'static str) -> Reply {
+        Reply {
+            status,
+            etag: None,
+            revision: None,
+            sync_mode: None,
+            body: Vec::new(),
+        }
+    }
+}
+
+fn route(request: &Request, read: &ReadHandle) -> Reply {
+    if request.method != "GET" {
+        return Reply::plain("405 Method Not Allowed");
+    }
+    match request.path.as_str() {
+        "/v1/head" | "/v1/snapshot" | "/v1/delta" => {}
+        _ => return Reply::plain("404 Not Found"),
+    }
+    let snapshot = read.snapshot();
+    let etag = etag_of(&snapshot.epochs());
+    let revision = snapshot.revision();
+    // Cache validator: a matching ETag answers any endpoint with a no-body 304.
+    if request.if_none_match.as_deref() == Some(etag.as_str()) {
+        return Reply {
+            status: "304 Not Modified",
+            etag: Some(etag),
+            revision: Some(revision),
+            sync_mode: None,
+            body: Vec::new(),
+        };
+    }
+    let (sync_mode, body) = match request.path.as_str() {
+        "/v1/head" => (None, encode_head(revision, &snapshot.epochs())),
+        "/v1/snapshot" => {
+            // Through sync_from (not `snapshot` directly) so the pull counts toward the
+            // service's `snapshots_served` metric like every other full reply.
+            let SyncResponse::Full(full) = read.sync_from(None) else {
+                unreachable!("a sync without a base revision is always a full snapshot");
+            };
+            (Some("full"), encode_snapshot(&full))
+        }
+        "/v1/delta" => {
+            let since = request
+                .query
+                .as_deref()
+                .into_iter()
+                .flat_map(|q| q.split('&'))
+                .find_map(|pair| pair.strip_prefix("since="))
+                .and_then(|r| r.parse::<u64>().ok());
+            match read.sync_from(since) {
+                SyncResponse::Unchanged { revision, epochs } => {
+                    return Reply {
+                        status: "304 Not Modified",
+                        etag: Some(etag_of(&epochs)),
+                        revision: Some(revision),
+                        sync_mode: None,
+                        body: Vec::new(),
+                    };
+                }
+                SyncResponse::Delta(patch) => {
+                    let body = encode_patch(&patch);
+                    // Delta bytes count toward the service's `delta_bytes_out` metric.
+                    read.record_served_bytes(body.len() as u64);
+                    (Some("delta"), body)
+                }
+                SyncResponse::Full(full) => (Some("full"), encode_snapshot(&full)),
+            }
+        }
+        _ => unreachable!("path matched above"),
+    };
+    Reply {
+        status: "200 OK",
+        etag: Some(etag),
+        revision: Some(revision),
+        sync_mode,
+        body: body.into_bytes(),
+    }
+}
+
+fn write_response(stream: &mut TcpStream, reply: &Reply) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reply.status,
+        reply.body.len()
+    );
+    if let Some(etag) = &reply.etag {
+        head.push_str(&format!("ETag: {etag}\r\n"));
+    }
+    if let Some(revision) = reply.revision {
+        head.push_str(&format!("X-Revision: {revision}\r\n"));
+    }
+    if let Some(mode) = reply.sync_mode {
+        head.push_str(&format!("X-Sync: {mode}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&reply.body)?;
+    stream.flush()
+}
+
+/// One HTTP exchange from the client side.
+struct Response {
+    status: u16,
+    etag: Option<String>,
+    revision: Option<u64>,
+    sync_mode: Option<String>,
+    body: Vec<u8>,
+}
+
+fn fetch(addr: SocketAddr, path: &str, if_none_match: Option<&str>) -> Result<Response, WireError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream);
+    let mut request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    if let Some(etag) = if_none_match {
+        request.push_str(&format!("If-None-Match: {etag}\r\n"));
+    }
+    request.push_str("\r\n");
+    reader.get_mut().write_all(request.as_bytes())?;
+    reader.get_mut().flush()?;
+
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| WireError::Protocol(format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    let mut etag = None;
+    let mut revision = None;
+    let mut sync_mode = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(WireError::Protocol("connection closed mid-headers".into()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| WireError::Protocol("bad Content-Length".into()))?;
+        } else if name.eq_ignore_ascii_case("etag") {
+            etag = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("x-revision") {
+            revision = value.parse().ok();
+        } else if name.eq_ignore_ascii_case("x-sync") {
+            sync_mode = Some(value.to_string());
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Response {
+        status,
+        etag,
+        revision,
+        sync_mode,
+        body,
+    })
+}
+
+/// A remote subscriber: keeps a [`Mirror`] in sync with a [`DeltaServer`] over the wire,
+/// using `If-None-Match` validators and `since=`-anchored delta requests so a caught-up or
+/// slightly-behind subscriber never pulls the full view.
+pub struct WireSubscriber {
+    addr: SocketAddr,
+    mirror: Option<Mirror>,
+    etag: Option<String>,
+}
+
+impl WireSubscriber {
+    /// Points a subscriber at a server address. No connection is held between exchanges.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WireSubscriber> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address resolved")
+        })?;
+        Ok(WireSubscriber {
+            addr,
+            mirror: None,
+            etag: None,
+        })
+    }
+
+    /// The server's published revision and epoch vector, without touching the mirror.
+    pub fn head(&self) -> Result<(u64, Vec<u64>), WireError> {
+        let response = fetch(self.addr, "/v1/head", None)?;
+        match decode_message(
+            std::str::from_utf8(&response.body)
+                .map_err(|_| WireError::Protocol("head body is not UTF-8".into()))?,
+        )? {
+            WireMessage::Head { revision, epochs } => Ok((revision, epochs)),
+            other => Err(WireError::Protocol(format!(
+                "expected a head payload, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Brings the local mirror up to date with one exchange: a validator-guarded delta
+    /// request when a mirror exists (304 → [`SyncOutcome::Unchanged`], delta body →
+    /// [`SyncOutcome::Patched`], full body → aged-out [`SyncOutcome::Refreshed`]), or an
+    /// initial full-snapshot pull.
+    pub fn sync(&mut self) -> Result<SyncReport, WireError> {
+        let (path, validator);
+        match &self.mirror {
+            Some(mirror) => {
+                path = format!("/v1/delta?since={}", mirror.revision());
+                validator = self.etag.clone();
+            }
+            None => {
+                path = "/v1/snapshot".to_string();
+                validator = None;
+            }
+        }
+        let response = fetch(self.addr, &path, validator.as_deref())?;
+        if response.status == 304 {
+            let mirror = self
+                .mirror
+                .as_ref()
+                .ok_or_else(|| WireError::Protocol("304 without a local mirror".into()))?;
+            return Ok(SyncReport {
+                outcome: SyncOutcome::Unchanged,
+                revision: response.revision.unwrap_or_else(|| mirror.revision()),
+                epochs: mirror.epochs().to_vec(),
+            });
+        }
+        if response.status != 200 {
+            return Err(WireError::Protocol(format!(
+                "unexpected status {}",
+                response.status
+            )));
+        }
+        let body = std::str::from_utf8(&response.body)
+            .map_err(|_| WireError::Protocol("body is not UTF-8".into()))?;
+        let report = match decode_message(body)? {
+            WireMessage::Delta(patch) => {
+                let mirror = self
+                    .mirror
+                    .as_mut()
+                    .ok_or_else(|| WireError::Protocol("delta without a local mirror".into()))?;
+                let deltas = patch.deltas.len();
+                let changes = patch.num_changes();
+                mirror.apply(&patch)?;
+                SyncReport {
+                    outcome: SyncOutcome::Patched { deltas, changes },
+                    revision: mirror.revision(),
+                    epochs: mirror.epochs().to_vec(),
+                }
+            }
+            WireMessage::Snapshot(parts) => {
+                debug_assert_eq!(response.sync_mode.as_deref(), Some("full"));
+                let reason = if self.mirror.is_some() {
+                    RefreshReason::AgedOut
+                } else {
+                    RefreshReason::Initial
+                };
+                let mirror = Mirror::from_parts(parts);
+                let report = SyncReport {
+                    outcome: SyncOutcome::Refreshed { reason },
+                    revision: mirror.revision(),
+                    epochs: mirror.epochs().to_vec(),
+                };
+                self.mirror = Some(mirror);
+                report
+            }
+            WireMessage::Head { .. } => {
+                return Err(WireError::Protocol("unexpected head payload".into()));
+            }
+        };
+        self.etag = response.etag;
+        Ok(report)
+    }
+
+    /// The local replica, once at least one [`WireSubscriber::sync`] has succeeded.
+    pub fn mirror(&self) -> Option<&Mirror> {
+        self.mirror.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyncOutcome;
+    use dynsld_engine::{FlushPolicy, GraphUpdate, ServiceBuilder};
+    use dynsld_forest::VertexId;
+
+    fn ins(a: u32, b: u32, w: f64) -> GraphUpdate {
+        GraphUpdate::Insert {
+            u: VertexId(a),
+            v: VertexId(b),
+            weight: w,
+        }
+    }
+
+    #[test]
+    fn wire_subscriber_follows_the_server_through_deltas_and_304s() {
+        let service = ServiceBuilder::new()
+            .vertices(8)
+            .shards(2)
+            .flush_policy(FlushPolicy::Manual)
+            .delta_ring(16)
+            .build()
+            .unwrap();
+        let ingest = service.ingest_handle();
+        let read = service.read_handle();
+        let telemetry = Telemetry::enabled();
+        let server =
+            DeltaServer::bind("127.0.0.1:0", read.clone(), telemetry.clone()).expect("bind");
+        let mut driver = service.into_driver();
+        let mut subscriber = WireSubscriber::connect(server.local_addr()).expect("connect");
+
+        assert_eq!(subscriber.head().unwrap().0, 0);
+        let first = subscriber.sync().unwrap();
+        assert!(matches!(first.outcome, SyncOutcome::Refreshed { .. }));
+        // Caught up: the validator-guarded poll comes back 304 with no body.
+        assert!(matches!(
+            subscriber.sync().unwrap().outcome,
+            SyncOutcome::Unchanged
+        ));
+
+        for (a, b, w) in [(0, 1, 1.0), (4, 5, 2.0), (1, 4, 3.0)] {
+            ingest.submit(ins(a, b, w)).unwrap();
+            driver.pump().unwrap();
+            driver.flush().unwrap();
+        }
+        let report = subscriber.sync().unwrap();
+        assert!(matches!(
+            report.outcome,
+            SyncOutcome::Patched { deltas: 3, .. }
+        ));
+
+        // The wire-replayed replica is bit-identical to the published view.
+        let published = read.snapshot();
+        let mirror = subscriber.mirror().expect("synced");
+        assert_eq!(mirror.revision(), published.revision());
+        for (mirror_shard, shard) in mirror.shards().iter().zip(published.shard_snapshots()) {
+            assert_eq!(mirror_shard, shard.dendrogram());
+        }
+        for tau in [1.5, 2.5, f64::INFINITY] {
+            let a = mirror.flat_clustering(tau);
+            let b = published.flat_clustering(tau);
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.clusters, b.clusters);
+        }
+
+        // Delta bytes flowed into the service metrics and the serve telemetry.
+        let metrics = driver.service().metrics();
+        assert!(metrics.delta_bytes_out > 0);
+        assert_eq!(metrics.deltas_served, 1);
+        let telemetry_snapshot = telemetry.snapshot();
+        assert!(telemetry_snapshot.counter("serve.bytes_out").unwrap() > 0);
+        assert!(telemetry_snapshot.histogram("serve.delta_ns").is_some());
+
+        // Unknown paths and non-GET methods are rejected without wedging the server.
+        assert!(matches!(
+            fetch(server.local_addr(), "/nope", None).map(|r| r.status),
+            Ok(404)
+        ));
+        server.shutdown();
+    }
+}

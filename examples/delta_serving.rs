@@ -1,0 +1,191 @@
+//! Delta serving over the wire: one [`DeltaServer`], several [`WireSubscriber`] threads.
+//!
+//! Run with `cargo run --release --example delta_serving`.
+//!
+//! Layout: a producer streams a planted-community workload into a 2-shard service whose
+//! background [`FlusherDriver`] publishes a new view every few hundred events and retains a
+//! bounded ring of per-publish deltas. A `DeltaServer` fronts the service on an ephemeral
+//! local TCP port; three subscriber threads poll it concurrently with validator-guarded
+//! requests. Each poll is one of three exchanges: a no-body `304` when the subscriber's
+//! `If-None-Match` ETag (the epoch vector) still matches, a delta patch proportional to
+//! what changed when its revision is in the ring, or a full snapshot when it fell too far
+//! behind. At the end every mirror is asserted **bit-identical** to the service's published
+//! view — dendrogram records, labels, and member lists.
+//!
+//! With `DYNSLD_WIRE_OUT=<dir>` the example also performs raw socket exchanges against all
+//! three endpoints and writes the JSON bodies there (`head.json`, `snapshot.json`,
+//! `delta.json`) so external tooling can validate the wire payloads.
+
+use dynsld_engine::{FlushPolicy, GreedyPartitioner, ServiceBuilder};
+use dynsld_forest::workload::GraphWorkloadBuilder;
+use dynsld_serve::{DeltaServer, SyncOutcome, WireSubscriber};
+use dynsld_telemetry::Telemetry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const N: usize = 512;
+const COMMUNITIES: usize = 16;
+const NUM_OPS: usize = 6_000;
+const SUBSCRIBERS: usize = 3;
+const TAU: f64 = 2.0;
+
+/// A raw one-shot `GET` (the whole wire protocol fits in a dozen lines of plain sockets):
+/// returns the status code and the body.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("server reachable");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request written");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response read");
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn main() {
+    let telemetry = Telemetry::enabled();
+    let service = ServiceBuilder::new()
+        .vertices(N)
+        .shards(2)
+        .stateful_partitioner(GreedyPartitioner::default())
+        .flush_policy(FlushPolicy::EveryNOps(256))
+        .delta_ring(64)
+        .track_thresholds([TAU])
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("valid configuration");
+    let ingest = service.ingest_handle();
+    let read = service.read_handle();
+    let server = DeltaServer::bind("127.0.0.1:0", read.clone(), telemetry.clone()).expect("bind");
+    let addr = server.local_addr();
+    println!("delta server on {addr}");
+
+    // The driver parks on the queue on its own thread; the final revision is broadcast to
+    // the subscribers once the stream is closed and drained (u64::MAX = still streaming).
+    let final_revision = Arc::new(AtomicU64::new(u64::MAX));
+    let driver_thread = thread::spawn({
+        let mut driver = service.into_driver();
+        move || {
+            driver.run_until_closed().expect("pipeline closes cleanly");
+            driver
+        }
+    });
+
+    let subscriber_threads: Vec<_> = (0..SUBSCRIBERS)
+        .map(|i| {
+            let final_revision = Arc::clone(&final_revision);
+            thread::spawn(move || {
+                let mut subscriber = WireSubscriber::connect(addr).expect("connect");
+                let (mut unchanged, mut patched, mut refreshed) = (0u64, 0u64, 0u64);
+                loop {
+                    let report = subscriber.sync().expect("sync exchange");
+                    match report.outcome {
+                        SyncOutcome::Unchanged => unchanged += 1,
+                        SyncOutcome::Patched { .. } => patched += 1,
+                        SyncOutcome::Refreshed { .. } => refreshed += 1,
+                    }
+                    let goal = final_revision.load(Ordering::Acquire);
+                    if goal != u64::MAX && report.revision >= goal {
+                        return (subscriber, unchanged, patched, refreshed);
+                    }
+                    // Staggered polling cadences so the three subscribers drift apart and
+                    // exercise chains of different lengths.
+                    thread::sleep(Duration::from_millis(1 + 2 * i as u64));
+                }
+            })
+        })
+        .collect();
+
+    // Stream a planted-community workload (16 hidden communities, 10% cross links).
+    let stream = GraphWorkloadBuilder::new(N)
+        .weight_scale(8.0)
+        .community_stream(COMMUNITIES, 0.10, 2 * N, NUM_OPS, 42);
+    for &update in &stream.updates {
+        ingest.submit(update).expect("queue open");
+    }
+    ingest.close();
+    let driver = driver_thread.join().expect("driver thread");
+    final_revision.store(read.revision(), Ordering::Release);
+
+    // Every wire mirror must be bit-identical to the published view.
+    let published = read.snapshot();
+    for (i, handle) in subscriber_threads.into_iter().enumerate() {
+        let (subscriber, unchanged, patched, refreshed) = handle.join().expect("subscriber");
+        let mirror = subscriber.mirror().expect("at least one sync happened");
+        assert_eq!(mirror.revision(), published.revision());
+        for (replayed, shard) in mirror.shards().iter().zip(published.shard_snapshots()) {
+            assert_eq!(replayed, shard.dendrogram(), "subscriber {i} diverged");
+        }
+        let (a, b) = (mirror.flat_clustering(TAU), published.flat_clustering(TAU));
+        assert_eq!(a.labels, b.labels, "subscriber {i}: labels diverged");
+        assert_eq!(
+            a.clusters, b.clusters,
+            "subscriber {i}: member lists diverged"
+        );
+        println!(
+            "subscriber {i}: {unchanged} unchanged (304), {patched} patched, {refreshed} full"
+        );
+    }
+    println!(
+        "published revision {}, {} clusters at tau={TAU}",
+        published.revision(),
+        published.num_clusters(TAU)
+    );
+
+    let metrics = driver.service().metrics();
+    println!(
+        "served: {} full, {} delta ({} delta bytes, {} ring-ageout fallbacks), delta hit share {:.2}",
+        metrics.snapshots_served,
+        metrics.deltas_served,
+        metrics.delta_bytes_out,
+        metrics.full_fallbacks,
+        metrics.delta_hit_share()
+    );
+    assert!(
+        metrics.deltas_served > 0,
+        "the workload must exercise delta syncs"
+    );
+
+    // Optional artefact dump: one raw body per endpoint, for external JSON validation.
+    if let Ok(dir) = std::env::var("DYNSLD_WIRE_OUT") {
+        std::fs::create_dir_all(&dir).expect("output directory");
+        let since = published.revision().saturating_sub(1);
+        for (name, path) in [
+            ("head", "/v1/head".to_string()),
+            ("snapshot", "/v1/snapshot".to_string()),
+            ("delta", format!("/v1/delta?since={since}")),
+        ] {
+            let (status, body) = http_get(addr, &path);
+            assert_eq!(status, 200, "GET {path}");
+            let file = format!("{dir}/{name}.json");
+            std::fs::write(&file, &body).expect("payload written");
+            println!("wrote {file} ({} bytes)", body.len());
+        }
+    }
+
+    server.shutdown();
+    let snapshot = telemetry.snapshot();
+    if let Some(h) = snapshot.histogram("serve.delta_ns") {
+        println!(
+            "serve.delta_ns: {} replies, p50 {}ns, max {}ns; serve.bytes_out: {} bytes",
+            h.count,
+            h.quantile(0.5),
+            h.max,
+            snapshot.counter("serve.bytes_out").unwrap_or(0)
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Delta-serving correctness: replaying the delta chain `r0 → rN` onto the full snapshot
+//! taken at revision `r0` must be **bit-identical** to the full snapshot at `rN` — the
+//! per-shard dendrogram exports (records, order, versions), the canonical cluster labels,
+//! and the sorted member lists. The properties below drive that equivalence across shard
+//! counts, flush policies, greedy/hash partitioners, mixed churn with interleaved vertex
+//! growth, and the ring-ageout → full-snapshot fallback path.
+
+use dynsld::DendrogramSnapshot;
+use dynsld_engine::{
+    FlushPolicy, FlusherDriver, GreedyPartitioner, HashPartitioner, ServiceBuilder,
+    ServiceSnapshot, SyncResponse,
+};
+use dynsld_forest::workload::GraphWorkloadBuilder;
+use dynsld_serve::{Mirror, RefreshReason, Subscriber, SyncOutcome};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Thresholds the service tracks in its deltas and the tests compare labels at.
+const TAUS: [f64; 3] = [2.0, 5.0, f64::INFINITY];
+
+fn drain(driver: &mut FlusherDriver) {
+    driver.pump().expect("validated stream");
+    driver.flush().expect("validated stream");
+}
+
+/// Asserts a replayed mirror answers exactly like a published view: same revision and
+/// epochs, bit-identical per-shard exports, identical labels and member lists at every
+/// threshold in [`TAUS`].
+fn assert_bit_identical(mirror: &Mirror, published: &ServiceSnapshot, context: &str) {
+    assert_eq!(mirror.revision(), published.revision(), "{context}");
+    assert_eq!(mirror.epochs(), published.epochs(), "{context}");
+    assert_eq!(
+        mirror.num_graph_edges(),
+        published.num_graph_edges(),
+        "{context}"
+    );
+    for (i, (replayed, shard)) in mirror
+        .shards()
+        .iter()
+        .zip(published.shard_snapshots())
+        .enumerate()
+    {
+        assert_eq!(
+            replayed,
+            shard.dendrogram(),
+            "{context}: shard {i} diverged"
+        );
+    }
+    for tau in TAUS {
+        let a = mirror.flat_clustering(tau);
+        let b = published.flat_clustering(tau);
+        assert_eq!(
+            a.labels, b.labels,
+            "{context}: labels diverged at tau={tau}"
+        );
+        assert_eq!(
+            a.clusters, b.clusters,
+            "{context}: member lists diverged at tau={tau}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The PR's acceptance property. A subscriber that captured the full view at `r0` and
+    /// then syncs through delta chains only must end bit-identical to the current full
+    /// snapshot, across shards × flush policies × greedy/hash partitioners, through churn
+    /// and vertex growth. The tracked-threshold relabels must also replay the label vectors
+    /// exactly (nothing changed that was not reported changed).
+    #[test]
+    fn delta_chain_replay_is_bit_identical_to_full_snapshot(
+        seed in 0u64..1 << 48,
+        n in 6usize..32,
+        shards in 1usize..4,
+        num_ops in 16usize..160,
+        policy_pick in 0usize..4,
+        greedy in any::<bool>(),
+        growth in 0usize..3,
+    ) {
+        let policy = match policy_pick {
+            0 => FlushPolicy::Manual,
+            1 => FlushPolicy::EveryNOps(1),
+            2 => FlushPolicy::EveryNOps(4),
+            _ => FlushPolicy::OnRead,
+        };
+        let builder = ServiceBuilder::new()
+            .vertices(n)
+            .shards(shards)
+            .flush_policy(policy)
+            .delta_ring(4096) // larger than any revision count this test can produce
+            .track_thresholds(TAUS);
+        let builder = if greedy {
+            builder.stateful_partitioner(GreedyPartitioner::default())
+        } else {
+            builder.partitioner(HashPartitioner)
+        };
+        let service = builder.build().expect("valid configuration");
+        let ingest = service.ingest_handle();
+        let read = service.read_handle();
+        let mut driver = service.into_driver();
+
+        let stream = GraphWorkloadBuilder::new(n)
+            .weight_scale(8.0)
+            .churn_stream(2 * n, num_ops, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xDE17A);
+
+        // Capture the full view at some mid-stream revision r0.
+        let split = stream.len() / 3;
+        for &update in &stream[..split] {
+            ingest.submit(update).expect("queue open");
+        }
+        drain(&mut driver);
+        let SyncResponse::Full(base) = read.sync_from(None) else {
+            panic!("a sync without a base revision is always a full snapshot");
+        };
+        let mut replayed: Vec<DendrogramSnapshot> = base
+            .shard_snapshots()
+            .iter()
+            .map(|s| s.dendrogram().clone())
+            .collect();
+        // Label vectors at r0, advanced below through the relabel records alone.
+        let mut labels: Vec<Vec<usize>> =
+            TAUS.iter().map(|&tau| base.flat_clustering(tau).labels.clone()).collect();
+
+        // Keep churning, with random flush points and (maybe) vertex growth mid-stream.
+        for (i, &update) in stream[split..].iter().enumerate() {
+            ingest.submit(update).expect("queue open");
+            if rng.gen_bool(0.15) {
+                drain(&mut driver);
+            }
+            if growth > 0 && i == 5 {
+                drain(&mut driver);
+                driver.add_vertices(growth);
+            }
+        }
+        drain(&mut driver);
+
+        let now = read.snapshot();
+        if now.revision() == base.revision() {
+            return; // tiny tail: nothing published after r0, nothing to replay
+        }
+        let SyncResponse::Delta(patch) = read.sync_from(Some(base.revision())) else {
+            panic!("the ring is oversized; a delta chain must be available");
+        };
+        prop_assert_eq!(patch.from_revision, base.revision());
+        prop_assert_eq!(patch.to_revision, now.revision());
+
+        // Replay the raw per-shard exports...
+        patch.apply_to_shards(&mut replayed);
+        for (shard, published) in replayed.iter().zip(now.shard_snapshots()) {
+            prop_assert_eq!(shard, published.dendrogram());
+        }
+        // ...and the tracked-threshold label vectors, through the relabel records alone.
+        for delta in &patch.deltas {
+            let grown = delta.shards[0].num_vertices;
+            for (slot, &tau) in labels.iter_mut().zip(&TAUS) {
+                let relabel = delta
+                    .relabels
+                    .iter()
+                    .find(|r| r.tau == tau)
+                    .expect("every tracked threshold appears in every delta");
+                slot.resize(grown, usize::MAX); // new vertices are always in `changed`
+                for &(v, label) in &relabel.changed {
+                    slot[v.index()] = label;
+                }
+            }
+        }
+        for (slot, &tau) in labels.iter().zip(&TAUS) {
+            prop_assert_eq!(slot, &now.flat_clustering(tau).labels);
+        }
+
+        // The Mirror path (what subscribers actually run) agrees too.
+        let mut mirror = Mirror::from_snapshot(&base);
+        mirror.apply(&patch).expect("chain is anchored at the mirror's revision");
+        assert_bit_identical(&mirror, &now, "mirror replay");
+    }
+
+    /// A frequently-syncing subscriber rides deltas the whole way and stays bit-identical
+    /// at every sync point; a subscriber that falls out of a tiny ring refreshes with a
+    /// full snapshot (reported as such) and is bit-identical again afterwards.
+    #[test]
+    fn subscribers_stay_identical_and_survive_ring_ageout(
+        seed in 0u64..1 << 48,
+        n in 6usize..24,
+        shards in 1usize..3,
+        num_ops in 24usize..120,
+    ) {
+        let service = ServiceBuilder::new()
+            .vertices(n)
+            .shards(shards)
+            .flush_policy(FlushPolicy::Manual)
+            .delta_ring(2) // tiny: lagging subscribers age out quickly
+            .build()
+            .expect("valid configuration");
+        let ingest = service.ingest_handle();
+        let read = service.read_handle();
+        let mut fresh = Subscriber::new(read.clone());
+        let mut laggard = Subscriber::new(read.clone());
+        let mut driver = service.into_driver();
+
+        fresh.sync();
+        laggard.sync();
+
+        let stream = GraphWorkloadBuilder::new(n)
+            .weight_scale(8.0)
+            .churn_stream(2 * n, num_ops, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA6E0);
+        let mut aged_out = false;
+        for &update in &stream {
+            ingest.submit(update).expect("queue open");
+            if rng.gen_bool(0.3) {
+                drain(&mut driver);
+                // The fresh subscriber is at most one revision behind: never a full pull.
+                let report = fresh.sync();
+                prop_assert!(!matches!(
+                    report.outcome,
+                    SyncOutcome::Refreshed { reason: RefreshReason::AgedOut }
+                ));
+                assert_bit_identical(fresh.mirror().unwrap(), &read.snapshot(), "fresh");
+            }
+        }
+        drain(&mut driver);
+        fresh.sync();
+        assert_bit_identical(fresh.mirror().unwrap(), &read.snapshot(), "fresh, final");
+
+        // The laggard slept through every publish; with a 2-deep ring it must refresh in
+        // full once more than 2 revisions passed.
+        let behind = read.revision() - laggard.revision().unwrap();
+        let report = laggard.sync();
+        if behind > 2 {
+            prop_assert!(matches!(
+                report.outcome,
+                SyncOutcome::Refreshed { reason: RefreshReason::AgedOut }
+            ));
+            aged_out = true;
+        }
+        assert_bit_identical(laggard.mirror().unwrap(), &read.snapshot(), "laggard");
+        let metrics = driver.service().metrics();
+        prop_assert_eq!(metrics.full_fallbacks, u64::from(aged_out));
+        prop_assert!(metrics.deltas_served > 0 || behind == 0);
+    }
+}
