@@ -15,15 +15,23 @@
 //! * `delta_serving/payload` — `delta_bytes` (one small publish step encoded as a wire
 //!   patch) vs `full_snapshot_bytes` (the same state as a full wire snapshot), and
 //!   `delta_bytes_ratio`. Acceptance: ratio ≤ 0.10.
+//! * `delta_serving/faults` — the six robustness counters after a scripted
+//!   quarantine/recover round and a torn-write wire exchange, with the subscriber's
+//!   client-side [`WireStats`](dynsld_serve::WireStats) folded in through
+//!   `Metrics::merge`. Pins that the fault path actually fired, not just that it exists.
 
 use criterion::{
     black_box, criterion_group, criterion_main, record_quality, BenchmarkId, Criterion,
 };
-use dynsld_engine::{FlushPolicy, GreedyPartitioner, ServiceBuilder, SyncResponse};
+use dynsld_engine::{
+    FaultPlan, FlushPolicy, GreedyPartitioner, Metrics, ServiceBuilder, SyncResponse,
+};
 use dynsld_forest::workload::{GraphUpdate, GraphWorkloadBuilder};
 use dynsld_forest::VertexId;
 use dynsld_msf::DynamicGraphClustering;
 use dynsld_serve::codec::{encode_patch, encode_snapshot};
+use dynsld_serve::{DeltaServer, ServerOptions, WireConfig, WireSubscriber};
+use dynsld_telemetry::Telemetry;
 use std::time::{Duration, Instant};
 
 const N: usize = 4_096;
@@ -201,6 +209,89 @@ fn bench_delta_serving(c: &mut Criterion) {
             ("full_snapshot_bytes", full_snapshot_bytes),
             ("delta_bytes_ratio", delta_bytes / full_snapshot_bytes),
             ("publish_steps_in_patch", patch.deltas.len() as f64),
+        ],
+    );
+
+    // ---- Fault counters: a scripted quarantine/recover round plus a torn wire fetch. ----
+    // A small service armed so shard 0's second flush panics at the torn checkpoint:
+    // the shard quarantines, reads go stale-flagged, recovery replays the journal. The
+    // wire leg then serves the recovered view through a server whose first connection is
+    // torn 40 bytes in, forcing exactly one subscriber retry.
+    let faulted = ServiceBuilder::new()
+        .vertices(64)
+        .shards(2)
+        .flush_policy(FlushPolicy::Manual)
+        .delta_ring(64)
+        .faults(FaultPlan::parse("flush_panic=shard:0,flush:2;seed=7").expect("valid spec"))
+        .build()
+        .expect("valid configuration");
+    let ingest = faulted.ingest_handle();
+    let read = faulted.read_handle();
+    let mut driver = faulted.into_driver();
+    let churn = GraphWorkloadBuilder::new(64)
+        .weight_scale(8.0)
+        .churn_stream(128, 96, 11);
+    for chunk in churn.chunks(16) {
+        for &update in chunk {
+            ingest.submit(update).expect("valid stream");
+        }
+        driver.pump().expect("validated stream");
+        driver.flush().expect("flush isolates panics");
+    }
+    for shard in read.snapshot().stale_shards() {
+        driver
+            .recover_shard(shard)
+            .expect("journal replay succeeds");
+    }
+
+    let server = DeltaServer::bind_with(
+        "127.0.0.1:0",
+        read.clone(),
+        Telemetry::disabled(),
+        ServerOptions {
+            faults: FaultPlan::parse("torn_write=conn:1,after:40").expect("valid spec"),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind on an ephemeral port");
+    let mut subscriber = WireSubscriber::connect_with(
+        server.local_addr(),
+        WireConfig {
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(5),
+            ..WireConfig::default()
+        },
+    )
+    .expect("resolvable address");
+    subscriber.sync().expect("retry absorbs the torn write");
+    let stats = subscriber.stats();
+    server.shutdown();
+
+    // Client-side wire stats ride the same `Metrics::merge` path the shards use.
+    let wire = Metrics {
+        wire_retries: stats.retries,
+        wire_timeouts: stats.timeouts,
+        ..Metrics::default()
+    };
+    let merged = Metrics::merge(&[driver.service().metrics(), wire]);
+    assert_eq!(
+        merged.shards_quarantined, 1,
+        "shard 0 must have quarantined"
+    );
+    assert_eq!(merged.shard_recoveries, 1, "and been recovered");
+    assert!(
+        merged.wire_retries >= 1,
+        "the torn write must force a retry"
+    );
+    record_quality(
+        "delta_serving/faults",
+        &[
+            ("shard_panics_caught", merged.shard_panics_caught as f64),
+            ("shards_quarantined", merged.shards_quarantined as f64),
+            ("shard_recoveries", merged.shard_recoveries as f64),
+            ("wire_retries", merged.wire_retries as f64),
+            ("wire_timeouts", merged.wire_timeouts as f64),
+            ("stale_reads_served", merged.stale_reads_served as f64),
         ],
     );
 }

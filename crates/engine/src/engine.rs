@@ -10,6 +10,7 @@
 //! published at the end of `flush`, never piecemeal.
 
 use crate::coalesce::{CoalescedBatch, Coalescer, RejectReason};
+use crate::faults::FaultPlan;
 use crate::metrics::Metrics;
 use crate::snapshot::{CacheStats, EngineSnapshot};
 use dynsld::{DynSldError, DynSldOptions};
@@ -139,6 +140,11 @@ pub struct ClusteringEngine {
     counters: Counters,
     cache_stats: Arc<CacheStats>,
     telemetry: Telemetry,
+    faults: FaultPlan,
+    /// This engine's shard index as seen by fault rules (0 for a standalone engine).
+    fault_shard: usize,
+    /// 1-based count of non-empty flush attempts — the ordinal fault rules match against.
+    flush_attempts: u64,
 }
 
 impl ClusteringEngine {
@@ -165,6 +171,9 @@ impl ClusteringEngine {
             counters: Counters::default(),
             cache_stats,
             telemetry: Telemetry::disabled(),
+            faults: FaultPlan::disabled(),
+            fault_shard: 0,
+            flush_attempts: 0,
         }
     }
 
@@ -172,6 +181,13 @@ impl ClusteringEngine {
     /// non-empty flush. The default (disabled) handle makes all of that a no-op.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Arms a [`FaultPlan`] on this engine, identifying it as shard `shard` to `flush_panic`
+    /// rules. The default (disabled) plan makes the flush checkpoints one-branch no-ops.
+    pub fn set_faults(&mut self, faults: FaultPlan, shard: usize) {
+        self.faults = faults;
+        self.fault_shard = shard;
     }
 
     /// Number of vertices.
@@ -234,6 +250,22 @@ impl ClusteringEngine {
     /// snapshot is unchanged.
     pub fn flush(&mut self) -> Result<FlushReport, EngineError> {
         let started = Instant::now();
+        // Fault checkpoint (entry): fires before the buffer is drained, so nothing is
+        // consumed and the caller may safely retry the flush after catching the panic.
+        // Only non-empty attempts count an ordinal — empty flushes are pure no-ops.
+        let mut injected_torn = None;
+        if self.faults.is_enabled() && self.coalescer.pending_ops() > 0 {
+            self.flush_attempts += 1;
+            if let Some(fault) = self
+                .faults
+                .flush_fault(self.fault_shard, self.flush_attempts)
+            {
+                if fault.at_entry {
+                    fault.fire();
+                }
+                injected_torn = Some(fault);
+            }
+        }
         let batch = self.coalescer.drain();
         if batch.is_empty() {
             return Ok(FlushReport {
@@ -271,6 +303,13 @@ impl ClusteringEngine {
             promoted = outcome.promoted;
             phases.classify += outcome.classify_time;
             phases.apply += outcome.apply_time;
+        }
+        // Fault checkpoint (torn): the buffer is drained and the deletion batch is already
+        // applied, but the epoch has not advanced and no snapshot was published — the panic
+        // leaves this engine mid-flush with the last good view still served. The service
+        // quarantines it and rebuilds from the event journal.
+        if let Some(fault) = injected_torn {
+            fault.fire();
         }
         if !insertions.is_empty() {
             let outcome = self.graph.batch_insert_edges(&insertions)?;
@@ -391,6 +430,14 @@ impl ClusteringEngine {
             deltas_served: 0,
             delta_bytes_out: 0,
             full_fallbacks: 0,
+            // Fault isolation and wire robustness are tracked by the service and the wire
+            // layer respectively; a standalone engine never populates them.
+            shard_panics_caught: 0,
+            shards_quarantined: 0,
+            shard_recoveries: 0,
+            wire_retries: 0,
+            wire_timeouts: 0,
+            stale_reads_served: 0,
         }
     }
 }

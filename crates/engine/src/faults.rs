@@ -1,0 +1,480 @@
+//! Deterministic fault injection for the engine and the wire front end.
+//!
+//! A [`FaultPlan`] is a telemetry-style handle: a true no-op unless armed. The default
+//! ([`FaultPlan::disabled`]) carries no allocation and every checkpoint reduces to one branch
+//! on an `Option`, so production paths pay nothing for the hooks. An armed plan is built
+//! either explicitly ([`FaultPlan::parse`] + `ServiceBuilder::faults`) or from the
+//! environment ([`FaultPlan::from_env`], reading `DYNSLD_FAULTS=<spec>`).
+//!
+//! Every injection point is **deterministic**: rules trigger on exact per-site ordinals
+//! (shard *s*'s *n*-th non-empty flush, the server's *c*-th accepted connection, the queue's
+//! *k*-th fail-fast submit) or on fixed periods, and the only randomised trigger (`prob:`)
+//! draws from a seeded xorshift generator owned by the plan, so a given spec replays the
+//! same fault schedule on every run. Clones of a plan share one set of counters — the
+//! service hands the same plan to every shard and to the wire server, and the connection
+//! ordinal keeps counting across all of them.
+//!
+//! # Spec grammar (`DYNSLD_FAULTS`)
+//!
+//! A spec is a `;`-separated list of rules. Each rule is `name=arg,arg,...` where an arg is
+//! `key:value` (or the bare flag `entry`). Unknown names, keys, or malformed integers are
+//! parse errors — [`FaultPlan::from_env`] reports them once on stderr and stays disabled
+//! rather than silently dropping rules.
+//!
+//! | rule | args | effect |
+//! |------|------|--------|
+//! | `flush_panic` | `shard:<s>` (optional: any shard if absent), `flush:<n>` **or** `every:<k>`, `entry` (flag) | panic inside the matching shard's *n*-th (or every *k*-th) non-empty flush. Default mode panics **after** the deletion batch has been applied, leaving the engine torn — the service quarantines it. With `entry`, the panic fires before any buffered work is consumed; the service proves the catch path and retries the flush transparently. |
+//! | `torn_write` | `after:<bytes>`, `conn:<c>` **or** `every:<k>` | the server writes only the first `<bytes>` bytes of the response on the matching connection, then drops it. |
+//! | `drop_conn` | `conn:<c>` **or** `every:<k>` | the server accepts and immediately closes the matching connection without replying. |
+//! | `delay` | `ms:<m>`, `conn:<c>` **or** `every:<k>` | the server sleeps `<m>` ms before replying on the matching connection. |
+//! | `queue_full` | `every:<k>` **or** `prob:<permille>` | a fail-fast submit ([`Backpressure::Fail`](crate::Backpressure::Fail) / `try_submit`) is rejected as queue-full even though capacity remains. |
+//! | `seed` | bare value: `seed=<u64>` | seeds the generator behind `prob:` triggers (default 0x5EED). |
+//!
+//! Example: `DYNSLD_FAULTS="flush_panic=shard:1,flush:3;torn_write=every:2,after:64;seed=7"`.
+//!
+//! Connection ordinals are 1-based and count *accepted* connections in accept order;
+//! flush ordinals are 1-based and count each shard's non-empty flush attempts (retries
+//! after an `entry` panic count as new attempts, so `every:1,entry` quarantines after one
+//! retry — use periods ≥ 2 for a suite that should stay green).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+/// The panic payload used by injected flush panics.
+///
+/// The service's `catch_unwind` wrapper downcasts caught payloads to this type to tell an
+/// injected fault apart from a genuine engine bug, and to tell a *safe* entry panic (no
+/// buffered work consumed — the flush may simply be retried) from a torn one (the deletion
+/// batch was already applied — the shard must be quarantined and rebuilt).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The shard index the fault fired in.
+    pub shard: usize,
+    /// The 1-based non-empty-flush ordinal the fault fired on.
+    pub ordinal: u64,
+    /// True when the panic fired at flush entry, before any buffered work was consumed.
+    pub at_entry: bool,
+}
+
+impl InjectedFault {
+    /// Raises this fault as a panic. The process-wide quiet hook installed by armed plans
+    /// suppresses the default "thread panicked" banner for this payload type, so injected
+    /// faults do not spam test output.
+    pub fn fire(self) -> ! {
+        std::panic::panic_any(self)
+    }
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected {} panic in shard {} on flush {}",
+            if self.at_entry { "entry" } else { "torn" },
+            self.shard,
+            self.ordinal
+        )
+    }
+}
+
+/// A wire-level fault decided per accepted connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireFault {
+    /// Close the connection without replying.
+    Drop,
+    /// Sleep for the given duration before replying.
+    Delay(Duration),
+    /// Write only the first `n` bytes of the response, then drop the connection.
+    TornWrite(usize),
+}
+
+/// A malformed `DYNSLD_FAULTS` spec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The rule text that failed to parse.
+    pub rule: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault rule `{}`: {}", self.rule, self.reason)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// When a per-site rule triggers: on one exact ordinal, or on every `k`-th.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Trigger {
+    At(u64),
+    Every(u64),
+}
+
+impl Trigger {
+    fn matches(self, ordinal: u64) -> bool {
+        match self {
+            Trigger::At(n) => ordinal == n,
+            Trigger::Every(k) => k > 0 && ordinal.is_multiple_of(k),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct FlushRule {
+    shard: Option<usize>,
+    when: Trigger,
+    at_entry: bool,
+}
+
+#[derive(Clone, Debug)]
+struct ConnRule {
+    fault: WireFault,
+    when: Trigger,
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    flush_rules: Vec<FlushRule>,
+    conn_rules: Vec<ConnRule>,
+    queue_trigger: Option<Trigger>,
+    queue_prob_permille: Option<u64>,
+    conn_counter: AtomicU64,
+    submit_counter: AtomicU64,
+    rng: AtomicU64,
+}
+
+/// A deterministic fault-injection plan. See the [module docs](self) for the spec grammar.
+///
+/// Cheap to clone; clones share the plan's counters (connection and submit ordinals, the
+/// seeded generator), so one plan threaded through shards, queue, and wire server describes
+/// one global fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    inner: Option<Arc<PlanInner>>,
+}
+
+/// Suppresses the default panic banner for [`InjectedFault`] payloads; installed once,
+/// process-wide, the first time an armed plan is built. All other panics still reach the
+/// previously installed hook untouched.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedFault>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+impl FaultPlan {
+    /// The no-op plan: every checkpoint is a single branch and nothing ever fires.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan { inner: None }
+    }
+
+    /// Builds a plan from `DYNSLD_FAULTS`. Unset or empty means disabled; a malformed spec
+    /// is reported once on stderr and yields a disabled plan (a typo must not silently run
+    /// a *different* fault schedule).
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("DYNSLD_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => match FaultPlan::parse(&spec) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("DYNSLD_FAULTS ignored: {e}");
+                    FaultPlan::disabled()
+                }
+            },
+            _ => FaultPlan::disabled(),
+        }
+    }
+
+    /// Parses a fault spec (the `DYNSLD_FAULTS` grammar). An empty spec yields a disabled
+    /// plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
+        let mut flush_rules = Vec::new();
+        let mut conn_rules = Vec::new();
+        let mut queue_trigger = None;
+        let mut queue_prob = None;
+        let mut seed = 0x5EEDu64;
+
+        for rule in spec.split(';').map(str::trim).filter(|r| !r.is_empty()) {
+            let err = |reason: &str| FaultSpecError {
+                rule: rule.to_string(),
+                reason: reason.to_string(),
+            };
+            let (name, args) = rule.split_once('=').ok_or_else(|| err("missing `=`"))?;
+            let parse_u64 = |v: &str, what: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| err(&format!("{what} is not an integer")))
+            };
+            match name.trim() {
+                "seed" => seed = parse_u64(args.trim(), "seed")?,
+                "flush_panic" => {
+                    let (mut shard, mut when, mut at_entry) = (None, None, false);
+                    for arg in args.split(',').map(str::trim) {
+                        match arg.split_once(':') {
+                            Some(("shard", v)) => shard = Some(parse_u64(v, "shard")? as usize),
+                            Some(("flush", v)) => when = Some(Trigger::At(parse_u64(v, "flush")?)),
+                            Some(("every", v)) => {
+                                when = Some(Trigger::Every(parse_u64(v, "every")?))
+                            }
+                            None if arg == "entry" => at_entry = true,
+                            _ => return Err(err(&format!("unknown flush_panic arg `{arg}`"))),
+                        }
+                    }
+                    let when = when.ok_or_else(|| err("needs `flush:<n>` or `every:<k>`"))?;
+                    flush_rules.push(FlushRule {
+                        shard,
+                        when,
+                        at_entry,
+                    });
+                }
+                "torn_write" | "drop_conn" | "delay" => {
+                    let (mut when, mut after, mut ms) = (None, None, None);
+                    for arg in args.split(',').map(str::trim) {
+                        match arg.split_once(':') {
+                            Some(("conn", v)) => when = Some(Trigger::At(parse_u64(v, "conn")?)),
+                            Some(("every", v)) => {
+                                when = Some(Trigger::Every(parse_u64(v, "every")?))
+                            }
+                            Some(("after", v)) => after = Some(parse_u64(v, "after")? as usize),
+                            Some(("ms", v)) => ms = Some(parse_u64(v, "ms")?),
+                            _ => return Err(err(&format!("unknown {name} arg `{arg}`"))),
+                        }
+                    }
+                    let when = when.ok_or_else(|| err("needs `conn:<c>` or `every:<k>`"))?;
+                    let fault = match name.trim() {
+                        "torn_write" => WireFault::TornWrite(
+                            after.ok_or_else(|| err("torn_write needs `after:<bytes>`"))?,
+                        ),
+                        "drop_conn" => WireFault::Drop,
+                        _ => WireFault::Delay(Duration::from_millis(
+                            ms.ok_or_else(|| err("delay needs `ms:<m>`"))?,
+                        )),
+                    };
+                    conn_rules.push(ConnRule { fault, when });
+                }
+                "queue_full" => {
+                    for arg in args.split(',').map(str::trim) {
+                        match arg.split_once(':') {
+                            Some(("every", v)) => {
+                                queue_trigger = Some(Trigger::Every(parse_u64(v, "every")?))
+                            }
+                            Some(("at", v)) => {
+                                queue_trigger = Some(Trigger::At(parse_u64(v, "at")?))
+                            }
+                            Some(("prob", v)) => {
+                                let p = parse_u64(v, "prob")?;
+                                if p > 1000 {
+                                    return Err(err("prob is permille: 0..=1000"));
+                                }
+                                queue_prob = Some(p);
+                            }
+                            _ => return Err(err(&format!("unknown queue_full arg `{arg}`"))),
+                        }
+                    }
+                    if queue_trigger.is_none() && queue_prob.is_none() {
+                        return Err(err("needs `every:<k>`, `at:<n>`, or `prob:<permille>`"));
+                    }
+                }
+                other => return Err(err(&format!("unknown fault `{other}`"))),
+            }
+        }
+
+        if flush_rules.is_empty()
+            && conn_rules.is_empty()
+            && queue_trigger.is_none()
+            && queue_prob.is_none()
+        {
+            return Ok(FaultPlan::disabled());
+        }
+        install_quiet_hook();
+        Ok(FaultPlan {
+            inner: Some(Arc::new(PlanInner {
+                flush_rules,
+                conn_rules,
+                queue_trigger,
+                queue_prob_permille: queue_prob,
+                conn_counter: AtomicU64::new(0),
+                submit_counter: AtomicU64::new(0),
+                // xorshift state must be non-zero.
+                rng: AtomicU64::new(seed | 1),
+            })),
+        })
+    }
+
+    /// True when any rule is armed. Disabled plans make every checkpoint a one-branch no-op.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Flush checkpoint: the fault to raise for shard `shard`'s `ordinal`-th non-empty
+    /// flush, if a rule matches. The caller decides where in the flush to
+    /// [`fire`](InjectedFault::fire) it based on `at_entry`.
+    pub fn flush_fault(&self, shard: usize, ordinal: u64) -> Option<InjectedFault> {
+        let inner = self.inner.as_deref()?;
+        inner
+            .flush_rules
+            .iter()
+            .find(|r| r.shard.is_none_or(|s| s == shard) && r.when.matches(ordinal))
+            .map(|r| InjectedFault {
+                shard,
+                ordinal,
+                at_entry: r.at_entry,
+            })
+    }
+
+    /// Queue checkpoint: true when this fail-fast submit should be rejected as queue-full.
+    /// Counts one submit ordinal per call.
+    pub fn queue_full_spike(&self) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return false;
+        };
+        let ordinal = inner.submit_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if inner.queue_trigger.is_some_and(|t| t.matches(ordinal)) {
+            return true;
+        }
+        match inner.queue_prob_permille {
+            Some(p) => inner.next_rand() % 1000 < p,
+            None => false,
+        }
+    }
+
+    /// Wire checkpoint: the fault (if any) for the next accepted connection. Counts one
+    /// connection ordinal per call, shared across every clone of the plan.
+    pub fn connection_fault(&self) -> Option<WireFault> {
+        let inner = self.inner.as_deref()?;
+        let ordinal = inner.conn_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        inner
+            .conn_rules
+            .iter()
+            .find(|r| r.when.matches(ordinal))
+            .map(|r| r.fault.clone())
+    }
+}
+
+impl PlanInner {
+    /// One draw from the seeded xorshift64 generator shared by all clones of the plan.
+    fn next_rand(&self) -> u64 {
+        self.rng
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |mut x| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                Some(x)
+            })
+            .expect("fetch_update closure always returns Some")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let plan = FaultPlan::disabled();
+        assert!(!plan.is_enabled());
+        assert!(plan.flush_fault(0, 1).is_none());
+        assert!(plan.connection_fault().is_none());
+        assert!(!plan.queue_full_spike());
+    }
+
+    #[test]
+    fn empty_spec_is_disabled() {
+        assert!(!FaultPlan::parse("").unwrap().is_enabled());
+        assert!(!FaultPlan::parse("  ;  ").unwrap().is_enabled());
+    }
+
+    #[test]
+    fn flush_rules_match_shard_and_ordinal() {
+        let plan = FaultPlan::parse("flush_panic=shard:1,flush:3").unwrap();
+        assert!(plan.flush_fault(1, 2).is_none());
+        assert!(plan.flush_fault(0, 3).is_none());
+        let fault = plan.flush_fault(1, 3).expect("rule matches");
+        assert_eq!(
+            fault,
+            InjectedFault {
+                shard: 1,
+                ordinal: 3,
+                at_entry: false
+            }
+        );
+        assert!(plan.flush_fault(1, 4).is_none(), "exact ordinals fire once");
+    }
+
+    #[test]
+    fn entry_flag_and_periodic_trigger() {
+        let plan = FaultPlan::parse("flush_panic=every:2,entry").unwrap();
+        assert!(plan.flush_fault(0, 1).is_none());
+        assert!(plan.flush_fault(7, 2).is_some_and(|f| f.at_entry));
+        assert!(plan.flush_fault(3, 4).is_some());
+    }
+
+    #[test]
+    fn connection_faults_count_accepted_connections_across_clones() {
+        let plan =
+            FaultPlan::parse("drop_conn=conn:2;delay=conn:3,ms:5;torn_write=every:4,after:16")
+                .unwrap();
+        let clone = plan.clone();
+        assert_eq!(plan.connection_fault(), None); // conn 1
+        assert_eq!(clone.connection_fault(), Some(WireFault::Drop)); // conn 2: shared counter
+        assert_eq!(
+            plan.connection_fault(),
+            Some(WireFault::Delay(Duration::from_millis(5)))
+        );
+        assert_eq!(plan.connection_fault(), Some(WireFault::TornWrite(16)));
+        assert_eq!(plan.connection_fault(), None); // conn 5
+    }
+
+    #[test]
+    fn queue_spikes_fire_on_period() {
+        let plan = FaultPlan::parse("queue_full=every:3").unwrap();
+        let fired: Vec<bool> = (0..6).map(|_| plan.queue_full_spike()).collect();
+        assert_eq!(fired, [false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn probabilistic_spikes_are_seed_deterministic() {
+        let a = FaultPlan::parse("queue_full=prob:500;seed=42").unwrap();
+        let b = FaultPlan::parse("queue_full=prob:500;seed=42").unwrap();
+        let draws = |p: &FaultPlan| (0..64).map(|_| p.queue_full_spike()).collect::<Vec<_>>();
+        let (da, db) = (draws(&a), draws(&b));
+        assert_eq!(da, db, "same seed, same schedule");
+        assert!(da.iter().any(|&x| x) && da.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        for bad in [
+            "nonsense=1",
+            "flush_panic=shard:0",            // no trigger
+            "flush_panic=shard:zero,flush:1", // not an integer
+            "torn_write=every:2",             // missing after
+            "delay=conn:1",                   // missing ms
+            "queue_full=prob:2000",           // permille out of range
+            "queue_full=",
+            "seed",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn injected_fault_displays_mode() {
+        let torn = InjectedFault {
+            shard: 2,
+            ordinal: 5,
+            at_entry: false,
+        };
+        assert_eq!(
+            torn.to_string(),
+            "injected torn panic in shard 2 on flush 5"
+        );
+    }
+}

@@ -34,14 +34,18 @@
 //! `tests/tests/ingest_pipeline.rs`).
 
 use crate::delta::SyncResponse;
-use crate::service::{ClusterService, ServiceError, ServiceFlushReport, ServiceShared};
+use crate::faults::FaultPlan;
+use crate::partition::ShardId;
+use crate::service::{
+    ClusterService, RecoveryReport, ServiceError, ServiceFlushReport, ServiceShared, ShardHealth,
+};
 use crate::FlushPolicy;
 use dynsld_forest::workload::GraphUpdate;
 use dynsld_forest::VertexId;
 use dynsld_telemetry::Telemetry;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// What a full submission queue does to the submitting producer.
@@ -148,6 +152,10 @@ pub(crate) struct IngestQueue {
     last_drain_depth: AtomicU64,
     /// Submit-latency and queue-depth instrumentation; a no-op unless enabled.
     telemetry: Telemetry,
+    /// Deterministic fault injection: `queue_full=` rules make `Fail`-mode submits bounce
+    /// as if the queue were full, exercising producer shedding paths. A true no-op unless
+    /// the service was built with an enabled [`FaultPlan`].
+    faults: FaultPlan,
 }
 
 /// A point-in-time copy of the queue's counters (see the fields on [`IngestQueue`]).
@@ -170,7 +178,7 @@ pub(crate) enum Pop {
 }
 
 impl IngestQueue {
-    pub(crate) fn new(capacity: usize, telemetry: Telemetry) -> Self {
+    pub(crate) fn new(capacity: usize, telemetry: Telemetry, faults: FaultPlan) -> Self {
         debug_assert!(capacity >= 1, "builder validation enforces capacity >= 1");
         IngestQueue {
             state: Mutex::new(QueueState::default()),
@@ -184,6 +192,7 @@ impl IngestQueue {
             depth_watermark: AtomicU64::new(0),
             last_drain_depth: AtomicU64::new(0),
             telemetry,
+            faults,
         }
     }
 
@@ -192,11 +201,18 @@ impl IngestQueue {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.state.lock().expect("ingest queue poisoned").buf.len()
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .buf
+            .len()
     }
 
     pub(crate) fn is_closed(&self) -> bool {
-        self.state.lock().expect("ingest queue poisoned").closed
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed
     }
 
     pub(crate) fn counters(&self) -> QueueCounters {
@@ -216,10 +232,21 @@ impl IngestQueue {
         event: GraphUpdate,
         backpressure: Backpressure,
     ) -> Result<(), IngestError> {
+        // An injected queue-full spike bounces a Fail-mode submit exactly like a genuinely
+        // full queue would — same error, same counter — so producer shedding paths can be
+        // exercised deterministically without racing real occupancy. Block/Coalesce submits
+        // are exempt: a spike would park them with nothing to wake on.
+        if backpressure == Backpressure::Fail
+            && self.faults.is_enabled()
+            && self.faults.queue_full_spike()
+        {
+            self.full_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(IngestError::QueueFull { event });
+        }
         // Clock reads are gated on telemetry so the disabled submit path stays untouched.
         let submit_start = self.telemetry.is_enabled().then(Instant::now);
         let mut block_start: Option<Instant> = None;
-        let mut state = self.state.lock().expect("ingest queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         // `block_waits` counts *submits* that had to wait, not wait-loop rounds: a woken
         // producer that loses the race for the freed slot goes around the loop again but
         // must not inflate the counter a second time.
@@ -282,7 +309,10 @@ impl IngestQueue {
                     if submit_start.is_some() && block_start.is_none() {
                         block_start = Some(Instant::now());
                     }
-                    state = self.not_full.wait(state).expect("ingest queue poisoned");
+                    state = self
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 Backpressure::Block => {
                     if !wait_counted {
@@ -292,7 +322,10 @@ impl IngestQueue {
                     if submit_start.is_some() && block_start.is_none() {
                         block_start = Some(Instant::now());
                     }
-                    state = self.not_full.wait(state).expect("ingest queue poisoned");
+                    state = self
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
@@ -306,7 +339,7 @@ impl IngestQueue {
 
     /// Drains everything queued right now without blocking (empty when idle).
     pub(crate) fn pop_all(&self) -> Vec<GraphUpdate> {
-        let mut state = self.state.lock().expect("ingest queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let batch: Vec<GraphUpdate> = state.buf.drain(..).collect();
         if !batch.is_empty() {
             self.not_full.notify_all();
@@ -317,7 +350,7 @@ impl IngestQueue {
 
     /// Blocks until events arrive (returning them all) or the queue is closed and empty.
     pub(crate) fn pop_wait(&self) -> Pop {
-        let mut state = self.state.lock().expect("ingest queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if !state.buf.is_empty() {
                 let batch: Vec<GraphUpdate> = state.buf.drain(..).collect();
@@ -328,14 +361,17 @@ impl IngestQueue {
             if state.closed {
                 return Pop::Closed;
             }
-            state = self.not_empty.wait(state).expect("ingest queue poisoned");
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: pending events remain drainable, further submits fail, and blocked
     /// producers and the driver wake up.
     pub(crate) fn close(&self) {
-        let mut state = self.state.lock().expect("ingest queue poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -530,8 +566,42 @@ impl ReadHandle {
     /// keeps answering for its epoch vector no matter how many flushes the driver performs
     /// afterwards, so a reader can hold it across arbitrarily long analyses. Queued or
     /// buffered events are not visible until the driver flushes their shard.
+    ///
+    /// Availability-first: with a quarantined shard in the view
+    /// ([`ServiceSnapshot::is_stale`](crate::ServiceSnapshot::is_stale)) the last-known-good
+    /// merged state is served anyway and
+    /// [`Metrics::stale_reads_served`](crate::Metrics::stale_reads_served) is incremented.
+    /// Readers that must not observe stale shards use [`Self::snapshot_strict`].
     pub fn snapshot(&self) -> crate::ServiceSnapshot {
-        self.shared.published()
+        let snapshot = self.shared.published();
+        if snapshot.is_stale() {
+            self.shared
+                .serve
+                .stale_reads_served
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        snapshot
+    }
+
+    /// Consistency-first read: the published view if every shard is healthy, or
+    /// [`ServiceError::ShardQuarantined`] naming the first quarantined shard otherwise.
+    /// Counterpart of the availability-first [`Self::snapshot`].
+    pub fn snapshot_strict(&self) -> Result<crate::ServiceSnapshot, ServiceError> {
+        let snapshot = self.shared.published();
+        if let Some(&shard) = snapshot.stale_shards().first() {
+            return Err(ServiceError::ShardQuarantined { shard });
+        }
+        Ok(snapshot)
+    }
+
+    /// Credits one wire-deadline expiry to
+    /// [`Metrics::wire_timeouts`](crate::Metrics::wire_timeouts). Called by wire front ends
+    /// (the `dynsld-serve` server) when a connection hits its read/write deadline.
+    pub fn record_wire_timeout(&self) {
+        self.shared
+            .serve
+            .wire_timeouts
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// The epoch vector of the currently published view (routed shards first, spill last).
@@ -677,6 +747,18 @@ impl FlusherDriver {
         self.service.add_vertices(k)
     }
 
+    /// Health of every shard, in shard order (see [`ClusterService::shard_health`]).
+    pub fn shard_health(&self) -> Vec<(ShardId, ShardHealth)> {
+        self.service.shard_health()
+    }
+
+    /// Rebuilds a quarantined shard by replaying its event journal (see
+    /// [`ClusterService::recover_shard`] for the exact semantics and the bit-identity
+    /// guarantee).
+    pub fn recover_shard(&mut self, id: ShardId) -> Result<RecoveryReport, ServiceError> {
+        self.service.recover_shard(id)
+    }
+
     fn process(&mut self, batch: Vec<GraphUpdate>) -> Result<DrainReport, ServiceError> {
         let telemetry = self.service.telemetry().clone();
         let _span = (!batch.is_empty() && telemetry.is_enabled()).then(|| {
@@ -757,7 +839,7 @@ mod tests {
 
     #[test]
     fn fail_mode_bounces_when_full_without_blocking() {
-        let q = IngestQueue::new(2, Telemetry::disabled());
+        let q = IngestQueue::new(2, Telemetry::disabled(), FaultPlan::disabled());
         q.push(ins(0, 1, 1.0), Backpressure::Fail).unwrap();
         q.push(ins(2, 3, 1.0), Backpressure::Fail).unwrap();
         assert_eq!(
@@ -779,7 +861,11 @@ mod tests {
 
     #[test]
     fn block_mode_waits_for_the_consumer() {
-        let q = Arc::new(IngestQueue::new(1, Telemetry::disabled()));
+        let q = Arc::new(IngestQueue::new(
+            1,
+            Telemetry::disabled(),
+            FaultPlan::disabled(),
+        ));
         q.push(ins(0, 1, 1.0), Backpressure::Block).unwrap();
         let producer = {
             let q = Arc::clone(&q);
@@ -796,7 +882,7 @@ mod tests {
 
     #[test]
     fn coalesce_mode_compacts_redundant_queued_events() {
-        let q = IngestQueue::new(1, Telemetry::disabled());
+        let q = IngestQueue::new(1, Telemetry::disabled(), FaultPlan::disabled());
         q.push(ins(0, 1, 1.0), Backpressure::Coalesce).unwrap();
         // Queue full; the re-weight of the *queued* insert compacts to an insert at the new
         // weight and takes the freed slot — no blocking, no consumer involved.
@@ -845,8 +931,38 @@ mod tests {
     }
 
     #[test]
+    fn queue_full_spike_bounces_fail_mode_only() {
+        // `at:1` fires on exactly the first fail-fast submit, with capacity to spare.
+        let q = IngestQueue::new(
+            4,
+            Telemetry::disabled(),
+            FaultPlan::parse("queue_full=at:1").unwrap(),
+        );
+        assert!(matches!(
+            q.push(ins(0, 1, 1.0), Backpressure::Fail),
+            Err(IngestError::QueueFull { .. })
+        ));
+        assert_eq!(q.counters().full_rejections, 1);
+        assert_eq!(q.len(), 0, "the spiked event was not enqueued");
+        // The next fail-fast submit (ordinal 2) passes; Block-mode submits are exempt even
+        // while a periodic rule is armed.
+        q.push(ins(0, 1, 1.0), Backpressure::Fail).unwrap();
+        let every = IngestQueue::new(
+            4,
+            Telemetry::disabled(),
+            FaultPlan::parse("queue_full=every:1").unwrap(),
+        );
+        every.push(ins(2, 3, 1.0), Backpressure::Block).unwrap();
+        assert_eq!(every.counters().full_rejections, 0);
+    }
+
+    #[test]
     fn close_wakes_producers_and_consumer() {
-        let q = Arc::new(IngestQueue::new(1, Telemetry::disabled()));
+        let q = Arc::new(IngestQueue::new(
+            1,
+            Telemetry::disabled(),
+            FaultPlan::disabled(),
+        ));
         q.push(ins(0, 1, 1.0), Backpressure::Block).unwrap();
         let producer = {
             let q = Arc::clone(&q);

@@ -110,6 +110,7 @@
 pub mod coalesce;
 pub mod delta;
 pub mod engine;
+pub mod faults;
 pub mod ingest;
 pub mod metrics;
 pub mod partition;
@@ -121,6 +122,7 @@ pub use delta::{
     merge_flat_clusterings, Patch, ShardDelta, SnapshotDelta, SyncResponse, ThresholdRelabel,
 };
 pub use engine::{ClusteringEngine, EngineError, FlushReport};
+pub use faults::{FaultPlan, FaultSpecError, InjectedFault, WireFault};
 pub use ingest::{Backpressure, DrainReport, FlusherDriver, IngestError, IngestHandle, ReadHandle};
 pub use metrics::Metrics;
 pub use partition::{
@@ -128,8 +130,8 @@ pub use partition::{
     StatefulPartitioner,
 };
 pub use service::{
-    ClusterService, ConfigError, FlushPolicy, ServiceBuilder, ServiceError, ServiceFlushReport,
-    ServiceSnapshot,
+    ClusterService, ConfigError, FlushPolicy, RecoveryReport, ServiceBuilder, ServiceError,
+    ServiceFlushReport, ServiceSnapshot, ShardHealth,
 };
 pub use snapshot::EngineSnapshot;
 

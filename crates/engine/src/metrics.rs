@@ -97,6 +97,25 @@ pub struct Metrics {
     /// [`snapshots_served`](Self::snapshots_served). A rising rate means the ring
     /// (`ServiceBuilder::delta_ring`) is undersized for how far subscribers fall behind.
     pub full_fallbacks: u64,
+    /// Shard-flush panics the service caught with `catch_unwind` — injected or genuine. Zero
+    /// on single-engine metrics (isolation is a service-level concept); set by
+    /// `ClusterService::metrics`.
+    pub shard_panics_caught: u64,
+    /// Shards the service has quarantined after a torn flush panic (a lifetime count of
+    /// quarantine events, not a gauge of currently quarantined shards).
+    pub shards_quarantined: u64,
+    /// Quarantined shards rebuilt by journal replay (`ClusterService::recover_shard`).
+    pub shard_recoveries: u64,
+    /// Wire exchanges retried by a `WireSubscriber` after a failed attempt. Zero on
+    /// service-side metrics — the counter lives in the subscriber; wire clients fold their
+    /// `WireStats` into a `Metrics` value and [`merge`](Metrics::merge) it in.
+    pub wire_retries: u64,
+    /// Wire operations that hit a read/write deadline: server-side request-read timeouts
+    /// (408s) counted by the service, plus any client-side timeouts merged in from
+    /// subscriber `WireStats`.
+    pub wire_timeouts: u64,
+    /// Reads and syncs served from a view with at least one quarantined (stale) shard.
+    pub stale_reads_served: u64,
 }
 
 impl Metrics {
@@ -139,6 +158,12 @@ impl Metrics {
             out.deltas_served += m.deltas_served;
             out.delta_bytes_out += m.delta_bytes_out;
             out.full_fallbacks += m.full_fallbacks;
+            out.shard_panics_caught += m.shard_panics_caught;
+            out.shards_quarantined += m.shards_quarantined;
+            out.shard_recoveries += m.shard_recoveries;
+            out.wire_retries += m.wire_retries;
+            out.wire_timeouts += m.wire_timeouts;
+            out.stale_reads_served += m.stale_reads_served;
         }
         out
     }
@@ -284,6 +309,12 @@ mod tests {
             deltas_served: 50 + 3 * k,
             delta_bytes_out: 1024 * (k + 1),
             full_fallbacks: 2 + k,
+            shard_panics_caught: 1 + k,
+            shards_quarantined: 2 * k,
+            shard_recoveries: k,
+            wire_retries: 3 + 2 * k,
+            wire_timeouts: 4 * k,
+            stale_reads_served: 5 + k,
         }
     }
 
@@ -321,6 +352,13 @@ mod tests {
         assert_eq!(merged.deltas_served, 50 + 53 + 56);
         assert_eq!(merged.delta_bytes_out, 1024 + 2048 + 3072);
         assert_eq!(merged.full_fallbacks, 2 + 3 + 4);
+        // Fault-tolerance counters are plain sums too.
+        assert_eq!(merged.shard_panics_caught, 1 + 2 + 3);
+        assert_eq!(merged.shards_quarantined, 2 + 4);
+        assert_eq!(merged.shard_recoveries, 1 + 2);
+        assert_eq!(merged.wire_retries, 3 + 5 + 7);
+        assert_eq!(merged.wire_timeouts, 4 + 8);
+        assert_eq!(merged.stale_reads_served, 5 + 6 + 7);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 use crate::coalesce::RejectReason;
 use crate::delta::{merge_flat_clusterings, DeltaRing, Patch, SnapshotDelta, SyncResponse};
 use crate::engine::{ClusteringEngine, EngineError, FlushPhases, FlushReport};
+use crate::faults::{FaultPlan, InjectedFault};
 use crate::ingest::{Backpressure, FlusherDriver, IngestHandle, IngestQueue, ReadHandle};
 use crate::metrics::Metrics;
 use crate::partition::{
@@ -49,8 +50,9 @@ use dynsld_forest::workload::GraphUpdate;
 use dynsld_forest::{VertexId, Weight};
 use dynsld_telemetry::Telemetry;
 use rayon::prelude::*;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// Why a [`ServiceBuilder`] configuration was rejected by [`ServiceBuilder::build`].
@@ -121,6 +123,14 @@ pub enum ServiceError {
         /// The underlying error.
         error: DynSldError,
     },
+    /// A strict read refused to serve because the named shard is quarantined after a torn
+    /// flush panic: its contribution to the merged view is the last state it published
+    /// *before* the panic. Non-strict reads ([`ReadHandle::snapshot`]) keep serving that
+    /// stale-flagged view; recover the shard with [`ClusterService::recover_shard`].
+    ShardQuarantined {
+        /// The quarantined shard.
+        shard: ShardId,
+    },
 }
 
 impl ServiceError {
@@ -150,6 +160,13 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Apply { shard, error } => {
                 write!(f, "batch application failed on {shard}: {error}")
             }
+            ServiceError::ShardQuarantined { shard } => {
+                write!(
+                    f,
+                    "{shard} is quarantined after a flush panic; non-strict reads serve its \
+                     last published epoch (stale-flagged) until recover_shard rebuilds it"
+                )
+            }
         }
     }
 }
@@ -170,6 +187,95 @@ pub enum FlushPolicy {
     /// with a full flush, and the deprecated [`ClusterService::snapshot`] shim flushes before
     /// building its view.
     OnRead,
+}
+
+/// The health of one shard engine, as tracked by the service and surfaced on
+/// [`ServiceFlushReport::shard_health`] and [`ServiceSnapshot::shard_health`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The shard applies and publishes normally.
+    Healthy,
+    /// A flush panicked after the shard's pending buffer was consumed: the engine's
+    /// in-memory state is untrusted and the service no longer submits to or flushes it. Its
+    /// last *published* snapshot (taken before the panic, so internally consistent) keeps
+    /// backing the merged view, flagged stale ([`ServiceSnapshot::is_stale`]); routed events
+    /// keep accumulating in the shard's journal until
+    /// [`ClusterService::recover_shard`] rebuilds it by replay.
+    Quarantined {
+        /// The message of the panic that tore the shard.
+        panic: String,
+    },
+}
+
+impl ShardHealth {
+    /// True when the shard is quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, ShardHealth::Quarantined { .. })
+    }
+}
+
+/// What [`ClusterService::recover_shard`] did: how much journal it replayed and what the
+/// replay rejected (events routed to the shard *during* quarantine are journaled without
+/// validation — the torn engine cannot validate — so their rejections surface here, exactly
+/// as the no-fault oracle would have rejected them at submit time).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryReport {
+    /// The recovered shard.
+    pub shard: ShardId,
+    /// Journaled events replayed into the rebuilt engine (accepted and rejected).
+    pub events_replayed: usize,
+    /// Replay-time rejections, in routed order.
+    pub rejected: Vec<ServiceError>,
+    /// The rebuilt engine's published epoch after the recovery flush.
+    pub epoch: u64,
+}
+
+/// One entry of a shard's replay journal: the full routed history the shard's state is a
+/// function of, in routed order.
+#[derive(Clone, Copy, Debug)]
+enum JournalEntry {
+    /// A routed event (validated on the healthy path; validation deferred to replay for
+    /// events routed during quarantine).
+    Event(GraphUpdate),
+    /// A vertex-set growth by `k`.
+    Grow(usize),
+}
+
+/// A shard flush under `catch_unwind`, classified for the retry-or-quarantine policy.
+enum CaughtFlush {
+    /// The shard was already quarantined; nothing ran.
+    Skipped,
+    /// The flush ran to completion (successfully or with a typed error).
+    Completed(Result<FlushReport, EngineError>),
+    /// The flush panicked. `retriable` is true only for an injected entry-mode panic
+    /// ([`InjectedFault::at_entry`]), which provably fires before any buffered work is
+    /// consumed — everything else is treated as tearing the engine.
+    Panicked { message: String, retriable: bool },
+}
+
+/// Runs one engine flush with panic isolation.
+///
+/// `AssertUnwindSafe` is sound here because a panicked engine is never observed again: the
+/// caller either retries (entry-mode injected panics, which fire before the flush touches
+/// any state) or quarantines the engine, after which the service neither submits to it nor
+/// flushes it until [`ClusterService::recover_shard`] replaces it wholesale.
+fn flush_catching(engine: &mut ClusteringEngine) -> CaughtFlush {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| engine.flush())) {
+        Ok(result) => CaughtFlush::Completed(result),
+        Err(payload) => {
+            let (message, retriable) = if let Some(fault) = payload.downcast_ref::<InjectedFault>()
+            {
+                (fault.to_string(), fault.at_entry)
+            } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+                ((*s).to_string(), false)
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                (s.clone(), false)
+            } else {
+                ("non-string panic payload".to_string(), false)
+            };
+            CaughtFlush::Panicked { message, retriable }
+        }
+    }
 }
 
 /// How a [`ServiceBuilder`] was asked to partition vertices: a pure function, or a stateful
@@ -347,37 +453,59 @@ pub(crate) struct ServeCounters {
     /// Syncs that *asked* for a delta but fell back to a full snapshot because the requested
     /// revision had aged out of the ring (a subset of `snapshots_served`).
     pub(crate) full_fallbacks: AtomicU64,
+    /// Reads and syncs served from a view with at least one quarantined (stale) shard.
+    pub(crate) stale_reads_served: AtomicU64,
+    /// Server-side wire deadline hits (request reads that timed out and were answered 408),
+    /// recorded by wire front ends through [`ReadHandle::record_wire_timeout`].
+    pub(crate) wire_timeouts: AtomicU64,
 }
 
+// Lock poisoning note: every lock in this struct guards a plain value (a snapshot slot, a
+// delta ring, a cache map) whose invariants hold after each individual store — there is no
+// multi-step critical section a panicking thread could abandon halfway. Recovering the guard
+// with `PoisonError::into_inner` is therefore always sound, and it keeps one panicked reader
+// (or a quarantined shard's unwound flush) from cascading into every later access aborting
+// the process.
 impl ServiceShared {
     /// The currently published merged view (one `Arc` clone under a read lock).
     pub(crate) fn published(&self) -> ServiceSnapshot {
         self.published
             .read()
-            .expect("published slot poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone()
     }
 
     fn publish(&self, snapshot: ServiceSnapshot) {
-        *self.published.write().expect("published slot poisoned") = snapshot;
+        *self
+            .published
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = snapshot;
     }
 
     /// Whether the service retains publish-step deltas at all (ring capacity > 0).
     pub(crate) fn deltas_enabled(&self) -> bool {
         self.deltas
             .lock()
-            .expect("delta ring poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .is_enabled()
     }
 
     fn push_delta(&self, delta: Arc<SnapshotDelta>) {
-        self.deltas.lock().expect("delta ring poisoned").push(delta);
+        self.deltas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(delta);
     }
 
     /// The in-process sync protocol behind [`ReadHandle::sync_from`]: answers "what changed
     /// since revision `since`" with the cheapest sufficient response.
     pub(crate) fn sync_from(&self, since: Option<u64>) -> SyncResponse {
         let snapshot = self.published();
+        if snapshot.is_stale() {
+            self.serve
+                .stale_reads_served
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let revision = snapshot.revision();
         if let Some(since) = since {
             if since == revision {
@@ -390,7 +518,7 @@ impl ServiceShared {
                 let chain = self
                     .deltas
                     .lock()
-                    .expect("delta ring poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .chain(since, revision);
                 if let Some(deltas) = chain {
                     self.serve.deltas_served.fetch_add(1, Ordering::Relaxed);
@@ -441,6 +569,7 @@ pub struct ServiceBuilder {
     telemetry: Option<Telemetry>,
     delta_ring: usize,
     tracked_thresholds: Vec<Weight>,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for ServiceBuilder {
@@ -457,6 +586,7 @@ impl Default for ServiceBuilder {
             telemetry: None,
             delta_ring: 64,
             tracked_thresholds: Vec::new(),
+            faults: None,
         }
     }
 }
@@ -587,6 +717,17 @@ impl ServiceBuilder {
         self
     }
 
+    /// Arms a deterministic [`FaultPlan`] on the built pipeline: the plan is threaded to
+    /// every shard engine (`flush_panic` rules; `shard:<s>` indexes engines in shard order,
+    /// so on a sharded service the spill shard is `shard:<num_shards>`) and to the
+    /// submission queue (`queue_full` rules). Defaults to [`FaultPlan::from_env`] — a true
+    /// no-op unless `DYNSLD_FAULTS` is set — so the hooks cost one branch per site in
+    /// production.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Validates the configuration and builds the service (the owner of the shard engines).
     /// Interact with it through [`ClusterService::ingest_handle`],
     /// [`ClusterService::read_handle`], and a [`FlusherDriver`].
@@ -627,15 +768,20 @@ impl ServiceBuilder {
             self.num_shards + 1 // + the spill shard
         };
         let telemetry = self.telemetry.unwrap_or_else(Telemetry::from_env);
+        let faults = self.faults.unwrap_or_else(FaultPlan::from_env);
         let engines: Vec<ClusteringEngine> = (0..num_engines)
-            .map(|_| {
+            .map(|idx| {
                 let mut engine = ClusteringEngine::with_options(n, self.options);
                 engine.set_telemetry(telemetry.clone());
+                engine.set_faults(faults.clone(), idx);
                 engine
             })
             .collect();
-        let published =
-            ServiceSnapshot::merge(engines.iter().map(ClusteringEngine::snapshot).collect(), 0);
+        let published = ServiceSnapshot::merge(
+            engines.iter().map(ClusteringEngine::snapshot).collect(),
+            0,
+            vec![ShardHealth::Healthy; engines.len()],
+        );
         let router = match self.partitioner {
             PartitionerChoice::Pure(p) => Router::Pure(p),
             PartitionerChoice::Stateful(p) => Router::Stateful {
@@ -645,6 +791,8 @@ impl ServiceBuilder {
         };
         Ok(ClusterService {
             routed_events: vec![0; engines.len()],
+            health: vec![ShardHealth::Healthy; engines.len()],
+            journals: vec![Vec::new(); engines.len()],
             engines,
             num_shards: self.num_shards,
             router,
@@ -655,13 +803,20 @@ impl ServiceBuilder {
             edge_inserts_cut: 0,
             backpressure: self.backpressure,
             shared: Arc::new(ServiceShared {
-                queue: IngestQueue::new(self.queue_capacity, telemetry.clone()),
+                queue: IngestQueue::new(self.queue_capacity, telemetry.clone(), faults.clone()),
                 published: RwLock::new(published),
                 deltas: Mutex::new(DeltaRing::new(self.delta_ring)),
                 serve: ServeCounters::default(),
             }),
             tracked_thresholds: self.tracked_thresholds,
             telemetry,
+            vertices: n,
+            initial_vertices: n,
+            options: self.options,
+            faults,
+            panics_caught: 0,
+            quarantines: 0,
+            recoveries: 0,
         })
     }
 }
@@ -682,6 +837,11 @@ pub struct ServiceFlushReport {
     /// flush's snapshot, and it is empty on the default value (a drain that only performed
     /// per-shard threshold flushes).
     pub shard_event_loads: Vec<(ShardId, u64)>,
+    /// Per-shard health after this flush, in shard order. A shard that panicked during this
+    /// very flush shows up quarantined here (and contributes a no-op report). Populated by
+    /// every full service flush; inside a [`DrainReport`](crate::DrainReport) it holds the
+    /// latest full flush's view, and it is empty on the default value.
+    pub shard_health: Vec<(ShardId, ShardHealth)>,
     /// Wall-clock time of the whole service flush — the time the flushing thread was
     /// occupied, fan-out and joins included. With concurrent shard flushes this is less than
     /// [`shard_time_sum`](Self::shard_time_sum) (the pool overlaps shards) and at least
@@ -850,6 +1010,9 @@ impl ServiceFlushReport {
         if !other.shard_event_loads.is_empty() {
             self.shard_event_loads = other.shard_event_loads;
         }
+        if !other.shard_health.is_empty() {
+            self.shard_health = other.shard_health;
+        }
     }
 }
 
@@ -893,6 +1056,30 @@ pub struct ClusterService {
     /// The pipeline-wide telemetry registry (shared with every shard engine and the
     /// submission queue); a no-op unless enabled at build time.
     telemetry: Telemetry,
+    /// Per-engine health, parallel to `engines`. A quarantined engine is never submitted to
+    /// or flushed; its last published snapshot keeps backing the merged view, stale-flagged.
+    health: Vec<ShardHealth>,
+    /// Per-engine replay journals, parallel to `engines`: every accepted routed event and
+    /// every vertex growth, in routed order — the source [`recover_shard`](Self::recover_shard)
+    /// rebuilds a quarantined engine from. Memory grows with the accepted stream (one small
+    /// `Copy` entry per event).
+    journals: Vec<Vec<JournalEntry>>,
+    /// The authoritative vertex count. Tracked at the service level because a quarantined
+    /// engine skips growths (they are journaled and applied at recovery) and may lag.
+    vertices: usize,
+    /// The vertex count at construction — the base a recovery replay starts from.
+    initial_vertices: usize,
+    /// The per-engine options, kept so recovery can rebuild an engine from scratch.
+    options: DynSldOptions,
+    /// The armed fault plan (disabled by default). Recovered engines are deliberately not
+    /// re-armed: a plan describes one deterministic failure script, not a repeating schedule.
+    faults: FaultPlan,
+    /// Shard-flush panics caught by `catch_unwind` (injected or genuine).
+    panics_caught: u64,
+    /// Lifetime count of quarantine events.
+    quarantines: u64,
+    /// Lifetime count of successful shard recoveries.
+    recoveries: u64,
 }
 
 impl ClusterService {
@@ -952,9 +1139,26 @@ impl ClusterService {
         self.num_shards > 1
     }
 
-    /// Number of vertices (identical across shards).
+    /// Number of vertices (identical across healthy shards; a quarantined shard may lag
+    /// behind growths until recovery replays them).
     pub fn num_vertices(&self) -> usize {
-        self.engines[0].num_vertices()
+        self.vertices
+    }
+
+    /// Per-shard health, in shard order. All-healthy unless a flush panic quarantined a
+    /// shard (see [`ShardHealth`]).
+    pub fn shard_health(&self) -> Vec<(ShardId, ShardHealth)> {
+        self.health
+            .iter()
+            .enumerate()
+            .map(|(idx, h)| (self.id_of(idx), h.clone()))
+            .collect()
+    }
+
+    /// The armed fault-injection plan (disabled unless set via [`ServiceBuilder::faults`] or
+    /// `DYNSLD_FAULTS`).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The flush policy the service was built with.
@@ -1085,9 +1289,17 @@ impl ClusterService {
                 .record_duration("service.route_ns", start.elapsed());
         }
         let idx = self.index_of(id);
-        self.engines[idx]
-            .submit(event)
-            .map_err(|e| ServiceError::from_engine(id, e))?;
+        if self.health[idx].is_quarantined() {
+            // The torn engine cannot validate; the event is journaled as-is and validated
+            // during recovery replay, in routed order — exactly where the no-fault oracle
+            // would have validated it. The service keeps accepting ingest throughout.
+            self.journals[idx].push(JournalEntry::Event(event));
+        } else {
+            self.engines[idx]
+                .submit(event)
+                .map_err(|e| ServiceError::from_engine(id, e))?;
+            self.journals[idx].push(JournalEntry::Event(event));
+        }
         self.routed_events[idx] += 1;
         if id == ShardId::Spill {
             self.spill_events += 1;
@@ -1100,7 +1312,7 @@ impl ClusterService {
         }
         let mut flushed = None;
         if let FlushPolicy::EveryNOps(n) = self.policy {
-            if self.engines[idx].pending_ops() >= n.max(1) {
+            if !self.health[idx].is_quarantined() && self.engines[idx].pending_ops() >= n.max(1) {
                 flushed = Some((id, self.flush_shard_direct(id)?));
             }
         }
@@ -1145,7 +1357,10 @@ impl ClusterService {
     fn refresh_published(&mut self) {
         let current: Vec<u64> = self.engines.iter().map(ClusteringEngine::epoch).collect();
         let old = self.shared.published();
-        if old.epochs() == current {
+        // Health transitions republish even at an unchanged epoch vector: a quarantine must
+        // make the staleness flag visible to readers, and a recovery whose rebuilt epoch
+        // happens to collide with the stale one must still replace the served export.
+        if old.epochs() == current && old.shard_health() == self.health.as_slice() {
             return;
         }
         let new = ServiceSnapshot::merge(
@@ -1154,6 +1369,7 @@ impl ClusterService {
                 .map(ClusteringEngine::snapshot)
                 .collect(),
             old.revision() + 1,
+            self.health.clone(),
         );
         if self.shared.deltas_enabled() {
             let started = Instant::now();
@@ -1167,10 +1383,61 @@ impl ClusterService {
         self.shared.publish(new);
     }
 
+    /// A no-op report for a quarantined (or skipped) shard, at its last published epoch.
+    fn stale_noop_report(&self, idx: usize) -> FlushReport {
+        FlushReport {
+            epoch: self.engines[idx].epoch(),
+            ops_applied: 0,
+            changes: Vec::new(),
+            promoted: Vec::new(),
+            fast_path: 0,
+            fallback: 0,
+            duration: Duration::ZERO,
+            phases: FlushPhases::default(),
+        }
+    }
+
+    fn quarantine(&mut self, idx: usize, panic: String) {
+        self.health[idx] = ShardHealth::Quarantined { panic };
+        self.quarantines += 1;
+    }
+
+    /// Applies the retry-or-quarantine policy to one shard's caught flush outcome. An
+    /// injected entry-mode panic is retried once (nothing was consumed, so the retry sees
+    /// the identical buffer); anything else tears the engine and quarantines it, turning the
+    /// shard's contribution into a stale no-op report instead of an error — the service
+    /// keeps flushing its other shards and serving reads.
+    fn resolve_flush_outcome(
+        &mut self,
+        idx: usize,
+        outcome: CaughtFlush,
+    ) -> Result<FlushReport, EngineError> {
+        match outcome {
+            CaughtFlush::Skipped => Ok(self.stale_noop_report(idx)),
+            CaughtFlush::Completed(result) => result,
+            CaughtFlush::Panicked { message, retriable } => {
+                self.panics_caught += 1;
+                if retriable {
+                    if let CaughtFlush::Completed(result) = flush_catching(&mut self.engines[idx]) {
+                        return result;
+                    }
+                    self.panics_caught += 1;
+                }
+                self.quarantine(idx, message);
+                Ok(self.stale_noop_report(idx))
+            }
+        }
+    }
+
     pub(crate) fn flush_shard_direct(&mut self, id: ShardId) -> Result<FlushReport, ServiceError> {
         let idx = self.index_of(id);
-        let result = self.engines[idx]
-            .flush()
+        let outcome = if self.health[idx].is_quarantined() {
+            CaughtFlush::Skipped
+        } else {
+            flush_catching(&mut self.engines[idx])
+        };
+        let result = self
+            .resolve_flush_outcome(idx, outcome)
             .map_err(|e| ServiceError::from_engine(id, e));
         // Refresh even on failure: the engine may have published before erroring, and served
         // views must track whatever per-shard states actually exist.
@@ -1202,7 +1469,12 @@ impl ClusterService {
         if sequential {
             for idx in 0..self.engines.len() {
                 let id = self.id_of(idx);
-                match self.engines[idx].flush() {
+                let outcome = if self.health[idx].is_quarantined() {
+                    CaughtFlush::Skipped
+                } else {
+                    flush_catching(&mut self.engines[idx])
+                };
+                match self.resolve_flush_outcome(idx, outcome) {
                     Ok(report) => reports.push((id, report)),
                     Err(e) => {
                         failure = Some(ServiceError::from_engine(id, e));
@@ -1213,16 +1485,25 @@ impl ClusterService {
         } else {
             // Scoped fan-out over the fork-join pool: the engines are independent, every
             // borrowed `&mut` pair is disjoint, and each result lands in its shard's slot
-            // regardless of execution order.
-            let mut slots: Vec<Option<Result<FlushReport, EngineError>>> =
-                vec![None; self.engines.len()];
+            // regardless of execution order. A panicking shard is caught *inside* its own
+            // task, so one torn engine never unwinds through (or cancels) its siblings.
+            let mut slots: Vec<Option<CaughtFlush>> = self
+                .health
+                .iter()
+                .map(|h| h.is_quarantined().then_some(CaughtFlush::Skipped))
+                .collect();
             self.engines
                 .par_iter_mut()
                 .zip(slots.par_iter_mut())
-                .for_each(|(engine, slot)| *slot = Some(engine.flush()));
+                .for_each(|(engine, slot)| {
+                    if slot.is_none() {
+                        *slot = Some(flush_catching(engine));
+                    }
+                });
             for (idx, slot) in slots.into_iter().enumerate() {
                 let id = self.id_of(idx);
-                match slot.expect("every shard flush produces a result") {
+                let outcome = slot.expect("every shard flush produces a result");
+                match self.resolve_flush_outcome(idx, outcome) {
                     Ok(report) => reports.push((id, report)),
                     Err(e) => {
                         failure = failure.or(Some(ServiceError::from_engine(id, e)));
@@ -1244,6 +1525,7 @@ impl ClusterService {
                 reports,
                 shard_event_loads: self.shard_event_loads(),
                 wall_time,
+                shard_health: self.shard_health(),
             }),
         }
     }
@@ -1284,16 +1566,87 @@ impl ClusterService {
     /// shard publishes a fresh state at a bumped epoch. Under a stateful partitioner the
     /// [`AssignmentTable`] grows in lockstep — new vertices start unassigned and are pinned
     /// on their first routed edge, wherever that edge's locality pulls them.
+    ///
+    /// Quarantined shards are skipped (their torn engine is never touched) but the growth is
+    /// journaled, so [`ClusterService::recover_shard`] replays it at the right position and
+    /// the recovered shard agrees with its healthy siblings on the vertex count.
     pub fn add_vertices(&mut self, k: usize) -> VertexId {
-        let mut first = VertexId(self.num_vertices() as u32);
-        for engine in &mut self.engines {
-            first = engine.add_vertices(k);
+        let first = VertexId(self.vertices as u32);
+        if k == 0 {
+            return first;
+        }
+        self.vertices += k;
+        for (idx, engine) in self.engines.iter_mut().enumerate() {
+            if !self.health[idx].is_quarantined() {
+                engine.add_vertices(k);
+            }
+            self.journals[idx].push(JournalEntry::Grow(k));
         }
         if let Router::Stateful { table, .. } = &mut self.router {
             table.grow(k);
         }
         self.refresh_published();
         first
+    }
+
+    /// Rebuilds a quarantined shard from scratch and replays its event journal.
+    ///
+    /// The replacement engine starts from the service's initial vertex count and options,
+    /// then re-applies the shard's entire routed history — every accepted event and every
+    /// vertex-set growth, in original order — and flushes once. Events the original engine
+    /// rejected (and events submitted *after* the quarantine, which were journaled
+    /// unvalidated) are validated during replay; rejections are collected into
+    /// [`RecoveryReport::rejected`] rather than aborting the rebuild. The result is
+    /// bit-identical to a shard that never panicked, because coalescing is
+    /// flush-boundary-independent and the dendrogram is a pure function of the accepted
+    /// event sequence.
+    ///
+    /// Calling this on a healthy shard is a no-op (`events_replayed == 0`). The recovered
+    /// engine is *not* re-armed with the service's fault plan — recovery is the exit from
+    /// the fault experiment, not another round of it.
+    pub fn recover_shard(&mut self, id: ShardId) -> Result<RecoveryReport, ServiceError> {
+        let idx = self.index_of(id);
+        if !self.health[idx].is_quarantined() {
+            return Ok(RecoveryReport {
+                shard: id,
+                events_replayed: 0,
+                rejected: Vec::new(),
+                epoch: self.engines[idx].epoch(),
+            });
+        }
+        let mut engine = ClusteringEngine::with_options(self.initial_vertices, self.options);
+        engine.set_telemetry(self.telemetry.clone());
+        let mut events_replayed = 0;
+        let mut rejected = Vec::new();
+        for entry in &self.journals[idx] {
+            match *entry {
+                JournalEntry::Event(event) => {
+                    events_replayed += 1;
+                    if let Err(e) = engine.submit(event) {
+                        rejected.push(ServiceError::from_engine(id, e));
+                    }
+                }
+                JournalEntry::Grow(k) => {
+                    engine.add_vertices(k);
+                }
+            }
+        }
+        if engine.pending_ops() > 0 {
+            engine
+                .flush()
+                .map_err(|e| ServiceError::from_engine(id, e))?;
+        }
+        let epoch = engine.epoch();
+        self.engines[idx] = engine;
+        self.health[idx] = ShardHealth::Healthy;
+        self.recoveries += 1;
+        self.refresh_published();
+        Ok(RecoveryReport {
+            shard: id,
+            events_replayed,
+            rejected,
+            epoch,
+        })
     }
 
     /// Cross-shard aggregated counters: the per-shard [`Metrics`] merged with
@@ -1320,6 +1673,11 @@ impl ClusterService {
         merged.deltas_served = serve.deltas_served.load(Ordering::Relaxed);
         merged.delta_bytes_out = serve.delta_bytes_out.load(Ordering::Relaxed);
         merged.full_fallbacks = serve.full_fallbacks.load(Ordering::Relaxed);
+        merged.shard_panics_caught = self.panics_caught;
+        merged.shards_quarantined = self.quarantines;
+        merged.shard_recoveries = self.recoveries;
+        merged.wire_timeouts = serve.wire_timeouts.load(Ordering::Relaxed);
+        merged.stale_reads_served = serve.stale_reads_served.load(Ordering::Relaxed);
         merged
     }
 
@@ -1336,6 +1694,9 @@ struct ServiceSnapshotInner {
     revision: u64,
     /// Per-shard snapshots, routed shards first, spill shard last.
     shards: Vec<EngineSnapshot>,
+    /// Per-shard health at publish time, aligned with `shards`. A quarantined entry means
+    /// that shard's snapshot is its last pre-panic publication — served stale, by design.
+    health: Vec<ShardHealth>,
     /// Merged flat clusterings by threshold, shared across every clone of this view.
     merged: ThresholdCache,
 }
@@ -1354,18 +1715,28 @@ pub struct ServiceSnapshot {
 }
 
 impl ServiceSnapshot {
-    fn merge(shards: Vec<EngineSnapshot>, revision: u64) -> Self {
+    fn merge(shards: Vec<EngineSnapshot>, revision: u64, health: Vec<ShardHealth>) -> Self {
         debug_assert!(!shards.is_empty());
+        debug_assert_eq!(shards.len(), health.len());
+        // Healthy shards must agree on the vertex set; a quarantined shard may lag behind
+        // (vertex growth after its panic is journaled, not applied to the torn engine).
         debug_assert!(
-            shards
-                .windows(2)
-                .all(|w| w[0].num_vertices() == w[1].num_vertices()),
-            "shards must agree on the vertex set"
+            {
+                let healthy_n: Vec<usize> = shards
+                    .iter()
+                    .zip(&health)
+                    .filter(|(_, h)| !h.is_quarantined())
+                    .map(|(s, _)| s.num_vertices())
+                    .collect();
+                healthy_n.windows(2).all(|w| w[0] == w[1])
+            },
+            "healthy shards must agree on the vertex set"
         );
         ServiceSnapshot {
             inner: Arc::new(ServiceSnapshotInner {
                 revision,
                 shards,
+                health,
                 merged: ThresholdCache::default(),
             }),
         }
@@ -1392,9 +1763,48 @@ impl ServiceSnapshot {
         &self.inner.shards
     }
 
-    /// Number of vertices.
+    /// Number of vertices. With a quarantined shard in the view this is the *largest*
+    /// per-shard vertex count: a stale shard that panicked before a vertex-set growth lags
+    /// behind its healthy siblings, and merged answers are sized for the grown set (the
+    /// stale shard simply contributes no edges among the vertices it has never seen).
     pub fn num_vertices(&self) -> usize {
-        self.inner.shards[0].num_vertices()
+        self.inner
+            .shards
+            .iter()
+            .map(EngineSnapshot::num_vertices)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-shard health at publish time, aligned with [`ServiceSnapshot::shard_snapshots`].
+    pub fn shard_health(&self) -> &[ShardHealth] {
+        &self.inner.health
+    }
+
+    /// Whether any shard in this view is quarantined — i.e. whether some of the merged
+    /// answers come from a last-known-good state rather than the live stream. Strict
+    /// readers reject such views ([`ReadHandle::snapshot_strict`]); availability-first
+    /// readers serve them and count [`Metrics::stale_reads_served`].
+    pub fn is_stale(&self) -> bool {
+        self.inner.health.iter().any(ShardHealth::is_quarantined)
+    }
+
+    /// The quarantined shards in this view, by id (empty when fresh).
+    pub fn stale_shards(&self) -> Vec<ShardId> {
+        let len = self.inner.health.len();
+        self.inner
+            .health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.is_quarantined())
+            .map(|(idx, _)| {
+                if len > 1 && idx == len - 1 {
+                    ShardId::Spill
+                } else {
+                    ShardId::Routed(idx)
+                }
+            })
+            .collect()
     }
 
     /// Number of alive graph edges across all shards (the shard edge sets are disjoint, so
@@ -2307,5 +2717,134 @@ mod tests {
                 "clusterings diverged at tau={tau}"
             );
         }
+    }
+
+    /// Blocks of 4 over 8 vertices, 2 routed shards + spill, armed with a fault plan.
+    fn faulted(spec: &str) -> ClusterService {
+        ServiceBuilder::new()
+            .vertices(8)
+            .shards(2)
+            .partitioner(BlockPartitioner { block_size: 4 })
+            .faults(FaultPlan::parse(spec).expect("valid fault spec"))
+            .build()
+            .expect("valid test configuration")
+    }
+
+    fn assert_views_identical(a: &ServiceSnapshot, b: &ServiceSnapshot) {
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_graph_edges(), b.num_graph_edges());
+        for tau in [0.5, 1.5, 2.5, 3.5, 5.0, f64::INFINITY] {
+            let (ca, cb) = (a.flat_clustering(tau), b.flat_clustering(tau));
+            assert_eq!(ca.labels, cb.labels, "labels diverged at tau={tau}");
+            assert_eq!(ca.clusters, cb.clusters, "members diverged at tau={tau}");
+        }
+    }
+
+    #[test]
+    fn entry_panic_is_caught_and_retried_transparently() {
+        let mut svc = faulted("flush_panic=shard:0,flush:1,entry");
+        let stream = [ins(0, 1, 1.0), ins(4, 5, 2.0)];
+        submit_all(&mut svc, stream).unwrap();
+        let report = svc.flush_direct().unwrap();
+        // The entry panic fired before anything was consumed, so one transparent retry
+        // completes the flush: no quarantine, and the state matches the no-fault oracle.
+        assert!(report.shard_health.iter().all(|(_, h)| !h.is_quarantined()));
+        let metrics = svc.metrics();
+        assert_eq!(metrics.shard_panics_caught, 1);
+        assert_eq!(metrics.shards_quarantined, 0);
+        let mut oracle = blocked(2, 8, FlushPolicy::Manual);
+        submit_all(&mut oracle, stream).unwrap();
+        oracle.flush_direct().unwrap();
+        assert_views_identical(&svc.published(), &oracle.published());
+    }
+
+    #[test]
+    fn torn_panic_quarantines_the_shard_and_keeps_serving_stale() {
+        let mut svc = faulted("flush_panic=shard:0,flush:2");
+        submit_all(&mut svc, [ins(0, 1, 1.0), ins(4, 5, 2.0)]).unwrap();
+        svc.flush_direct().unwrap();
+        // Second non-empty flush of shard 0 panics mid-batch (after the deletion half).
+        submit_all(&mut svc, [ins(1, 2, 3.0), ins(5, 6, 4.0)]).unwrap();
+        let report = svc
+            .flush_direct()
+            .expect("flush isolates the panic, not errors");
+        assert_eq!(report.shard_health[0].0, ShardId::Routed(0));
+        assert!(report.shard_health[0].1.is_quarantined());
+        let snap = svc.published();
+        assert!(snap.is_stale());
+        assert_eq!(snap.stale_shards(), vec![ShardId::Routed(0)]);
+        // Shard 0 serves its last-published epoch: the pre-panic edge is there, the torn
+        // flush's edge is not — while shard 1's concurrent flush landed normally.
+        assert!(snap.same_cluster(v(0), v(1), 1.5));
+        assert!(!snap.same_cluster(v(1), v(2), 5.0));
+        assert!(snap.same_cluster(v(5), v(6), 5.0));
+        // Ingest into the quarantined shard keeps being accepted (journaled for recovery).
+        submit(&mut svc, ins(2, 3, 1.0)).unwrap();
+        // Strict readers refuse the stale view; availability readers serve and count it.
+        let read = svc.read_handle();
+        assert!(matches!(
+            read.snapshot_strict(),
+            Err(ServiceError::ShardQuarantined {
+                shard: ShardId::Routed(0)
+            })
+        ));
+        let _ = read.snapshot();
+        let metrics = svc.metrics();
+        assert_eq!(metrics.shard_panics_caught, 1);
+        assert_eq!(metrics.shards_quarantined, 1);
+        assert_eq!(metrics.stale_reads_served, 1);
+    }
+
+    #[test]
+    fn recovered_shard_is_bit_identical_to_the_no_fault_oracle() {
+        let mut svc = faulted("flush_panic=shard:0,flush:2");
+        let phase1 = [ins(0, 1, 1.0), ins(2, 3, 2.0), ins(4, 5, 3.0)];
+        let phase2 = [ins(1, 2, 4.0), del(2, 3), ins(5, 6, 1.5)];
+        // Submitted *after* the quarantine: journaled unvalidated, validated on replay.
+        let phase3 = [ins(0, 3, 2.5), ins(6, 7, 0.5)];
+        submit_all(&mut svc, phase1).unwrap();
+        svc.flush_direct().unwrap();
+        submit_all(&mut svc, phase2).unwrap();
+        svc.flush_direct().unwrap();
+        assert!(svc.published().is_stale());
+        submit_all(&mut svc, phase3).unwrap();
+        // Vertex growth while quarantined is journaled too, so the recovered shard agrees
+        // with its siblings on the grown vertex set.
+        svc.add_vertices(2);
+        svc.flush_direct().unwrap();
+        let recovery = svc.recover_shard(ShardId::Routed(0)).unwrap();
+        assert_eq!(recovery.shard, ShardId::Routed(0));
+        assert!(recovery.rejected.is_empty(), "the stream was valid");
+        assert!(recovery.events_replayed > 0);
+        assert!(!svc.published().is_stale());
+        // Recovering a healthy shard is a no-op.
+        let noop = svc.recover_shard(ShardId::Routed(0)).unwrap();
+        assert_eq!(noop.events_replayed, 0);
+        let metrics = svc.metrics();
+        assert_eq!(metrics.shard_panics_caught, 1);
+        assert_eq!(metrics.shards_quarantined, 1);
+        assert_eq!(metrics.shard_recoveries, 1);
+        // The oracle never saw a fault; after recovery the views are bit-identical.
+        let mut oracle = blocked(2, 8, FlushPolicy::Manual);
+        submit_all(&mut oracle, phase1).unwrap();
+        oracle.flush_direct().unwrap();
+        submit_all(&mut oracle, phase2).unwrap();
+        oracle.flush_direct().unwrap();
+        submit_all(&mut oracle, phase3).unwrap();
+        oracle.add_vertices(2);
+        oracle.flush_direct().unwrap();
+        assert_views_identical(&svc.published(), &oracle.published());
+    }
+
+    #[test]
+    fn flush_report_carries_health_and_absorb_keeps_the_latest() {
+        let mut svc = blocked(2, 8, FlushPolicy::Manual);
+        submit(&mut svc, ins(0, 1, 1.0)).unwrap();
+        let report = svc.flush_direct().unwrap();
+        assert_eq!(report.shard_health.len(), 3); // 2 routed + spill
+        assert!(report.shard_health.iter().all(|(_, h)| !h.is_quarantined()));
+        let mut base = ServiceFlushReport::default();
+        base.absorb(report.clone());
+        assert_eq!(base.shard_health, report.shard_health);
     }
 }

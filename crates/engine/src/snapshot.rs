@@ -14,7 +14,7 @@ use dynsld::{DendrogramSnapshot, FlatClustering};
 use dynsld_forest::{VertexId, Weight};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Shared cache-effectiveness counters, aggregated across all snapshots of one engine.
 #[derive(Debug, Default)]
@@ -37,10 +37,15 @@ pub(crate) struct ThresholdCache {
 
 impl ThresholdCache {
     /// The cached clustering at `tau`, if any.
+    ///
+    /// Poisoning is recovered, not propagated: the lock only guards a memo map whose entries
+    /// are immutable once inserted, so a reader that panicked mid-critical-section (e.g. an
+    /// injected fault unwinding through a caught flush) cannot have left a torn value —
+    /// worst case the cache misses and the clustering is recomputed.
     pub(crate) fn lookup(&self, tau: Weight) -> Option<Arc<FlatClustering>> {
         self.map
             .lock()
-            .expect("threshold cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&tau.to_bits())
             .cloned()
     }
@@ -48,7 +53,7 @@ impl ThresholdCache {
     /// Commits a clustering computed outside the lock; if a racing reader committed first,
     /// theirs is kept (the values are equal) and returned.
     pub(crate) fn commit(&self, tau: Weight, computed: FlatClustering) -> Arc<FlatClustering> {
-        let mut map = self.map.lock().expect("threshold cache poisoned");
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(
             map.entry(tau.to_bits())
                 .or_insert_with(|| Arc::new(computed)),

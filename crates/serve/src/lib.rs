@@ -55,7 +55,7 @@ pub mod wire;
 
 pub use codec::{CodecError, SnapshotParts, WireMessage};
 pub use mirror::{Mirror, MirrorError};
-pub use wire::{DeltaServer, WireError, WireSubscriber};
+pub use wire::{DeltaServer, ServerOptions, WireConfig, WireError, WireStats, WireSubscriber};
 
 use dynsld_engine::{ReadHandle, SyncResponse};
 use dynsld_telemetry::Telemetry;

@@ -10,7 +10,7 @@ use dynsld::{DendrogramSnapshot, FlatClustering};
 use dynsld_engine::{merge_flat_clusterings, Patch, ServiceSnapshot};
 use dynsld_forest::{VertexId, Weight};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::codec::SnapshotParts;
 
@@ -131,7 +131,10 @@ impl Mirror {
         }
         self.revision = patch.to_revision;
         self.epochs = patch.to_epochs.clone();
-        self.cache.lock().expect("mirror cache poisoned").clear();
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         Ok(())
     }
 
@@ -150,9 +153,15 @@ impl Mirror {
         &self.shards
     }
 
-    /// Number of vertices.
+    /// Number of vertices — the largest per-shard count, mirroring
+    /// [`ServiceSnapshot::num_vertices`]: a published view containing a quarantined (stale)
+    /// shard can carry one shard that lags behind a vertex-set growth.
     pub fn num_vertices(&self) -> usize {
-        self.shards.first().map_or(0, |s| s.num_vertices)
+        self.shards
+            .iter()
+            .map(|s| s.num_vertices)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of alive graph edges across all shards.
@@ -167,7 +176,7 @@ impl Mirror {
         if let Some(hit) = self
             .cache
             .lock()
-            .expect("mirror cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&tau.to_bits())
         {
             return Arc::clone(hit);
@@ -182,7 +191,7 @@ impl Mirror {
         let merged = Arc::new(merged);
         self.cache
             .lock()
-            .expect("mirror cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(tau.to_bits())
             .or_insert(merged)
             .clone()

@@ -16,9 +16,9 @@
 //! three endpoints and writes the JSON bodies there (`head.json`, `snapshot.json`,
 //! `delta.json`) so external tooling can validate the wire payloads.
 
-use dynsld_engine::{FlushPolicy, GreedyPartitioner, ServiceBuilder};
+use dynsld_engine::{FaultPlan, FlushPolicy, GreedyPartitioner, ServiceBuilder};
 use dynsld_forest::workload::GraphWorkloadBuilder;
-use dynsld_serve::{DeltaServer, SyncOutcome, WireSubscriber};
+use dynsld_serve::{DeltaServer, ServerOptions, SyncOutcome, WireSubscriber};
 use dynsld_telemetry::Telemetry;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -70,7 +70,19 @@ fn main() {
         .expect("valid configuration");
     let ingest = service.ingest_handle();
     let read = service.read_handle();
-    let server = DeltaServer::bind("127.0.0.1:0", read.clone(), telemetry.clone()).expect("bind");
+    // The server honours `DYNSLD_FAULTS` connection rules (`drop_conn`, `delay`,
+    // `torn_write`), so CI can run this example under injected wire faults and let the
+    // subscribers' retry loops absorb them.
+    let server = DeltaServer::bind_with(
+        "127.0.0.1:0",
+        read.clone(),
+        telemetry.clone(),
+        ServerOptions {
+            faults: FaultPlan::from_env(),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
     let addr = server.local_addr();
     println!("delta server on {addr}");
 
@@ -136,8 +148,11 @@ fn main() {
             a.clusters, b.clusters,
             "subscriber {i}: member lists diverged"
         );
+        let stats = subscriber.stats();
         println!(
-            "subscriber {i}: {unchanged} unchanged (304), {patched} patched, {refreshed} full"
+            "subscriber {i}: {unchanged} unchanged (304), {patched} patched, {refreshed} full, \
+             {} wire retries, {} timeouts",
+            stats.retries, stats.timeouts
         );
     }
     println!(
