@@ -39,6 +39,39 @@ pub enum UpdateStrategy {
     ParallelOutputSensitive,
 }
 
+/// Which dynamic-forest backend the graph layer (`dynsld-msf`) uses for replacement-edge
+/// search when a tree edge is deleted.
+///
+/// `DynSld` itself does not consult this option — it is carried here so one options value
+/// configures the whole stack (engine shards, journal-replay recovery, and the test suite's
+/// env-selected runs all construct through [`DynSldOptions`]). Both backends produce
+/// bit-identical MSF changes, dendrograms, and clusterings; they differ only in how much
+/// work a deletion's replacement search performs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum ForestBackend {
+    /// Scan the non-tree edges incident to the smaller side of the cut:
+    /// `O(min-side non-tree degree · log n)` per tree-edge deletion. The default.
+    #[default]
+    Scan,
+    /// Holm–de Lichtenberg–Thorup-style level structure: edges carry levels and the search
+    /// amortizes candidate examinations over level promotions, examining only the candidates
+    /// stored at the levels the cut actually touches.
+    Hdt,
+}
+
+impl ForestBackend {
+    /// The backend selected by the `DYNSLD_MSF_BACKEND` environment variable (`scan` |
+    /// `hdt`, case-insensitive), or [`ForestBackend::Scan`] when unset or unrecognised.
+    /// [`DynSldOptions::default`] uses this, so the whole stack — engines, recovery
+    /// rebuilds, tests — flips backend under `DYNSLD_MSF_BACKEND=hdt`.
+    pub fn from_env() -> Self {
+        match std::env::var("DYNSLD_MSF_BACKEND") {
+            Ok(s) if s.eq_ignore_ascii_case("hdt") => ForestBackend::Hdt,
+            _ => ForestBackend::Scan,
+        }
+    }
+}
+
 /// Construction-time options for [`DynSld`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct DynSldOptions {
@@ -48,6 +81,10 @@ pub struct DynSldOptions {
     /// update algorithms and by the `O(log n)` cluster-size query; costs `O(log n)` extra per
     /// structural change.
     pub maintain_spine_index: bool,
+    /// Replacement-search backend used by the graph layer (`dynsld-msf`); ignored by
+    /// forest-level `DynSld` usage. Defaults to `DYNSLD_MSF_BACKEND` (see
+    /// [`ForestBackend::from_env`]).
+    pub msf_backend: ForestBackend,
 }
 
 impl Default for DynSldOptions {
@@ -55,6 +92,7 @@ impl Default for DynSldOptions {
         DynSldOptions {
             strategy: UpdateStrategy::Sequential,
             maintain_spine_index: false,
+            msf_backend: ForestBackend::from_env(),
         }
     }
 }
@@ -69,6 +107,7 @@ impl DynSldOptions {
         DynSldOptions {
             strategy,
             maintain_spine_index,
+            ..Default::default()
         }
     }
 }

@@ -71,7 +71,7 @@ pub mod static_sld;
 
 pub use cartesian::CartesianTree;
 pub use dendrogram::Dendrogram;
-pub use dynsld::{DynSld, DynSldError, DynSldOptions, UpdateStats, UpdateStrategy};
+pub use dynsld::{DynSld, DynSldError, DynSldOptions, ForestBackend, UpdateStats, UpdateStrategy};
 pub use queries::FlatClustering;
 pub use snapshot::{DendrogramSnapshot, ExportStats, SnapshotNode};
 pub use static_sld::{static_sld_kruskal, static_sld_parallel};

@@ -264,6 +264,7 @@ mod tests {
         DynSldOptions {
             maintain_spine_index: true,
             strategy: UpdateStrategy::Sequential,
+            ..Default::default()
         }
     }
 

@@ -228,6 +228,7 @@ mod tests {
         let options = DynSldOptions {
             maintain_spine_index: true,
             strategy: UpdateStrategy::Sequential,
+            ..Default::default()
         };
         let mut d = DynSld::from_forest(inst.build_forest(), options);
         for up in wb.churn_stream(150, 6) {

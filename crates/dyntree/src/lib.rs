@@ -25,8 +25,16 @@
 //! itself (parallel construction, path decomposition, batch queries). See DESIGN.md §1
 //! (substitution 3) for the rationale.
 
+//!
+//! Both structures implement the [`traits`] capability family — [`DynamicForest`] for
+//! link/cut/connectivity, [`PathOps`] (link-cut tree) for path aggregates, and
+//! [`ComponentOps`] (Euler-tour forest) for component queries — so downstream code can be
+//! generic over the forest backend (see the `ForestBackend` policy in `dynsld-msf`).
+
 pub mod euler;
 pub mod lct;
+pub mod traits;
 
 pub use euler::EulerTourForest;
 pub use lct::{LctNodeId, LinkCutTree};
+pub use traits::{ComponentOps, DynamicForest, ExpandableForest, PathOps};

@@ -67,6 +67,11 @@ pub struct FlushPhases {
     /// Kruskal-style batch classification (forest-vs-cycle on insert, tree/non-tree split
     /// plus replacement-candidate search on delete).
     pub classify: Duration,
+    /// The portion of [`classify`](Self::classify) spent in the forest backend's replacement
+    /// search on deletion batches — a *child* of the classify phase, not an additional one,
+    /// so it is excluded from [`total`](Self::total). This is the slice that
+    /// `DynSldOptions::msf_backend` changes; see `msf.replacement_ns` in the telemetry.
+    pub replacement: Duration,
     /// Mutating the MSF/dendrogram: `batch_insert`/`batch_delete`, fallbacks, promotions.
     pub apply: Duration,
     /// `export_snapshot` — walking the dendrogram into the immutable snapshot form.
@@ -76,7 +81,8 @@ pub struct FlushPhases {
 }
 
 impl FlushPhases {
-    /// Sum of all phases (the instrumented share of the flush wall time).
+    /// Sum of all disjoint phases (the instrumented share of the flush wall time).
+    /// [`replacement`](Self::replacement) is a child of `classify` and is not added again.
     pub fn total(&self) -> Duration {
         self.coalesce + self.classify + self.apply + self.export + self.publish
     }
@@ -86,6 +92,7 @@ impl FlushPhases {
         FlushPhases {
             coalesce: self.coalesce + other.coalesce,
             classify: self.classify + other.classify,
+            replacement: self.replacement + other.replacement,
             apply: self.apply + other.apply,
             export: self.export + other.export,
             publish: self.publish + other.publish,
@@ -124,6 +131,9 @@ struct Counters {
     fast_path_ops: u64,
     fallback_ops: u64,
     edges_promoted: u64,
+    replacement_edges_scanned: u64,
+    level_promotions: u64,
+    replacement_searches: u64,
     total_flush_time: Duration,
     max_flush_time: Duration,
 }
@@ -302,6 +312,7 @@ impl ClusteringEngine {
             fallback += outcome.fallback;
             promoted = outcome.promoted;
             phases.classify += outcome.classify_time;
+            phases.replacement += outcome.replacement_time;
             phases.apply += outcome.apply_time;
         }
         // Fault checkpoint (torn): the buffer is drained and the deletion batch is already
@@ -317,6 +328,7 @@ impl ClusteringEngine {
             fast_path += outcome.fast_path;
             fallback += outcome.fallback;
             phases.classify += outcome.classify_time;
+            phases.replacement += outcome.replacement_time;
             phases.apply += outcome.apply_time;
         }
 
@@ -339,6 +351,9 @@ impl ClusteringEngine {
                 .record_duration("engine.coalesce_ns", phases.coalesce);
             self.telemetry
                 .record_duration("engine.classify_ns", phases.classify);
+            // Child of classify: the forest backend's replacement-search slice.
+            self.telemetry
+                .record_duration("msf.replacement_ns", phases.replacement);
             self.telemetry
                 .record_duration("engine.apply_ns", phases.apply);
             self.telemetry
@@ -353,6 +368,10 @@ impl ClusteringEngine {
         self.counters.fast_path_ops += fast_path as u64;
         self.counters.fallback_ops += fallback as u64;
         self.counters.edges_promoted += promoted.len() as u64;
+        let work = self.graph.take_work_counters();
+        self.counters.replacement_edges_scanned += work.replacement_edges_scanned;
+        self.counters.level_promotions += work.level_promotions;
+        self.counters.replacement_searches += work.replacement_searches;
         self.counters.total_flush_time += duration;
         self.counters.max_flush_time = self.counters.max_flush_time.max(duration);
 
@@ -420,6 +439,9 @@ impl ClusteringEngine {
             fast_path_ops: self.counters.fast_path_ops,
             fallback_ops: self.counters.fallback_ops,
             edges_promoted: self.counters.edges_promoted,
+            replacement_edges_scanned: self.counters.replacement_edges_scanned,
+            level_promotions: self.counters.level_promotions,
+            replacement_searches: self.counters.replacement_searches,
             total_pointer_changes: self.graph.sld().stats().total_pointer_changes,
             total_flush_time: self.counters.total_flush_time,
             max_flush_time: self.counters.max_flush_time,
@@ -658,22 +680,63 @@ mod tests {
         assert!(report.phases.export > Duration::ZERO);
         assert!(report.phases.publish > Duration::ZERO);
         assert!(report.phases.total() <= report.duration);
-        // Deleting a tree edge exercises the classify (replacement search) phase too.
+        // Deleting a tree edge exercises the classify (replacement search) phase too; the
+        // backend's search slice is reported as a child of classify, never exceeding it.
         engine.submit(del(0, 1)).unwrap();
         let report = engine.flush().unwrap();
         assert!(report.phases.classify > Duration::ZERO);
+        assert!(report.phases.replacement > Duration::ZERO);
+        assert!(report.phases.replacement <= report.phases.classify);
 
         let snap = telemetry.snapshot();
         let flush_hist = snap.histogram("engine.flush_ns").expect("flush histogram");
         assert_eq!(flush_hist.count, 2);
+        let repl_hist = snap
+            .histogram("msf.replacement_ns")
+            .expect("replacement histogram");
+        assert_eq!(repl_hist.count, 2);
         assert_eq!(snap.counter("engine.flushes"), Some(2));
         assert_eq!(snap.trace.total_events(), 4); // two begin/end pairs
         snap.trace.check_well_formed().expect("balanced spans");
 
-        // merge() aggregates element-wise.
+        // merge() aggregates element-wise (the replacement child merges too but stays out
+        // of total(), which sums only the disjoint phases).
         let merged = report.phases.merge(&report.phases);
         assert_eq!(merged.apply, report.phases.apply * 2);
+        assert_eq!(merged.replacement, report.phases.replacement * 2);
         assert_eq!(merged.total(), report.phases.total() * 2);
+    }
+
+    #[test]
+    fn metrics_surface_forest_backend_work_counters() {
+        for backend in [dynsld::ForestBackend::Scan, dynsld::ForestBackend::Hdt] {
+            let mut engine = ClusteringEngine::with_options(
+                8,
+                DynSldOptions {
+                    msf_backend: backend,
+                    ..Default::default()
+                },
+            );
+            engine
+                .submit_all([
+                    ins(0, 1, 1.0),
+                    ins(1, 2, 2.0),
+                    ins(0, 2, 9.0), // reserve edge bridging the 0-1 cut
+                ])
+                .unwrap();
+            engine.flush().unwrap();
+            engine.submit(del(0, 1)).unwrap();
+            engine.flush().unwrap();
+            let m = engine.metrics();
+            assert!(
+                m.replacement_searches >= 1,
+                "{backend:?}: tree deletion runs a search"
+            );
+            assert!(
+                m.replacement_edges_scanned >= 1,
+                "{backend:?}: the bridging candidate is examined"
+            );
+        }
     }
 
     #[test]

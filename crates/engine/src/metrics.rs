@@ -71,6 +71,19 @@ pub struct Metrics {
     pub fallback_ops: u64,
     /// Reserve edges promoted into the MSF by deletion batches.
     pub edges_promoted: u64,
+    /// Replacement candidates the forest backend examined while repairing deleted tree
+    /// edges (scan backend: reserve entries visited; HDT backend: candidates gathered at the
+    /// levels a search touched). The head-to-head work metric of
+    /// `DynSldOptions::msf_backend` — both backends produce identical results while scanning
+    /// very different candidate counts.
+    pub replacement_edges_scanned: u64,
+    /// Non-tree edges the HDT forest backend moved one level up (always zero on the scan
+    /// backend). Promotions are the amortization currency of the level structure: each one
+    /// pays for a candidate examination that later searches no longer repeat.
+    pub level_promotions: u64,
+    /// Replacement searches the forest backend ran (one per tree-edge deletion, plus one per
+    /// insertion-eviction on the HDT backend, which replays evictions through the search).
+    pub replacement_searches: u64,
     /// Dendrogram parent-pointer changes since construction (sum of the paper's `c` over all
     /// updates), read from [`dynsld::UpdateStats`].
     pub total_pointer_changes: u64,
@@ -149,6 +162,9 @@ impl Metrics {
             out.fast_path_ops += m.fast_path_ops;
             out.fallback_ops += m.fallback_ops;
             out.edges_promoted += m.edges_promoted;
+            out.replacement_edges_scanned += m.replacement_edges_scanned;
+            out.level_promotions += m.level_promotions;
+            out.replacement_searches += m.replacement_searches;
             out.total_pointer_changes += m.total_pointer_changes;
             out.total_flush_time += m.total_flush_time;
             out.max_flush_time = out.max_flush_time.max(m.max_flush_time);
@@ -300,6 +316,9 @@ mod tests {
             fast_path_ops: 75 + k,
             fallback_ops: 25 + k,
             edges_promoted: 7 * k,
+            replacement_edges_scanned: 200 + 9 * k,
+            level_promotions: 6 + 3 * k,
+            replacement_searches: 40 + k,
             total_pointer_changes: 1000 + k,
             total_flush_time: Duration::from_millis(100 * (k + 1)),
             max_flush_time: Duration::from_millis(40 + 13 * k),
@@ -341,6 +360,10 @@ mod tests {
         assert_eq!(merged.fast_path_ops, 75 + 76 + 77);
         assert_eq!(merged.fallback_ops, 25 + 26 + 27);
         assert_eq!(merged.edges_promoted, 7 + 14);
+        // The forest-backend work counters are plain sums across shards.
+        assert_eq!(merged.replacement_edges_scanned, 200 + 209 + 218);
+        assert_eq!(merged.level_promotions, 6 + 9 + 12);
+        assert_eq!(merged.replacement_searches, 40 + 41 + 42);
         assert_eq!(merged.total_pointer_changes, 1000 + 1001 + 1002);
         // Total time sums, the slowest single flush is kept — NOT summed.
         assert_eq!(merged.total_flush_time, Duration::from_millis(600));

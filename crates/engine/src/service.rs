@@ -45,7 +45,7 @@ use crate::partition::{
 };
 use crate::snapshot::EngineSnapshot;
 use crate::snapshot::ThresholdCache;
-use dynsld::{DynSldError, DynSldOptions, FlatClustering};
+use dynsld::{DynSldError, DynSldOptions, FlatClustering, ForestBackend};
 use dynsld_forest::workload::GraphUpdate;
 use dynsld_forest::{VertexId, Weight};
 use dynsld_telemetry::Telemetry;
@@ -72,6 +72,14 @@ pub enum ConfigError {
         /// The vertex count that was asked for.
         requested: usize,
     },
+    /// A [`ServiceBuilder::shard_msf_backend`] override named a shard index the built
+    /// service will not have.
+    ShardIndexOutOfRange {
+        /// The shard index the override named.
+        shard: usize,
+        /// How many engines the configuration builds (routed shards plus any spill shard).
+        engines: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -93,6 +101,11 @@ impl std::fmt::Display for ConfigError {
             ConfigError::VertexCountOverflow { requested } => write!(
                 f,
                 "vertex count {requested} exceeds the u32-indexed VertexId space"
+            ),
+            ConfigError::ShardIndexOutOfRange { shard, engines } => write!(
+                f,
+                "shard_msf_backend({shard}, ..): the configuration builds {engines} engines \
+                 (routed shards first, spill shard last)"
             ),
         }
     }
@@ -563,6 +576,7 @@ pub struct ServiceBuilder {
     partitioner: PartitionerChoice,
     policy: FlushPolicy,
     options: DynSldOptions,
+    shard_backends: Vec<(usize, ForestBackend)>,
     threads: Option<usize>,
     queue_capacity: usize,
     backpressure: Backpressure,
@@ -580,6 +594,7 @@ impl Default for ServiceBuilder {
             partitioner: PartitionerChoice::from_env(),
             policy: FlushPolicy::Manual,
             options: DynSldOptions::default(),
+            shard_backends: Vec::new(),
             threads: None,
             queue_capacity: 1024,
             backpressure: Backpressure::Block,
@@ -646,6 +661,27 @@ impl ServiceBuilder {
     /// Dendrogram-maintenance options passed to every shard engine.
     pub fn options(mut self, options: DynSldOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// The MSF replacement-search backend every shard engine uses (shorthand for setting
+    /// [`DynSldOptions::msf_backend`] through [`options`](Self::options)). Defaults to the
+    /// `DYNSLD_MSF_BACKEND` environment variable via [`DynSldOptions::default`]. Both
+    /// backends are bit-identical in results, so this is purely a performance policy; see
+    /// the `dynsld-msf` crate docs for the trade-off.
+    pub fn msf_backend(mut self, backend: ForestBackend) -> Self {
+        self.options.msf_backend = backend;
+        self
+    }
+
+    /// Overrides the MSF replacement-search backend for one shard engine. `shard` indexes
+    /// engines in shard order — routed shards `0..shards`, and on a multi-shard service the
+    /// spill shard last (index `shards`) — the same convention fault rules use. Because the
+    /// backends are bit-identical, shards can mix freely: a deletion-heavy shard can run
+    /// [`ForestBackend::Hdt`] while the rest keep the scan backend. Later overrides for the
+    /// same shard win; out-of-range indices are rejected at [`build`](Self::build) time.
+    pub fn shard_msf_backend(mut self, shard: usize, backend: ForestBackend) -> Self {
+        self.shard_backends.push((shard, backend));
         self
     }
 
@@ -767,11 +803,37 @@ impl ServiceBuilder {
         } else {
             self.num_shards + 1 // + the spill shard
         };
+        if let Some(&(shard, _)) = self
+            .shard_backends
+            .iter()
+            .find(|&&(shard, _)| shard >= num_engines)
+        {
+            return Err(ServiceError::InvalidConfig(
+                ConfigError::ShardIndexOutOfRange {
+                    shard,
+                    engines: num_engines,
+                },
+            ));
+        }
+        // Resolve the per-engine options up front (base options, then per-shard backend
+        // overrides, later overrides winning) and keep them: shard recovery rebuilds an
+        // engine from scratch and must reproduce its exact configuration.
+        let shard_options: Vec<DynSldOptions> = (0..num_engines)
+            .map(|idx| {
+                let mut options = self.options;
+                for &(shard, backend) in &self.shard_backends {
+                    if shard == idx {
+                        options.msf_backend = backend;
+                    }
+                }
+                options
+            })
+            .collect();
         let telemetry = self.telemetry.unwrap_or_else(Telemetry::from_env);
         let faults = self.faults.unwrap_or_else(FaultPlan::from_env);
         let engines: Vec<ClusteringEngine> = (0..num_engines)
             .map(|idx| {
-                let mut engine = ClusteringEngine::with_options(n, self.options);
+                let mut engine = ClusteringEngine::with_options(n, shard_options[idx]);
                 engine.set_telemetry(telemetry.clone());
                 engine.set_faults(faults.clone(), idx);
                 engine
@@ -812,7 +874,7 @@ impl ServiceBuilder {
             telemetry,
             vertices: n,
             initial_vertices: n,
-            options: self.options,
+            shard_options,
             faults,
             panics_caught: 0,
             quarantines: 0,
@@ -1069,8 +1131,9 @@ pub struct ClusterService {
     vertices: usize,
     /// The vertex count at construction — the base a recovery replay starts from.
     initial_vertices: usize,
-    /// The per-engine options, kept so recovery can rebuild an engine from scratch.
-    options: DynSldOptions,
+    /// The per-engine options (parallel to `engines`, per-shard backend overrides resolved),
+    /// kept so recovery can rebuild an engine from scratch with its exact configuration.
+    shard_options: Vec<DynSldOptions>,
     /// The armed fault plan (disabled by default). Recovered engines are deliberately not
     /// re-armed: a plan describes one deterministic failure script, not a repeating schedule.
     faults: FaultPlan,
@@ -1614,7 +1677,8 @@ impl ClusterService {
                 epoch: self.engines[idx].epoch(),
             });
         }
-        let mut engine = ClusteringEngine::with_options(self.initial_vertices, self.options);
+        let mut engine =
+            ClusteringEngine::with_options(self.initial_vertices, self.shard_options[idx]);
         engine.set_telemetry(self.telemetry.clone());
         let mut events_replayed = 0;
         let mut rejected = Vec::new();
@@ -2425,6 +2489,71 @@ mod tests {
         let idle = driver.flush().unwrap();
         assert_eq!(idle.slowest_shard_time(), Duration::ZERO);
         assert_eq!(idle.phase_totals(), FlushPhases::default());
+    }
+
+    #[test]
+    fn per_shard_msf_backend_is_configurable_and_validated() {
+        // An override naming a shard the configuration will not build is rejected whole.
+        let err = ServiceBuilder::new()
+            .vertices(8)
+            .shards(2)
+            .shard_msf_backend(3, ForestBackend::Hdt)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::InvalidConfig(ConfigError::ShardIndexOutOfRange {
+                shard: 3,
+                engines: 3
+            })
+        );
+        // Mixed backends — HDT on shard 0, scan on shard 1 and the spill shard — must be
+        // observationally identical to an all-scan service on the same stream; only the work
+        // counters may differ.
+        let build = |mixed: bool| {
+            let mut builder = ServiceBuilder::new()
+                .vertices(8)
+                .shards(2)
+                .partitioner(BlockPartitioner { block_size: 4 })
+                .msf_backend(ForestBackend::Scan);
+            if mixed {
+                builder = builder.shard_msf_backend(0, ForestBackend::Hdt);
+            }
+            builder.build().expect("valid test configuration")
+        };
+        let stream = [
+            ins(0, 1, 1.0),
+            ins(1, 2, 2.0),
+            ins(0, 2, 9.0), // reserve edge on shard 0
+            ins(4, 5, 3.0),
+            ins(1, 5, 4.0), // cross-shard → spill
+            del(0, 1),      // shard-0 tree deletion: the HDT search promotes (0, 2)
+        ];
+        let mut views = Vec::new();
+        for mixed in [false, true] {
+            let svc = build(mixed);
+            let ingest = svc.ingest_handle();
+            for update in stream {
+                ingest.submit(update).unwrap();
+            }
+            let mut driver = FlusherDriver::new(svc);
+            driver.pump().unwrap();
+            driver.flush().unwrap();
+            views.push(driver.service().published());
+        }
+        assert_eq!(views[0].num_graph_edges(), views[1].num_graph_edges());
+        for tau in [0.5, 2.5, 9.5, f64::INFINITY] {
+            assert_eq!(views[0].num_clusters(tau), views[1].num_clusters(tau));
+            for i in 0..8u32 {
+                for j in (i + 1)..8u32 {
+                    assert_eq!(
+                        views[0].same_cluster(VertexId(i), VertexId(j), tau),
+                        views[1].same_cluster(VertexId(i), VertexId(j), tau),
+                        "mixed-backend service diverged on ({i}, {j}) at tau={tau}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,12 +15,24 @@
 //!   and the cheapest non-tree edge reconnecting the two sides (if any) is promoted into the
 //!   MSF.
 //!
-//! Substitution note (DESIGN.md, substitution 5): the paper points to Holm–de Lichtenberg–Thorup
-//! \[33\] or the batch-parallel MSF of Tseng et al. \[48\] for this component. This implementation
-//! is *exact* but searches for a replacement edge by scanning the non-tree edges incident to the
-//! smaller side of the cut, so a deletion costs `O(min-side non-tree degree · log n)` rather
-//! than HDT's polylogarithmic amortized bound. Every MSF change is still propagated to DynSLD
-//! through the paper's update algorithms, so the dendrogram-maintenance cost matches the paper.
+//! # Forest backends
+//!
+//! How the replacement edge is *found* is a policy, selected by
+//! [`DynSldOptions::msf_backend`](dynsld::DynSldOptions) (a [`ForestBackend`], defaulting to
+//! the `DYNSLD_MSF_BACKEND` environment variable):
+//!
+//! * [`ForestBackend::Scan`] scans the non-tree edges incident to the smaller side of the
+//!   cut: `O(min-side non-tree degree · log n)` per tree-edge deletion (DESIGN.md,
+//!   substitution 5 — the paper points to Holm–de Lichtenberg–Thorup \[33\] or the
+//!   batch-parallel MSF of Tseng et al. \[48\] for this component).
+//! * [`ForestBackend::Hdt`] keeps an HDT-style level structure (see the `hdt` module):
+//!   edges carry levels, replacement search amortizes candidate examinations over level
+//!   promotions, and only the candidates stored at the levels a cut touches are examined.
+//!
+//! Both backends are exact and **bit-identical**: same [`MsfChange`] sequences, same
+//! dendrograms, same clusterings (pinned by the `msf_backends` proptest suite). They differ
+//! only in the work the replacement search performs, observable through
+//! [`DynamicGraphClustering::work_counters`].
 
 #![warn(missing_docs)]
 
@@ -29,8 +41,12 @@ use dynsld_forest::{VertexId, Weight};
 use std::collections::{HashMap, HashSet};
 
 mod batch;
+mod hdt;
 
 pub use batch::BatchOutcome;
+pub use dynsld::ForestBackend;
+
+use hdt::HdtIndex;
 
 /// Normalised vertex pair used as the identity of a graph edge.
 pub(crate) use dynsld_forest::ordered_pair as pair;
@@ -59,6 +75,46 @@ pub enum MsfChange {
     RemovedAndSplit,
 }
 
+/// Replacement-search work counters, accumulated across updates and drained with
+/// [`DynamicGraphClustering::take_work_counters`]. These are *work* measures, not result
+/// measures — both backends produce identical results while reporting very different
+/// counter values, which is exactly what the backend head-to-head benchmarks compare.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Replacement candidates subjected to the cut-crossing connectivity test — the
+    /// expensive step of a search on either backend (the scan backend tests every
+    /// reserve entry incident to the smaller side; the HDT backend tests candidates in
+    /// rank order and stops a level at the first one that cannot beat the incumbent).
+    pub replacement_edges_scanned: u64,
+    /// Non-tree edges moved one level up by the HDT backend (always 0 on the scan backend).
+    pub level_promotions: u64,
+    /// Replacement searches run (one per tree-edge deletion, plus one per
+    /// insertion-eviction on the HDT backend, which replays evictions through the search).
+    pub replacement_searches: u64,
+}
+
+impl WorkCounters {
+    /// Adds `other` into `self` field-wise.
+    pub fn merge(&mut self, other: &WorkCounters) {
+        self.replacement_edges_scanned += other.replacement_edges_scanned;
+        self.level_promotions += other.level_promotions;
+        self.replacement_searches += other.replacement_searches;
+    }
+}
+
+/// The replacement-search index behind [`DynamicGraphClustering`]: one variant per
+/// [`ForestBackend`].
+#[derive(Clone, Debug)]
+pub(crate) enum ReplacementIndex {
+    /// Non-tree edges indexed per vertex (both endpoints); search scans the smaller side.
+    Scan {
+        /// `reserve[v]` holds the non-tree edges incident to `v`.
+        reserve: Vec<HashSet<(VertexId, VertexId)>>,
+    },
+    /// HDT-style level structure (see the `hdt` module).
+    Hdt(HdtIndex),
+}
+
 /// End-to-end fully-dynamic single-linkage clustering of a weighted graph: a dynamic MSF front
 /// end feeding the DynSLD dendrogram maintenance algorithms.
 #[derive(Clone, Debug)]
@@ -68,24 +124,101 @@ pub struct DynamicGraphClustering {
     pub(crate) membership: HashMap<(VertexId, VertexId), bool>,
     /// Weights of all alive graph edges.
     pub(crate) weights: HashMap<(VertexId, VertexId), Weight>,
-    /// Non-tree edges indexed per vertex (both endpoints), for replacement-edge search.
-    pub(crate) reserve: Vec<HashSet<(VertexId, VertexId)>>,
+    /// Backend-specific replacement-edge index.
+    pub(crate) index: ReplacementIndex,
+    /// Scan-backend work counters (the HDT index keeps its own; both are drained together).
+    pub(crate) counters: WorkCounters,
+}
+
+/// The vertices of the MSF component of `sld` containing `v`.
+pub(crate) fn component_members(sld: &DynSld, v: VertexId) -> Vec<VertexId> {
+    // Walk the component through the forest adjacency (the component is a tree).
+    let mut seen = HashSet::new();
+    let mut stack = vec![v];
+    seen.insert(v);
+    let mut out = vec![v];
+    while let Some(x) = stack.pop() {
+        for (y, _) in sld.forest().neighbors(x) {
+            if seen.insert(y) {
+                out.push(y);
+                stack.push(y);
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic replacement-edge order: strictly cheaper wins, ties break on the
+/// normalised endpoint pair. The reserve sets are hash sets with nondeterministic
+/// iteration order, so without the tie-break the promoted edge among equal-weight
+/// candidates would vary from run to run — this keeps engine-level tests and benchmark
+/// traces reproducible, and gives both forest backends one total order to agree on.
+pub(crate) fn replacement_beats(
+    best: Option<&(Weight, (VertexId, VertexId))>,
+    w: Weight,
+    key: (VertexId, VertexId),
+) -> bool {
+    match best {
+        None => true,
+        Some(&(bw, bkey)) => match w.total_cmp(&bw) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => key < bkey,
+            std::cmp::Ordering::Greater => false,
+        },
+    }
 }
 
 impl DynamicGraphClustering {
-    /// Creates an empty graph on `n` vertices with default DynSLD options.
+    /// Creates an empty graph on `n` vertices with default DynSLD options (including the
+    /// `DYNSLD_MSF_BACKEND`-selected forest backend).
     pub fn new(n: usize) -> Self {
         Self::with_options(n, DynSldOptions::default())
     }
 
     /// Creates an empty graph on `n` vertices with the given DynSLD options.
+    /// `options.msf_backend` selects the replacement-search backend.
     pub fn with_options(n: usize, options: DynSldOptions) -> Self {
+        let index = match options.msf_backend {
+            ForestBackend::Scan => ReplacementIndex::Scan {
+                reserve: vec![HashSet::new(); n],
+            },
+            ForestBackend::Hdt => ReplacementIndex::Hdt(HdtIndex::new(n)),
+        };
         DynamicGraphClustering {
             sld: DynSld::with_options(n, options),
             membership: HashMap::new(),
             weights: HashMap::new(),
-            reserve: vec![HashSet::new(); n],
+            index,
+            counters: WorkCounters::default(),
         }
+    }
+
+    /// The forest backend this instance was constructed with.
+    pub fn backend(&self) -> ForestBackend {
+        match self.index {
+            ReplacementIndex::Scan { .. } => ForestBackend::Scan,
+            ReplacementIndex::Hdt(_) => ForestBackend::Hdt,
+        }
+    }
+
+    /// Cumulative replacement-search work counters since the last
+    /// [`take_work_counters`](Self::take_work_counters) (or construction).
+    pub fn work_counters(&self) -> WorkCounters {
+        let mut c = self.counters;
+        if let ReplacementIndex::Hdt(ix) = &self.index {
+            c.merge(ix.counters());
+        }
+        c
+    }
+
+    /// Drains and returns the replacement-search work counters (the engine calls this once
+    /// per flush to attribute work to served metrics).
+    pub fn take_work_counters(&mut self) -> WorkCounters {
+        let mut c = std::mem::take(&mut self.counters);
+        if let ReplacementIndex::Hdt(ix) = &mut self.index {
+            c.merge(&std::mem::take(ix.counters_mut()));
+        }
+        c
     }
 
     /// Number of vertices.
@@ -134,23 +267,47 @@ impl DynamicGraphClustering {
     /// Adds `k` isolated vertices and returns the first new id.
     pub fn add_vertices(&mut self, k: usize) -> VertexId {
         let first = self.sld.add_vertices(k);
-        self.reserve
-            .resize_with(self.sld.num_vertices(), HashSet::new);
+        match &mut self.index {
+            ReplacementIndex::Scan { reserve } => {
+                reserve.resize_with(self.sld.num_vertices(), HashSet::new);
+            }
+            ReplacementIndex::Hdt(ix) => ix.add_vertices(k),
+        }
         first
     }
 
-    fn add_reserve(&mut self, u: VertexId, v: VertexId, weight: Weight) {
-        let key = pair(u, v);
-        self.reserve[u.index()].insert(key);
-        self.reserve[v.index()].insert(key);
-        self.membership.insert(key, false);
-        self.weights.insert(key, weight);
+    /// Registers a new non-tree edge with the backend index (reserve bookkeeping only; the
+    /// caller maintains `membership`/`weights`).
+    pub(crate) fn index_add_nontree(&mut self, u: VertexId, v: VertexId, weight: Weight) {
+        match &mut self.index {
+            ReplacementIndex::Scan { reserve } => {
+                let key = pair(u, v);
+                reserve[u.index()].insert(key);
+                reserve[v.index()].insert(key);
+            }
+            ReplacementIndex::Hdt(ix) => ix.add_nontree(u, v, weight),
+        }
     }
 
-    fn remove_reserve(&mut self, u: VertexId, v: VertexId) {
-        let key = pair(u, v);
-        self.reserve[u.index()].remove(&key);
-        self.reserve[v.index()].remove(&key);
+    /// Unregisters a non-tree edge from the backend index.
+    pub(crate) fn index_remove_nontree(&mut self, u: VertexId, v: VertexId) {
+        match &mut self.index {
+            ReplacementIndex::Scan { reserve } => {
+                let key = pair(u, v);
+                reserve[u.index()].remove(&key);
+                reserve[v.index()].remove(&key);
+            }
+            ReplacementIndex::Hdt(ix) => ix.remove_nontree(u, v),
+        }
+    }
+
+    /// Registers a new tree edge with the backend index (no-op for the scan backend, which
+    /// only tracks non-tree edges).
+    pub(crate) fn index_add_tree(&mut self, u: VertexId, v: VertexId, weight: Weight) {
+        if let ReplacementIndex::Hdt(ix) = &mut self.index {
+            ix.add_tree(u, v, weight);
+        }
+        let _ = weight;
     }
 
     /// Inserts the graph edge `{u, v}` with the given weight and updates the MSF and dendrogram.
@@ -180,6 +337,7 @@ impl DynamicGraphClustering {
             self.sld.insert(u, v, weight)?;
             self.membership.insert(key, true);
             self.weights.insert(key, weight);
+            self.index_add_tree(u, v, weight);
             return Ok(MsfChange::Inserted);
         }
         // The edge closes a cycle: compare against the heaviest tree edge on the path.
@@ -193,13 +351,36 @@ impl DynamicGraphClustering {
         // where the older edge has the smaller id and thus the smaller rank).
         if weight < heaviest_weight {
             self.sld.delete(hu, hv)?;
-            self.add_reserve(hu, hv, heaviest_weight);
+            self.membership.insert(pair(hu, hv), false);
             self.sld.insert(u, v, weight)?;
             self.membership.insert(key, true);
             self.weights.insert(key, weight);
+            match &mut self.index {
+                ReplacementIndex::Scan { reserve } => {
+                    let hkey = pair(hu, hv);
+                    reserve[hu.index()].insert(hkey);
+                    reserve[hv.index()].insert(hkey);
+                }
+                ReplacementIndex::Hdt(ix) => {
+                    // Replay the eviction through the level-structured search: the new
+                    // edge is provably the unique replacement for the evicted edge's cut
+                    // (exchange property), and routing it through the search keeps every
+                    // level forest consistent (see the hdt module docs).
+                    ix.add_nontree(u, v, weight);
+                    let promoted = ix.delete_tree_with_search(hu, hv);
+                    debug_assert_eq!(
+                        promoted.map(|(a, b, _)| (a, b)),
+                        Some(key),
+                        "the cycle-closing edge is the unique replacement for its eviction"
+                    );
+                    ix.add_nontree(hu, hv, heaviest_weight);
+                }
+            }
             Ok(MsfChange::Replaced { evicted: (hu, hv) })
         } else {
-            self.add_reserve(u, v, weight);
+            self.membership.insert(key, false);
+            self.weights.insert(key, weight);
+            self.index_add_nontree(u, v, weight);
             Ok(MsfChange::StoredNonTree)
         }
     }
@@ -213,32 +394,46 @@ impl DynamicGraphClustering {
         self.membership.remove(&key);
         self.weights.remove(&key);
         if !is_tree {
-            self.remove_reserve(u, v);
+            self.index_remove_nontree(u, v);
             return Ok(MsfChange::RemovedNonTree);
         }
         self.sld.delete(u, v)?;
-        // Find the cheapest reserve edge reconnecting the two sides: scan the non-tree edges
-        // incident to the smaller side of the cut.
-        let (small, _large) = if self.sld.component_size(u) <= self.sld.component_size(v) {
-            (u, v)
-        } else {
-            (v, u)
-        };
-        let mut best: Option<(Weight, (VertexId, VertexId))> = None;
-        for member in self.component_members(small) {
-            for &(a, b) in &self.reserve[member.index()] {
-                let w = self.weights[&pair(a, b)];
-                // The edge reconnects the cut iff exactly one endpoint lies on the small side.
-                if self.sld.connected(a, small) != self.sld.connected(b, small)
-                    && Self::replacement_beats(best.as_ref(), w, pair(a, b))
-                {
-                    best = Some((w, pair(a, b)));
+        // Find the cheapest reserve edge reconnecting the two sides; how depends on the
+        // backend, but the answer — the minimum-(weight, pair) crossing edge — does not.
+        let best = match &mut self.index {
+            ReplacementIndex::Scan { reserve } => {
+                self.counters.replacement_searches += 1;
+                // Scan the non-tree edges incident to the smaller side of the cut.
+                let small = if self.sld.component_size(u) <= self.sld.component_size(v) {
+                    u
+                } else {
+                    v
+                };
+                let mut best: Option<(Weight, (VertexId, VertexId))> = None;
+                for member in component_members(&self.sld, small) {
+                    for &(a, b) in &reserve[member.index()] {
+                        self.counters.replacement_edges_scanned += 1;
+                        let w = self.weights[&pair(a, b)];
+                        // The edge reconnects the cut iff exactly one endpoint lies on the
+                        // small side.
+                        if self.sld.connected(a, small) != self.sld.connected(b, small)
+                            && replacement_beats(best.as_ref(), w, pair(a, b))
+                        {
+                            best = Some((w, pair(a, b)));
+                        }
+                    }
                 }
+                best.map(|(w, (a, b))| (a, b, w))
             }
-        }
+            ReplacementIndex::Hdt(ix) => ix.delete_tree_with_search(u, v),
+        };
         match best {
-            Some((w, (a, b))) => {
-                self.remove_reserve(a, b);
+            Some((a, b, w)) => {
+                if let ReplacementIndex::Scan { reserve } = &mut self.index {
+                    let rkey = pair(a, b);
+                    reserve[a.index()].remove(&rkey);
+                    reserve[b.index()].remove(&rkey);
+                }
                 self.sld.insert(a, b, w)?;
                 self.membership.insert(pair(a, b), true);
                 Ok(MsfChange::RemovedWithReplacement { promoted: (a, b) })
@@ -256,44 +451,6 @@ impl DynamicGraphClustering {
     ) -> Result<MsfChange, DynSldError> {
         self.delete_edge(u, v)?;
         self.insert_edge(u, v, weight)
-    }
-
-    /// Deterministic replacement-edge order: strictly cheaper wins, ties break on the
-    /// normalised endpoint pair. The reserve sets are hash sets with nondeterministic
-    /// iteration order, so without the tie-break the promoted edge among equal-weight
-    /// candidates would vary from run to run — this keeps engine-level tests and benchmark
-    /// traces reproducible.
-    fn replacement_beats(
-        best: Option<&(Weight, (VertexId, VertexId))>,
-        w: Weight,
-        key: (VertexId, VertexId),
-    ) -> bool {
-        match best {
-            None => true,
-            Some(&(bw, bkey)) => match w.total_cmp(&bw) {
-                std::cmp::Ordering::Less => true,
-                std::cmp::Ordering::Equal => key < bkey,
-                std::cmp::Ordering::Greater => false,
-            },
-        }
-    }
-
-    /// The vertices of the MSF component containing `v`.
-    fn component_members(&self, v: VertexId) -> Vec<VertexId> {
-        // Walk the component through the forest adjacency (the component is a tree).
-        let mut seen = HashSet::new();
-        let mut stack = vec![v];
-        seen.insert(v);
-        let mut out = vec![v];
-        while let Some(x) = stack.pop() {
-            for (y, _) in self.sld.forest().neighbors(x) {
-                if seen.insert(y) {
-                    out.push(y);
-                    stack.push(y);
-                }
-            }
-        }
-        out
     }
 
     /// All alive graph edges as `(u, v, weight, is_tree)`.
@@ -316,6 +473,13 @@ mod tests {
 
     fn v(i: u32) -> VertexId {
         VertexId(i)
+    }
+
+    fn backend_options(backend: ForestBackend) -> DynSldOptions {
+        DynSldOptions {
+            msf_backend: backend,
+            ..Default::default()
+        }
     }
 
     /// Kruskal MSF over an explicit edge list — the oracle.
@@ -431,59 +595,114 @@ mod tests {
 
     #[test]
     fn randomized_graph_churn_matches_kruskal_oracle() {
-        let n = 40usize;
-        let mut rng = SmallRng::seed_from_u64(42);
-        // Candidate edge set: a few hundred random pairs with distinct weights.
-        let mut candidates: Vec<(VertexId, VertexId, Weight)> = Vec::new();
-        let mut used = HashSet::new();
-        while candidates.len() < 250 {
-            let a = rng.gen_range(0..n as u32);
-            let b = rng.gen_range(0..n as u32);
-            if a == b || !used.insert(pair(v(a), v(b))) {
-                continue;
+        for backend in [ForestBackend::Scan, ForestBackend::Hdt] {
+            let n = 40usize;
+            let mut rng = SmallRng::seed_from_u64(42);
+            // Candidate edge set: a few hundred random pairs with distinct weights.
+            let mut candidates: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+            let mut used = HashSet::new();
+            while candidates.len() < 250 {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a == b || !used.insert(pair(v(a), v(b))) {
+                    continue;
+                }
+                candidates.push((v(a), v(b), candidates.len() as f64 + rng.gen::<f64>()));
             }
-            candidates.push((v(a), v(b), candidates.len() as f64 + rng.gen::<f64>()));
-        }
-        candidates.shuffle(&mut rng);
+            candidates.shuffle(&mut rng);
 
-        let mut g = DynamicGraphClustering::new(n);
-        let mut alive: Vec<(VertexId, VertexId, Weight)> = Vec::new();
-        for step in 0..600 {
-            let do_insert =
-                alive.is_empty() || (alive.len() < candidates.len() && rng.gen_bool(0.55));
-            if do_insert {
-                // Insert a candidate that is not alive yet.
-                let next = candidates
-                    .iter()
-                    .find(|c| !alive.iter().any(|a| pair(a.0, a.1) == pair(c.0, c.1)))
-                    .copied()
-                    .expect("candidate available");
-                g.insert_edge(next.0, next.1, next.2).unwrap();
-                alive.push(next);
-            } else {
-                let idx = rng.gen_range(0..alive.len());
-                let (a, b, _) = alive.swap_remove(idx);
-                g.delete_edge(a, b).unwrap();
+            let mut g = DynamicGraphClustering::with_options(n, backend_options(backend));
+            let mut alive: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+            for step in 0..600 {
+                let do_insert =
+                    alive.is_empty() || (alive.len() < candidates.len() && rng.gen_bool(0.55));
+                if do_insert {
+                    // Insert a candidate that is not alive yet.
+                    let next = candidates
+                        .iter()
+                        .find(|c| !alive.iter().any(|a| pair(a.0, a.1) == pair(c.0, c.1)))
+                        .copied()
+                        .expect("candidate available");
+                    g.insert_edge(next.0, next.1, next.2).unwrap();
+                    alive.push(next);
+                } else {
+                    let idx = rng.gen_range(0..alive.len());
+                    let (a, b, _) = alive.swap_remove(idx);
+                    g.delete_edge(a, b).unwrap();
+                }
+                if step % 10 == 0 {
+                    assert_msf_matches(&g, &alive);
+                }
             }
-            if step % 10 == 0 {
-                assert_msf_matches(&g, &alive);
+            assert_msf_matches(&g, &alive);
+            let counters = g.work_counters();
+            assert!(counters.replacement_searches > 0, "searches were counted");
+            assert_eq!(
+                counters.level_promotions > 0,
+                backend == ForestBackend::Hdt,
+                "level promotions are an HDT-only phenomenon"
+            );
+        }
+    }
+
+    #[test]
+    fn backends_report_identical_changes_on_a_churn_stream() {
+        let n = 30usize;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut scan =
+            DynamicGraphClustering::with_options(n, backend_options(ForestBackend::Scan));
+        let mut hdt = DynamicGraphClustering::with_options(n, backend_options(ForestBackend::Hdt));
+        assert_eq!(scan.backend(), ForestBackend::Scan);
+        assert_eq!(hdt.backend(), ForestBackend::Hdt);
+        let mut alive: Vec<(VertexId, VertexId)> = Vec::new();
+        for _ in 0..500 {
+            if alive.is_empty() || rng.gen_bool(0.6) {
+                let a = v(rng.gen_range(0..n as u32));
+                let b = v(rng.gen_range(0..n as u32));
+                if a == b || alive.contains(&pair(a, b)) {
+                    continue;
+                }
+                // Coarse weights on purpose: ties exercise the deterministic tie-break.
+                let w = rng.gen_range(0..8) as f64;
+                assert_eq!(scan.insert_edge(a, b, w), hdt.insert_edge(a, b, w));
+                alive.push(pair(a, b));
+            } else {
+                let (a, b) = alive.swap_remove(rng.gen_range(0..alive.len()));
+                assert_eq!(scan.delete_edge(a, b), hdt.delete_edge(a, b));
             }
         }
-        assert_msf_matches(&g, &alive);
+        assert_eq!(
+            scan.sld().dendrogram().canonical_parents(),
+            hdt.sld().dendrogram().canonical_parents()
+        );
+    }
+
+    #[test]
+    fn take_work_counters_drains() {
+        let mut g = DynamicGraphClustering::with_options(4, backend_options(ForestBackend::Hdt));
+        g.insert_edge(v(0), v(1), 1.0).unwrap();
+        g.insert_edge(v(1), v(2), 2.0).unwrap();
+        g.insert_edge(v(0), v(2), 3.0).unwrap(); // non-tree
+        g.delete_edge(v(0), v(1)).unwrap(); // tree deletion: search runs
+        let taken = g.take_work_counters();
+        assert!(taken.replacement_searches >= 1);
+        assert_eq!(g.work_counters(), WorkCounters::default());
     }
 
     #[test]
     fn update_weight_can_promote_and_demote() {
-        let mut g = DynamicGraphClustering::new(3);
-        g.insert_edge(v(0), v(1), 1.0).unwrap();
-        g.insert_edge(v(1), v(2), 2.0).unwrap();
-        g.insert_edge(v(0), v(2), 5.0).unwrap(); // non-tree
-        assert!(!g.is_tree_edge(v(0), v(2)));
-        g.update_weight(v(0), v(2), 0.5).unwrap();
-        assert!(g.is_tree_edge(v(0), v(2)));
-        assert!(!g.is_tree_edge(v(1), v(2)));
-        let alive = vec![(v(0), v(1), 1.0), (v(1), v(2), 2.0), (v(0), v(2), 0.5)];
-        assert_msf_matches(&g, &alive);
+        for backend in [ForestBackend::Scan, ForestBackend::Hdt] {
+            let mut g = DynamicGraphClustering::with_options(3, backend_options(backend));
+            g.insert_edge(v(0), v(1), 1.0).unwrap();
+            g.insert_edge(v(1), v(2), 2.0).unwrap();
+            g.insert_edge(v(0), v(2), 5.0).unwrap(); // non-tree
+            assert!(!g.is_tree_edge(v(0), v(2)));
+            g.update_weight(v(0), v(2), 0.5).unwrap();
+            assert!(g.is_tree_edge(v(0), v(2)));
+            assert!(!g.is_tree_edge(v(1), v(2)));
+            let alive = vec![(v(0), v(1), 1.0), (v(1), v(2), 2.0), (v(0), v(2), 0.5)];
+            assert_msf_matches(&g, &alive);
+        }
     }
 
     #[test]

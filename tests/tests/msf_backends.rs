@@ -1,0 +1,264 @@
+//! Backend bit-identity: the HDT level-structured MSF engine (`ForestBackend::Hdt`) must be
+//! observationally indistinguishable from the reference scan backend — not merely "same
+//! clustering", but the same [`MsfChange`] on every single update, the same dendrogram
+//! snapshot, and the same canonical labels AND member lists through the full sharded
+//! pipeline, across shard counts × flush policies × partitioners. The backends are allowed
+//! to differ **only** in their work counters (how many replacement candidates they examine).
+//! The last property pins the fault path: a quarantined HDT shard recovered by journal
+//! replay must land bit-identical to a no-fault *scan* service fed the same stream.
+
+use dynsld::{DynSldOptions, ForestBackend};
+use dynsld_engine::{
+    BlockPartitioner, FaultPlan, FlushPolicy, FlusherDriver, GreedyPartitioner, HashPartitioner,
+    ServiceBuilder, ServiceSnapshot,
+};
+use dynsld_forest::workload::{GraphUpdate, GraphWorkloadBuilder};
+use dynsld_msf::DynamicGraphClustering;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Thresholds the pipeline-level identity is checked at.
+const TAUS: [f64; 4] = [1.0, 2.5, 6.0, f64::INFINITY];
+
+fn clustering(backend: ForestBackend, n: usize) -> DynamicGraphClustering {
+    DynamicGraphClustering::with_options(
+        n,
+        DynSldOptions {
+            msf_backend: backend,
+            ..DynSldOptions::default()
+        },
+    )
+}
+
+/// Applies one update to a clustering, returning the change (or the rejection).
+fn apply(
+    g: &mut DynamicGraphClustering,
+    update: GraphUpdate,
+) -> Result<dynsld_msf::MsfChange, dynsld::DynSldError> {
+    match update {
+        GraphUpdate::Insert { u, v, weight } => g.insert_edge(u, v, weight),
+        GraphUpdate::Delete { u, v } => g.delete_edge(u, v),
+        GraphUpdate::Reweight { u, v, weight } => g.update_weight(u, v, weight),
+    }
+}
+
+fn drain(driver: &mut FlusherDriver) -> ServiceSnapshot {
+    driver.pump().expect("validated stream");
+    driver.flush().expect("validated stream");
+    driver.service().published()
+}
+
+/// Labels and member lists of two published views must agree exactly at every threshold.
+fn assert_views_bit_identical(a: &ServiceSnapshot, b: &ServiceSnapshot, context: &str) {
+    assert_eq!(a.num_vertices(), b.num_vertices(), "{context}");
+    assert_eq!(a.num_graph_edges(), b.num_graph_edges(), "{context}");
+    for tau in TAUS {
+        let (ca, cb) = (a.flat_clustering(tau), b.flat_clustering(tau));
+        assert_eq!(
+            ca.labels, cb.labels,
+            "{context}: labels diverged at tau={tau}"
+        );
+        assert_eq!(
+            ca.clusters, cb.clusters,
+            "{context}: member lists diverged at tau={tau}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The core identity, per update: for every generated insert/delete/reweight stream, the
+    /// HDT backend reports the **same [`MsfChange`]** as the scan backend on every single
+    /// operation, and the exported dendrogram snapshots (version, nodes, ranks) are equal at
+    /// every sync point. Only the work counters may differ — and the HDT backend must
+    /// actually be doing its level-structured search (it runs the same number of
+    /// replacement searches while examining no more candidates than the scan).
+    #[test]
+    fn hdt_reports_bit_identical_changes_and_dendrograms(
+        seed in 0u64..1 << 48,
+        n in 4usize..48,
+        num_ops in 20usize..400,
+        weight_scale in 1usize..10,
+    ) {
+        let stream = GraphWorkloadBuilder::new(n)
+            .weight_scale(weight_scale as f64)
+            .churn_stream(2 * n, num_ops, seed);
+        let mut scan = clustering(ForestBackend::Scan, n);
+        let mut hdt = clustering(ForestBackend::Hdt, n);
+        prop_assert_eq!(scan.backend(), ForestBackend::Scan);
+        prop_assert_eq!(hdt.backend(), ForestBackend::Hdt);
+
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xB17);
+        for (i, &update) in stream.iter().enumerate() {
+            let a = apply(&mut scan, update);
+            let b = apply(&mut hdt, update);
+            prop_assert_eq!(&a, &b, "op {} ({:?}) diverged", i, update);
+            if rng.gen_bool(0.05) {
+                prop_assert_eq!(
+                    scan.export_snapshot_incremental(),
+                    hdt.export_snapshot_incremental(),
+                    "dendrogram snapshots diverged after op {}",
+                    i
+                );
+            }
+        }
+        prop_assert_eq!(scan.num_graph_edges(), hdt.num_graph_edges());
+        prop_assert_eq!(scan.num_tree_edges(), hdt.num_tree_edges());
+        // `graph_edges` iterates a hash map — compare as sets (one entry per pair).
+        let sorted = |g: &DynamicGraphClustering| {
+            let mut edges = g.graph_edges();
+            edges.sort_by_key(|&(u, v, _, _)| (u, v));
+            edges
+        };
+        prop_assert_eq!(sorted(&scan), sorted(&hdt));
+        prop_assert_eq!(
+            scan.export_snapshot_incremental(),
+            hdt.export_snapshot_incremental(),
+            "final dendrogram snapshots diverged"
+        );
+        // Work counters are the one permitted difference. The scan backend never promotes
+        // levels, and the HDT backend answers every tree deletion the scan answered (plus
+        // one internal search per tree-edge eviction replayed on insert).
+        let (ws, wh) = (scan.take_work_counters(), hdt.take_work_counters());
+        prop_assert_eq!(ws.level_promotions, 0);
+        prop_assert!(
+            wh.replacement_searches >= ws.replacement_searches,
+            "HDT ran {} searches where the scan ran {}",
+            wh.replacement_searches,
+            ws.replacement_searches
+        );
+    }
+
+    /// The pipeline-level identity: an all-HDT sharded service publishes views bit-identical
+    /// (labels AND member lists) to an all-scan service fed the same stream — across shard
+    /// counts, flush policies, and all three partitioners, at random mid-stream sync points
+    /// and at the end. This drives the batch (coalesced) code path through both backends.
+    #[test]
+    fn hdt_service_is_bit_identical_to_scan_service(
+        seed in 0u64..1 << 48,
+        n in 6usize..40,
+        shards in 1usize..5,
+        num_ops in 20usize..280,
+        policy_pick in 0usize..3,
+        partitioner_pick in 0usize..3,
+    ) {
+        let policy = match policy_pick {
+            0 => FlushPolicy::Manual,
+            1 => FlushPolicy::EveryNOps(1 + (seed as usize) % 13),
+            _ => FlushPolicy::OnRead,
+        };
+        let build = |backend: ForestBackend| {
+            let builder = ServiceBuilder::new()
+                .vertices(n)
+                .shards(shards)
+                .flush_policy(policy)
+                .msf_backend(backend);
+            let builder = match partitioner_pick {
+                0 => builder.partitioner(HashPartitioner),
+                1 => builder.partitioner(BlockPartitioner { block_size: 1 + n / shards }),
+                _ => builder.stateful_partitioner(GreedyPartitioner::default()),
+            };
+            builder.build().expect("valid configuration")
+        };
+        let mut drivers =
+            [build(ForestBackend::Scan).into_driver(), build(ForestBackend::Hdt).into_driver()];
+
+        let stream = GraphWorkloadBuilder::new(n)
+            .weight_scale(8.0)
+            .churn_stream(2 * n, num_ops, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x4D5F);
+        for (i, &update) in stream.iter().enumerate() {
+            for driver in &mut drivers {
+                driver.service().ingest_handle().submit(update).expect("queue open");
+            }
+            if rng.gen_bool(0.06) {
+                let [scan, hdt] = &mut drivers;
+                let (a, b) = (drain(scan), drain(hdt));
+                assert_views_bit_identical(&a, &b, &format!("after op {i}"));
+            }
+        }
+        let [scan, hdt] = &mut drivers;
+        let (a, b) = (drain(scan), drain(hdt));
+        assert_views_bit_identical(&a, &b, "final state");
+        // The streams really were applied in full on both sides.
+        let (ms, mh) = (scan.service().metrics(), hdt.service().metrics());
+        prop_assert_eq!(ms.ops_applied, mh.ops_applied);
+        prop_assert_eq!(ms.edges_promoted, mh.edges_promoted);
+    }
+
+    /// The fault path on the new backend: an HDT service whose shard panics torn mid-flush
+    /// quarantines it, keeps journaling ingest, and after `recover_shard` the replayed HDT
+    /// engine is bit-identical to a **no-fault scan** service fed the identical stream —
+    /// recovery and backend choice compose without observable effect.
+    #[test]
+    fn hdt_journal_replay_after_quarantine_matches_scan_oracle(
+        seed in 0u64..1 << 48,
+        n in 6usize..28,
+        shards in 1usize..4,
+        num_ops in 16usize..100,
+        panic_shard in 0usize..4,
+        panic_flush in 1u64..3,
+        mixed in any::<bool>(),
+    ) {
+        let build = |faults: FaultPlan, backend: ForestBackend| {
+            let mut builder = ServiceBuilder::new()
+                .vertices(n)
+                .shards(shards)
+                .flush_policy(FlushPolicy::EveryNOps(3))
+                .msf_backend(backend)
+                .faults(faults);
+            // Half the cases pin one shard back to scan: per-shard overrides must survive
+            // quarantine + journal replay too.
+            if mixed && backend == ForestBackend::Hdt {
+                builder = builder.shard_msf_backend(shards - 1, ForestBackend::Scan);
+            }
+            builder.build().expect("valid configuration")
+        };
+        let spec = format!("flush_panic=shard:{panic_shard},flush:{panic_flush}");
+        let mut faulted = build(FaultPlan::parse(&spec).expect("valid spec"), ForestBackend::Hdt)
+            .into_driver();
+        let mut oracle = build(FaultPlan::disabled(), ForestBackend::Scan).into_driver();
+
+        let stream = GraphWorkloadBuilder::new(n)
+            .weight_scale(8.0)
+            .churn_stream(2 * n, num_ops, seed);
+        for driver in [&mut faulted, &mut oracle] {
+            let ingest = driver.service().ingest_handle();
+            ingest.submit_all(stream.iter().copied()).expect("queue open");
+            drain(driver);
+        }
+
+        let stale = faulted.service().published().stale_shards();
+        for &shard in &stale {
+            let report = faulted.recover_shard(shard).expect("replay of a valid stream");
+            prop_assert!(report.rejected.is_empty(), "the stream was valid end-to-end");
+        }
+        prop_assert!(!faulted.service().published().is_stale());
+        assert_views_bit_identical(
+            &faulted.service().published(),
+            &oracle.service().published(),
+            &format!("seed={seed} spec={spec} stale={stale:?}"),
+        );
+    }
+}
+
+/// The environment knob: `DYNSLD_MSF_BACKEND=hdt` flips the default options — and with it
+/// every engine the service builds — without any code change. (Set/removed locally here;
+/// the CI matrix runs the whole suite under the variable.)
+#[test]
+fn env_variable_selects_the_default_backend() {
+    // Serialize against any other env-reading test in this binary.
+    std::env::set_var("DYNSLD_MSF_BACKEND", "hdt");
+    let picked = DynSldOptions::default().msf_backend;
+    std::env::set_var("DYNSLD_MSF_BACKEND", "scan");
+    let scan_again = DynSldOptions::default().msf_backend;
+    std::env::remove_var("DYNSLD_MSF_BACKEND");
+    let unset = DynSldOptions::default().msf_backend;
+    assert_eq!(picked, ForestBackend::Hdt);
+    assert_eq!(scan_again, ForestBackend::Scan);
+    assert_eq!(unset, ForestBackend::Scan);
+    let g = DynamicGraphClustering::new(6);
+    assert_eq!(g.backend(), ForestBackend::Scan);
+}

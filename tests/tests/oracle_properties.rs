@@ -236,7 +236,11 @@ proptest! {
     ) {
         let mut with_index = DynSld::with_options(
             script.n,
-            DynSldOptions { maintain_spine_index: true, strategy: UpdateStrategy::Sequential },
+            DynSldOptions {
+                maintain_spine_index: true,
+                strategy: UpdateStrategy::Sequential,
+                ..Default::default()
+            },
         );
         apply_script(&script, |insert, u, v, w| {
             if insert {
