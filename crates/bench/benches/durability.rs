@@ -1,0 +1,226 @@
+//! Durability overhead and recovery cost (PR 10): ingest throughput with the WAL off vs
+//! on (per-drain and per-record fsync), plus, in the `quality` array, the headline
+//! acceptance numbers — the WAL-on `Fsync::EveryDrain` ingest overhead in percent, the
+//! journal's bytes-per-event footprint, and wall-clock recovery time for a WAL-only
+//! replay vs a checkpoint-anchored restore of the same stream.
+
+use criterion::{
+    black_box, criterion_group, criterion_main, record_quality, BenchmarkId, Criterion,
+};
+use dynsld_bench::config;
+use dynsld_engine::{FlushPolicy, FlusherDriver, FsyncPolicy, ServiceBuilder};
+use dynsld_forest::workload::{GraphUpdate, GraphWorkloadBuilder};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const N: usize = 1_024;
+const SHARDS: usize = 4;
+
+fn stream() -> Vec<GraphUpdate> {
+    GraphWorkloadBuilder::new(N)
+        .weight_scale(16.0)
+        .churn_stream(2 * N, 4 * N, 0xD04A)
+}
+
+fn fresh_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dynsld-bench-durable-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One full pipeline pass: chunked submit → drain → flush, with or without a journal.
+/// Checkpointing is disabled (`u64::MAX` cadence) so the durable runs isolate pure WAL
+/// cost; `bench_recovery` measures checkpoints separately.
+fn run(stream: &[GraphUpdate], durable: Option<(&Path, FsyncPolicy)>) -> usize {
+    let mut builder = ServiceBuilder::new()
+        .vertices(N)
+        .shards(SHARDS)
+        .flush_policy(FlushPolicy::EveryNOps(64));
+    if let Some((dir, fsync)) = durable {
+        builder = builder
+            .durable(dir)
+            .fsync(fsync)
+            .checkpoint_every_records(u64::MAX);
+    }
+    let service = builder.build().expect("valid configuration");
+    let ingest = service.ingest_handle();
+    let mut driver = FlusherDriver::new(service);
+    for chunk in stream.chunks(256) {
+        ingest
+            .submit_all(chunk.iter().copied())
+            .expect("queue open");
+        driver.pump().expect("valid stream");
+    }
+    driver.flush().expect("flush");
+    driver.service().published().num_graph_edges()
+}
+
+/// Best-of-`reps` wall time for one configuration, in nanoseconds.
+fn best_of(stream: &[GraphUpdate], reps: usize, fsync: Option<FsyncPolicy>) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let dir = fsync.map(|_| fresh_dir());
+        let started = Instant::now();
+        black_box(run(stream, dir.as_deref().zip(fsync)));
+        best = best.min(started.elapsed().as_nanos() as f64);
+        if let Some(dir) = dir {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    best
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("durability/ingest");
+    group.bench_with_input(
+        BenchmarkId::new("wal_off", stream.len()),
+        &stream,
+        |b, s| b.iter(|| black_box(run(s, None))),
+    );
+    for (label, fsync) in [
+        ("wal_every_drain", FsyncPolicy::EveryDrain),
+        ("wal_every_record", FsyncPolicy::EveryRecord),
+        ("wal_os", FsyncPolicy::Os),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, stream.len()), &stream, |b, s| {
+            b.iter(|| {
+                let dir = fresh_dir();
+                let edges = black_box(run(s, Some((&dir, fsync))));
+                let _ = std::fs::remove_dir_all(&dir);
+                edges
+            })
+        });
+    }
+    group.finish();
+
+    // The acceptance number: per-drain-fsync WAL overhead over the WAL-off baseline,
+    // best-of-3 so allocator and page-cache noise doesn't inflate the ratio.
+    let base = best_of(&stream, 3, None);
+    let drain = best_of(&stream, 3, Some(FsyncPolicy::EveryDrain));
+    let record = best_of(&stream, 3, Some(FsyncPolicy::EveryRecord));
+    record_quality(
+        "durability/ingest/overhead",
+        &[
+            ("wal_every_drain_overhead_pct", (drain / base - 1.0) * 100.0),
+            (
+                "wal_every_record_overhead_pct",
+                (record / base - 1.0) * 100.0,
+            ),
+        ],
+    );
+
+    // Journal footprint: bytes the WAL writes per ingested event.
+    let dir = fresh_dir();
+    {
+        let service = ServiceBuilder::new()
+            .vertices(N)
+            .shards(SHARDS)
+            .flush_policy(FlushPolicy::EveryNOps(64))
+            .durable(&dir)
+            .checkpoint_every_records(u64::MAX)
+            .build()
+            .expect("valid configuration");
+        let ingest = service.ingest_handle();
+        let mut driver = FlusherDriver::new(service);
+        // Chunked: the stream outnumbers the queue slots and nothing drains concurrently.
+        for chunk in stream.chunks(256) {
+            ingest
+                .submit_all(chunk.iter().copied())
+                .expect("queue open");
+            driver.pump().expect("valid stream");
+        }
+        driver.flush().expect("flush");
+        let m = driver.service().metrics();
+        record_quality(
+            "durability/ingest/footprint",
+            &[
+                (
+                    "wal_bytes_per_event",
+                    m.wal_bytes_written as f64 / m.wal_records_appended.max(1) as f64,
+                ),
+                ("wal_records_appended", m.wal_records_appended as f64),
+            ],
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("durability/recovery");
+
+    // Two artifact layouts for the same stream: a bare WAL (full replay) and a
+    // checkpoint-anchored directory (restore + empty tail).
+    let seed = |checkpoint: bool| -> PathBuf {
+        let dir = fresh_dir();
+        let service = ServiceBuilder::new()
+            .vertices(N)
+            .shards(SHARDS)
+            .flush_policy(FlushPolicy::EveryNOps(64))
+            .durable(&dir)
+            .checkpoint_every_records(u64::MAX)
+            .build()
+            .expect("valid configuration");
+        let ingest = service.ingest_handle();
+        let mut driver = FlusherDriver::new(service);
+        for chunk in stream.chunks(256) {
+            ingest
+                .submit_all(chunk.iter().copied())
+                .expect("queue open");
+            driver.pump().expect("valid stream");
+        }
+        driver.flush().expect("flush");
+        if checkpoint {
+            assert!(
+                driver.checkpoint().expect("checkpoint"),
+                "quiescent + dirty"
+            );
+        }
+        dir
+    };
+    let recover = |dir: &Path| -> u64 {
+        let service = ServiceBuilder::new()
+            .vertices(N)
+            .shards(SHARDS)
+            .flush_policy(FlushPolicy::EveryNOps(64))
+            .durable(dir)
+            .build()
+            .expect("valid configuration");
+        let report = service.durability().expect("durable");
+        assert!(report.recovered);
+        report.records_durable
+    };
+
+    for (label, checkpoint) in [("wal_replay", false), ("from_checkpoint", true)] {
+        let dir = seed(checkpoint);
+        group.bench_with_input(BenchmarkId::new(label, stream.len()), &dir, |b, d| {
+            b.iter(|| black_box(recover(d)))
+        });
+        let started = Instant::now();
+        let records = recover(&dir);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        record_quality(
+            format!("durability/recovery/{label}"),
+            &[
+                ("recovery_ms", elapsed_ms),
+                ("records_recovered", records as f64),
+            ],
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ingest, bench_recovery
+}
+criterion_main!(benches);

@@ -1,0 +1,367 @@
+//! Atomic service checkpoints.
+//!
+//! A checkpoint captures everything the engine needs to reconstruct a service without
+//! replaying the whole WAL: the per-shard live edge sets (each shard's clustering state
+//! is a pure function of its live weighted edges), the router's `AssignmentTable`, the
+//! covered vertex count, the publish revision, and the WAL LSN up to which the capture is
+//! complete. Files are named `ckpt-<lsn>.bin` and written with the classic atomic
+//! protocol: write to a temp file, `fdatasync` it, rename into place, fsync the
+//! directory. A reader therefore either sees the complete new checkpoint or the previous
+//! state — never a half-written file under its final name.
+//!
+//! [`CheckpointStore::load_newest_valid`] walks checkpoints newest-first and returns the
+//! first one that decodes and checksums cleanly, counting (not failing on) corrupt newer
+//! ones. The store retains the **two** newest checkpoints on disk so that a corrupt
+//! newest still leaves a valid fallback; correspondingly, WAL reclamation is driven by
+//! the *older* retained checkpoint's LSN, keeping every record the fallback would need.
+
+use crate::codec::{put_f64, put_u32, put_u64, Reader};
+use crate::{crc32, DurableError};
+use dynsld_forest::{VertexId, Weight};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const CKPT_MAGIC: &[u8; 8] = b"DCKPT001";
+
+/// One shard engine's durable state: its live weighted edge set, sorted by `(u, v)`.
+///
+/// Sorted order makes restoration deterministic: re-inserting the edges in this order
+/// into a fresh engine reproduces labels and member lists bit-identically, because the
+/// clustering is a pure function of the live edge set under the engine's total
+/// tie-breaking order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardCheckpoint {
+    /// Live edges as `(u, v, weight)` with `u < v`, sorted ascending.
+    pub edges: Vec<(VertexId, VertexId, Weight)>,
+}
+
+/// A full durable snapshot of a `ClusterService`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Every WAL record with LSN ≤ this is reflected in the captured state.
+    pub last_lsn: u64,
+    /// The publish revision at capture time; recovery republishes at `revision + 1` so
+    /// cached validators held by subscribers from before the crash never match.
+    pub revision: u64,
+    /// Number of vertices the service covered.
+    pub vertices: u64,
+    /// The raw `AssignmentTable` (`u32::MAX` = unassigned) for stateful partitioners;
+    /// `None` for pure partitioners, which need no restored routing state.
+    pub assignments: Option<Vec<u32>>,
+    /// Per-shard engine state, indexed by engine slot (routed shards then spill).
+    pub shards: Vec<ShardCheckpoint>,
+}
+
+impl Checkpoint {
+    fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.last_lsn);
+        put_u64(&mut payload, self.revision);
+        put_u64(&mut payload, self.vertices);
+        match &self.assignments {
+            None => payload.push(0),
+            Some(raw) => {
+                payload.push(1);
+                put_u64(&mut payload, raw.len() as u64);
+                for &s in raw {
+                    put_u32(&mut payload, s);
+                }
+            }
+        }
+        put_u64(&mut payload, self.shards.len() as u64);
+        for shard in &self.shards {
+            put_u64(&mut payload, shard.edges.len() as u64);
+            for &(u, v, w) in &shard.edges {
+                put_u32(&mut payload, u.0);
+                put_u32(&mut payload, v.0);
+                put_f64(&mut payload, w);
+            }
+        }
+        let mut buf = Vec::with_capacity(CKPT_MAGIC.len() + 4 + payload.len());
+        buf.extend_from_slice(CKPT_MAGIC);
+        put_u32(&mut buf, crc32(&payload));
+        buf.extend_from_slice(&payload);
+        buf
+    }
+
+    fn decode(bytes: &[u8], path: &Path) -> Result<Checkpoint, DurableError> {
+        let corrupt = |detail: String| DurableError::Corrupt {
+            path: path.to_path_buf(),
+            detail,
+        };
+        if bytes.len() < CKPT_MAGIC.len() + 4 {
+            return Err(corrupt("file shorter than its header".into()));
+        }
+        if &bytes[..8] != CKPT_MAGIC {
+            return Err(corrupt("bad checkpoint magic".into()));
+        }
+        let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let payload = &bytes[12..];
+        if crc32(payload) != crc {
+            return Err(corrupt("checksum mismatch".into()));
+        }
+        let mut r = Reader::new(payload, path);
+        let last_lsn = r.u64("last_lsn")?;
+        let revision = r.u64("revision")?;
+        let vertices = r.u64("vertices")?;
+        let assignments = match r.u8("assignments flag")? {
+            0 => None,
+            1 => {
+                let n = r.u64("assignments length")? as usize;
+                if n > payload.len() {
+                    return Err(corrupt(format!("assignment count {n} exceeds payload")));
+                }
+                let mut raw = Vec::with_capacity(n);
+                for _ in 0..n {
+                    raw.push(r.u32("assignment entry")?);
+                }
+                Some(raw)
+            }
+            f => return Err(corrupt(format!("bad assignments flag {f}"))),
+        };
+        let num_shards = r.u64("shard count")? as usize;
+        if num_shards > payload.len() {
+            return Err(corrupt(format!("shard count {num_shards} exceeds payload")));
+        }
+        let mut shards = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            let n = r.u64("edge count")? as usize;
+            if n > payload.len() {
+                return Err(corrupt(format!("edge count {n} exceeds payload")));
+            }
+            let mut edges = Vec::with_capacity(n);
+            for _ in 0..n {
+                let u = VertexId(r.u32("edge u")?);
+                let v = VertexId(r.u32("edge v")?);
+                let w = r.f64("edge weight")?;
+                edges.push((u, v, w));
+            }
+            shards.push(ShardCheckpoint { edges });
+        }
+        r.trailing("checkpoint")?;
+        Ok(Checkpoint {
+            last_lsn,
+            revision,
+            vertices,
+            assignments,
+            shards,
+        })
+    }
+}
+
+/// What [`CheckpointStore::load_newest_valid`] found.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// The newest checkpoint that decoded cleanly, if any.
+    pub checkpoint: Option<Checkpoint>,
+    /// Newer checkpoints skipped because they failed to decode or checksum.
+    pub corrupt_skipped: u64,
+}
+
+/// How many checkpoints [`CheckpointStore::write`] retains on disk.
+const RETAIN: usize = 2;
+
+/// The checkpoint directory manager. Shares its directory with the WAL segments.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+fn ckpt_path(dir: &Path, lsn: u64) -> PathBuf {
+    dir.join(format!("ckpt-{lsn:020}.bin"))
+}
+
+fn parse_ckpt_lsn(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .ok()
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: &Path) -> Result<CheckpointStore, DurableError> {
+        fs::create_dir_all(dir).map_err(DurableError::Io)?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn lsns_desc(&self) -> Result<Vec<u64>, DurableError> {
+        let mut lsns: Vec<u64> = fs::read_dir(&self.dir)
+            .map_err(DurableError::Io)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_ckpt_lsn(&e.file_name().to_string_lossy()))
+            .collect();
+        lsns.sort_unstable_by(|a, b| b.cmp(a));
+        Ok(lsns)
+    }
+
+    fn write_atomic(&self, lsn: u64, bytes: &[u8]) -> Result<(), DurableError> {
+        let tmp = self.dir.join(format!(".ckpt-tmp-{lsn}"));
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(DurableError::Io)?;
+        f.write_all(bytes).map_err(DurableError::Io)?;
+        f.sync_data().map_err(DurableError::Io)?;
+        drop(f);
+        fs::rename(&tmp, ckpt_path(&self.dir, lsn)).map_err(DurableError::Io)?;
+        // fsync the directory so the rename itself is durable.
+        File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(DurableError::Io)?;
+        Ok(())
+    }
+
+    /// Writes `ckpt` atomically, prunes to the `RETAIN` newest checkpoints, and returns
+    /// the LSN below which WAL segments are reclaimable — the *oldest retained*
+    /// checkpoint's `last_lsn`, so a fallback past a future corrupt newest checkpoint
+    /// still finds the WAL tail it needs.
+    pub fn write(&self, ckpt: &Checkpoint) -> Result<u64, DurableError> {
+        self.write_atomic(ckpt.last_lsn, &ckpt.encode())?;
+        let lsns = self.lsns_desc()?;
+        for &old in lsns.iter().skip(RETAIN) {
+            fs::remove_file(ckpt_path(&self.dir, old)).map_err(DurableError::Io)?;
+        }
+        Ok(*lsns.iter().take(RETAIN).next_back().unwrap_or(&0))
+    }
+
+    /// Fault-injection hook: writes `ckpt` through the same atomic path but with its
+    /// payload bit-flipped mid-way — the durable imprint of a checkpoint whose content
+    /// was damaged (or a crash landed between payload write and checksum truth). The
+    /// store does **not** prune or authorize WAL reclamation for a corrupt write, and
+    /// recovery must fall back past it.
+    pub fn write_corrupt(&self, ckpt: &Checkpoint) -> Result<(), DurableError> {
+        let mut bytes = ckpt.encode();
+        let mid = CKPT_MAGIC.len() + 4 + (bytes.len() - CKPT_MAGIC.len() - 4) / 2;
+        bytes[mid] ^= 0xFF;
+        self.write_atomic(ckpt.last_lsn, &bytes)
+    }
+
+    /// Loads the newest checkpoint that decodes cleanly, skipping (and counting) corrupt
+    /// newer ones. Returns an empty report when no checkpoint exists at all.
+    pub fn load_newest_valid(&self) -> Result<LoadReport, DurableError> {
+        let mut report = LoadReport::default();
+        for lsn in self.lsns_desc()? {
+            let path = ckpt_path(&self.dir, lsn);
+            let bytes = fs::read(&path).map_err(DurableError::Io)?;
+            match Checkpoint::decode(&bytes, &path) {
+                Ok(ckpt) => {
+                    report.checkpoint = Some(ckpt);
+                    return Ok(report);
+                }
+                Err(_) => report.corrupt_skipped += 1,
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dynsld-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(lsn: u64) -> Checkpoint {
+        Checkpoint {
+            last_lsn: lsn,
+            revision: 3 * lsn,
+            vertices: 16,
+            assignments: Some(vec![0, 1, u32::MAX, 1]),
+            shards: vec![
+                ShardCheckpoint {
+                    edges: vec![
+                        (VertexId(0), VertexId(1), 1.5),
+                        (VertexId(1), VertexId(2), -0.5),
+                    ],
+                },
+                ShardCheckpoint { edges: vec![] },
+            ],
+        }
+    }
+
+    #[test]
+    fn write_then_load_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let empty = store.load_newest_valid().unwrap();
+        assert!(empty.checkpoint.is_none());
+        assert_eq!(empty.corrupt_skipped, 0);
+
+        let ckpt = sample(12);
+        store.write(&ckpt).unwrap();
+        let report = store.load_newest_valid().unwrap();
+        assert_eq!(report.checkpoint, Some(ckpt));
+        assert_eq!(report.corrupt_skipped, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retains_two_and_reclaim_lsn_tracks_the_older() {
+        let dir = tmpdir("retain");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.write(&sample(5)).unwrap(), 5);
+        assert_eq!(
+            store.write(&sample(9)).unwrap(),
+            5,
+            "older retained drives reclaim"
+        );
+        assert_eq!(store.write(&sample(14)).unwrap(), 9);
+        let on_disk = store.lsns_desc().unwrap();
+        assert_eq!(on_disk, vec![14, 9], "only the two newest survive");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = tmpdir("fallback");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let good = sample(5);
+        store.write(&good).unwrap();
+        store.write_corrupt(&sample(9)).unwrap();
+        let report = store.load_newest_valid().unwrap();
+        assert_eq!(report.corrupt_skipped, 1);
+        assert_eq!(report.checkpoint, Some(good));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pure_partitioner_checkpoint_has_no_assignments() {
+        let dir = tmpdir("pure");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let ckpt = Checkpoint {
+            assignments: None,
+            ..sample(2)
+        };
+        store.write(&ckpt).unwrap();
+        let report = store.load_newest_valid().unwrap();
+        assert_eq!(report.checkpoint, Some(ckpt));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leftover_temp_files_are_ignored() {
+        let dir = tmpdir("tmpfiles");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.write(&sample(4)).unwrap();
+        // A crash between temp write and rename leaves this behind.
+        fs::write(dir.join(".ckpt-tmp-99"), b"half written garbage").unwrap();
+        let report = store.load_newest_valid().unwrap();
+        assert_eq!(report.checkpoint, Some(sample(4)));
+        assert_eq!(report.corrupt_skipped, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,636 @@
+//! The segmented write-ahead log.
+//!
+//! ## On-disk layout
+//!
+//! A WAL is a directory of segment files named `wal-<seq>.log` with monotonically
+//! increasing decimal `<seq>`. Each segment is:
+//!
+//! ```text
+//! +----------------+-------------------+----------------------------------+
+//! | magic "DWALSEG1" (8 bytes)         | first_lsn (u64 LE)               |
+//! +----------------+-------------------+----------------------------------+
+//! | frame | frame | frame | ...                                           |
+//! +---------------------------------------------------------------------- +
+//! ```
+//!
+//! and each frame is `len:u32 LE | crc32:u32 LE | payload`, where `crc32` covers the
+//! payload only and `len` is the payload length. Records carry no explicit LSN: a
+//! segment's records are numbered consecutively from its header's `first_lsn`, and the
+//! engine assigns LSNs at append time in exactly that order.
+//!
+//! ## Torn tails vs corruption
+//!
+//! A crash mid-append leaves a *prefix* of a frame at the end of the newest segment (or a
+//! sub-header-size newest segment, if the crash hit a rotation). [`Wal::open`] detects
+//! both shapes, truncates them away, counts them in
+//! [`WalOpenReport::torn_tails_truncated`], and carries on — the lost record was never
+//! acknowledged as durable. The same damage anywhere *before* the tail cannot be
+//! explained by a crash and is reported as [`DurableError::Corrupt`] instead.
+
+use crate::codec::{put_f64, put_u32, put_u64, Reader};
+use crate::{crc32, DurableError, FsyncPolicy};
+use dynsld_forest::{GraphUpdate, VertexId};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const SEGMENT_MAGIC: &[u8; 8] = b"DWALSEG1";
+const SEGMENT_HEADER_LEN: u64 = 16;
+const FRAME_HEADER_LEN: usize = 8;
+/// Upper bound on a single frame payload; anything larger mid-file is corruption, not a
+/// record (real payloads are ≤ 32 bytes).
+const MAX_PAYLOAD_LEN: u32 = 1 << 20;
+
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_REWEIGHT: u8 = 3;
+const TAG_GROW: u8 = 4;
+
+/// One durable record in the routed event stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A graph update, logged at routing time before it reaches any shard engine.
+    Event(GraphUpdate),
+    /// A vertex-set growth (`ClusterService::add_vertices(k)`).
+    Grow(u64),
+}
+
+impl WalRecord {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WalRecord::Event(GraphUpdate::Insert { u, v, weight }) => {
+                buf.push(TAG_INSERT);
+                put_u32(buf, u.0);
+                put_u32(buf, v.0);
+                put_f64(buf, *weight);
+            }
+            WalRecord::Event(GraphUpdate::Delete { u, v }) => {
+                buf.push(TAG_DELETE);
+                put_u32(buf, u.0);
+                put_u32(buf, v.0);
+            }
+            WalRecord::Event(GraphUpdate::Reweight { u, v, weight }) => {
+                buf.push(TAG_REWEIGHT);
+                put_u32(buf, u.0);
+                put_u32(buf, v.0);
+                put_f64(buf, *weight);
+            }
+            WalRecord::Grow(k) => {
+                buf.push(TAG_GROW);
+                put_u64(buf, *k);
+            }
+        }
+    }
+
+    fn decode(payload: &[u8], path: &Path) -> Result<WalRecord, DurableError> {
+        let mut r = Reader::new(payload, path);
+        let rec = match r.u8("record tag")? {
+            TAG_INSERT => WalRecord::Event(GraphUpdate::Insert {
+                u: VertexId(r.u32("insert u")?),
+                v: VertexId(r.u32("insert v")?),
+                weight: r.f64("insert weight")?,
+            }),
+            TAG_DELETE => WalRecord::Event(GraphUpdate::Delete {
+                u: VertexId(r.u32("delete u")?),
+                v: VertexId(r.u32("delete v")?),
+            }),
+            TAG_REWEIGHT => WalRecord::Event(GraphUpdate::Reweight {
+                u: VertexId(r.u32("reweight u")?),
+                v: VertexId(r.u32("reweight v")?),
+                weight: r.f64("reweight weight")?,
+            }),
+            TAG_GROW => WalRecord::Grow(r.u64("grow count")?),
+            tag => {
+                return Err(DurableError::Corrupt {
+                    path: path.to_path_buf(),
+                    detail: format!("unknown WAL record tag {tag}"),
+                })
+            }
+        };
+        r.trailing("WAL record")?;
+        Ok(rec)
+    }
+
+    fn frame(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(24);
+        self.encode(&mut payload);
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        frame
+    }
+}
+
+/// Tuning knobs for a [`Wal`].
+#[derive(Copy, Clone, Debug)]
+pub struct WalOptions {
+    /// Rotate to a fresh segment once the active one reaches this many bytes.
+    pub segment_bytes: u64,
+    /// When appended records are forced to stable storage.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: 1 << 20,
+            fsync: FsyncPolicy::default(),
+        }
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Clone, Debug, Default)]
+pub struct WalOpenReport {
+    /// Every decodable record, in LSN order, paired with its LSN.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Number of torn tails truncated away (a partial final frame, or a sub-header
+    /// newest segment left by a crash mid-rotation).
+    pub torn_tails_truncated: u64,
+}
+
+#[derive(Debug)]
+struct SegmentMeta {
+    path: PathBuf,
+    first_lsn: u64,
+    /// Number of complete records in the segment. Only final for sealed segments; for the
+    /// active segment it is kept up to date on every append.
+    records: u64,
+}
+
+/// A segmented, CRC-framed write-ahead log. See the module-level docs for the format.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    options: WalOptions,
+    segments: Vec<SegmentMeta>,
+    /// Append handle + byte length of the newest segment, if one is open for writing.
+    active: Option<(File, u64)>,
+    next_lsn: u64,
+    next_seq: u64,
+    records_appended: u64,
+    bytes_written: u64,
+    dirty: bool,
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:010}.log"))
+}
+
+fn parse_segment_seq(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+impl Wal {
+    /// Opens (creating the directory if needed) the WAL in `dir`, recovering every intact
+    /// record and truncating a torn tail on the newest segment.
+    pub fn open(dir: &Path, options: WalOptions) -> Result<(Wal, WalOpenReport), DurableError> {
+        fs::create_dir_all(dir).map_err(DurableError::Io)?;
+        let mut seqs: Vec<u64> = fs::read_dir(dir)
+            .map_err(DurableError::Io)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_segment_seq(&e.file_name().to_string_lossy()))
+            .collect();
+        seqs.sort_unstable();
+
+        let mut report = WalOpenReport::default();
+        let mut segments = Vec::with_capacity(seqs.len());
+        let mut next_lsn = 1u64;
+        let num = seqs.len();
+        for (i, &seq) in seqs.iter().enumerate() {
+            let path = segment_path(dir, seq);
+            let is_last = i + 1 == num;
+            let bytes = fs::read(&path).map_err(DurableError::Io)?;
+            if bytes.len() < SEGMENT_HEADER_LEN as usize {
+                // A crash during rotation can leave a short newest segment behind.
+                if is_last {
+                    fs::remove_file(&path).map_err(DurableError::Io)?;
+                    report.torn_tails_truncated += 1;
+                    continue;
+                }
+                return Err(DurableError::Corrupt {
+                    path,
+                    detail: "segment shorter than its header".into(),
+                });
+            }
+            if &bytes[..8] != SEGMENT_MAGIC {
+                return Err(DurableError::Corrupt {
+                    path,
+                    detail: "bad segment magic".into(),
+                });
+            }
+            let first_lsn = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+            let mut pos = SEGMENT_HEADER_LEN as usize;
+            let mut records = 0u64;
+            let mut torn_at = None;
+            while pos < bytes.len() {
+                let frame_ok = (|| -> Option<(WalRecord, usize)> {
+                    let header = bytes.get(pos..pos + FRAME_HEADER_LEN)?;
+                    let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+                    if len > MAX_PAYLOAD_LEN {
+                        return None;
+                    }
+                    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+                    let payload =
+                        bytes.get(pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + len as usize)?;
+                    if crc32(payload) != crc {
+                        return None;
+                    }
+                    let rec = WalRecord::decode(payload, &path).ok()?;
+                    Some((rec, FRAME_HEADER_LEN + len as usize))
+                })();
+                match frame_ok {
+                    Some((rec, consumed)) => {
+                        report.records.push((first_lsn + records, rec));
+                        records += 1;
+                        pos += consumed;
+                    }
+                    None => {
+                        torn_at = Some(pos);
+                        break;
+                    }
+                }
+            }
+            if let Some(cut) = torn_at {
+                if !is_last {
+                    return Err(DurableError::Corrupt {
+                        path,
+                        detail: format!("undecodable frame at byte {cut} before the log tail"),
+                    });
+                }
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(DurableError::Io)?;
+                f.set_len(cut as u64).map_err(DurableError::Io)?;
+                f.sync_data().map_err(DurableError::Io)?;
+                report.torn_tails_truncated += 1;
+            }
+            next_lsn = first_lsn + records;
+            segments.push(SegmentMeta {
+                path,
+                first_lsn,
+                records,
+            });
+        }
+
+        // LSN continuity across segments: each segment must start where the previous one
+        // stopped, or a segment has gone missing.
+        for w in segments.windows(2) {
+            let expect = w[0].first_lsn + w[0].records;
+            if w[1].first_lsn != expect {
+                return Err(DurableError::Corrupt {
+                    path: w[1].path.clone(),
+                    detail: format!(
+                        "segment starts at lsn {} but the previous one ends at {expect}",
+                        w[1].first_lsn
+                    ),
+                });
+            }
+        }
+
+        let next_seq = seqs.last().map_or(1, |s| s + 1);
+        // Reopen the newest segment for appending; its post-truncation length is the
+        // rotation accumulator.
+        let active = match segments.last() {
+            Some(meta) => {
+                let f = OpenOptions::new()
+                    .append(true)
+                    .open(&meta.path)
+                    .map_err(DurableError::Io)?;
+                let len = f.metadata().map_err(DurableError::Io)?.len();
+                Some((f, len))
+            }
+            None => None,
+        };
+        Ok((
+            Wal {
+                dir: dir.to_path_buf(),
+                options,
+                segments,
+                active,
+                next_lsn,
+                next_seq,
+                records_appended: 0,
+                bytes_written: 0,
+                dirty: false,
+            },
+            report,
+        ))
+    }
+
+    /// When the WAL is empty but a checkpoint proves records up to `lsn` once existed
+    /// (and were reclaimed), fast-forwards the LSN counter so new appends continue the
+    /// sequence instead of reusing old numbers.
+    pub fn ensure_next_lsn(&mut self, lsn: u64) {
+        if self.segments.is_empty() && self.next_lsn < lsn {
+            self.next_lsn = lsn;
+        }
+    }
+
+    /// The LSN of the most recently appended (or recovered) record; 0 when none exist.
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Records acknowledged by [`append`](Self::append) since open (recovered records are
+    /// not counted — they were acknowledged by a previous process).
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Frame bytes written since open, including segment headers.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    fn rotate_if_needed(&mut self) -> Result<(), DurableError> {
+        let needs_new = match &self.active {
+            None => true,
+            Some((_, len)) => *len >= self.options.segment_bytes,
+        };
+        if !needs_new {
+            return Ok(());
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let path = segment_path(&self.dir, seq);
+        let mut f = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)
+            .map_err(DurableError::Io)?;
+        let mut header = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
+        header.extend_from_slice(SEGMENT_MAGIC);
+        put_u64(&mut header, self.next_lsn);
+        f.write_all(&header).map_err(DurableError::Io)?;
+        self.bytes_written += header.len() as u64;
+        self.segments.push(SegmentMeta {
+            path,
+            first_lsn: self.next_lsn,
+            records: 0,
+        });
+        self.active = Some((f, SEGMENT_HEADER_LEN));
+        Ok(())
+    }
+
+    /// Appends a record and returns its LSN. Durability depends on the
+    /// [`FsyncPolicy`]: under `EveryRecord` the record is stable on return; under
+    /// `EveryDrain` it is stable after the next [`sync`](Self::sync).
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, DurableError> {
+        self.rotate_if_needed()?;
+        let frame = record.frame();
+        let (f, len) = self
+            .active
+            .as_mut()
+            .expect("rotate_if_needed opened a segment");
+        f.write_all(&frame).map_err(DurableError::Io)?;
+        *len += frame.len() as u64;
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.segments
+            .last_mut()
+            .expect("active segment has a meta entry")
+            .records += 1;
+        self.records_appended += 1;
+        self.bytes_written += frame.len() as u64;
+        self.dirty = true;
+        if self.options.fsync == FsyncPolicy::EveryRecord {
+            self.sync()?;
+        }
+        Ok(lsn)
+    }
+
+    /// Fault-injection hook: writes a deliberately incomplete frame for `record` —
+    /// exactly what a crash mid-append leaves behind — and flushes it. The record is
+    /// *not* acknowledged (no LSN is assigned, no counters move), and the caller must
+    /// stop appending afterwards, as a real crashed process would; the next
+    /// [`open`](Self::open) truncates the partial frame away.
+    pub fn append_torn(&mut self, record: &WalRecord) -> Result<(), DurableError> {
+        self.rotate_if_needed()?;
+        let frame = record.frame();
+        // Keep the full frame header plus half the payload: enough bytes that the frame
+        // looks started, never enough that it verifies.
+        let cut = FRAME_HEADER_LEN + (frame.len() - FRAME_HEADER_LEN) / 2;
+        debug_assert!(cut < frame.len());
+        let (f, len) = self
+            .active
+            .as_mut()
+            .expect("rotate_if_needed opened a segment");
+        f.write_all(&frame[..cut]).map_err(DurableError::Io)?;
+        *len += cut as u64;
+        f.sync_data().map_err(DurableError::Io)?;
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage, regardless of policy.
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        if let Some((f, _)) = &self.active {
+            f.sync_data().map_err(DurableError::Io)?;
+        }
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// End-of-drain hook: syncs exactly when the policy is
+    /// [`EveryDrain`](FsyncPolicy::EveryDrain) and unsynced appends exist.
+    pub fn sync_drain(&mut self) -> Result<(), DurableError> {
+        if self.options.fsync == FsyncPolicy::EveryDrain && self.dirty {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Deletes sealed segments whose every record has LSN ≤ `lsn` (i.e. is covered by a
+    /// durable checkpoint). The active segment is never deleted. Returns the number of
+    /// segments removed.
+    pub fn reclaim_below(&mut self, lsn: u64) -> Result<u64, DurableError> {
+        let mut removed = 0u64;
+        while self.segments.len() > 1 {
+            let last_covered = self.segments[1].first_lsn - 1;
+            if last_covered > lsn {
+                break;
+            }
+            let meta = self.segments.remove(0);
+            fs::remove_file(&meta.path).map_err(DurableError::Io)?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    /// Number of segment files currently on disk.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dynsld-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Event(GraphUpdate::Insert {
+                u: VertexId(0),
+                v: VertexId(1),
+                weight: 2.5,
+            }),
+            WalRecord::Event(GraphUpdate::Reweight {
+                u: VertexId(0),
+                v: VertexId(1),
+                weight: -1.0,
+            }),
+            WalRecord::Grow(7),
+            WalRecord::Event(GraphUpdate::Delete {
+                u: VertexId(0),
+                v: VertexId(1),
+            }),
+        ]
+    }
+
+    #[test]
+    fn append_then_reopen_roundtrips_records_and_lsns() {
+        let dir = tmpdir("roundtrip");
+        let (mut wal, report) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert!(report.records.is_empty());
+        assert_eq!(wal.last_lsn(), 0);
+        let recs = sample_records();
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(wal.append(r).unwrap(), i as u64 + 1);
+        }
+        wal.sync().unwrap();
+        assert_eq!(wal.records_appended(), 4);
+        assert!(wal.bytes_written() > 0);
+        drop(wal);
+
+        let (wal, report) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(report.torn_tails_truncated, 0);
+        assert_eq!(
+            report.records,
+            recs.iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, r)| (i as u64 + 1, r))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(wal.last_lsn(), 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmpdir("torn");
+        let (mut wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        let recs = sample_records();
+        wal.append(&recs[0]).unwrap();
+        wal.append(&recs[1]).unwrap();
+        wal.append_torn(&recs[2]).unwrap();
+        drop(wal);
+
+        let (mut wal, report) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(report.torn_tails_truncated, 1);
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(wal.last_lsn(), 2);
+        // The log keeps working after truncation: the next append takes LSN 3 and
+        // survives another reopen.
+        assert_eq!(wal.append(&recs[3]).unwrap(), 3);
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, report) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.torn_tails_truncated, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damage_before_the_tail_is_corruption() {
+        let dir = tmpdir("corrupt");
+        let small = WalOptions {
+            segment_bytes: 64,
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = Wal::open(&dir, small).unwrap();
+        for r in sample_records() {
+            for _ in 0..4 {
+                if let WalRecord::Event(_) = &r {
+                    wal.append(&r).unwrap();
+                }
+            }
+        }
+        wal.sync().unwrap();
+        assert!(wal.num_segments() > 1, "need multiple segments");
+        let first = segment_path(&dir, 1);
+        drop(wal);
+        // Flip a payload byte in the middle of the FIRST (sealed) segment.
+        let mut bytes = fs::read(&first).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&first, &bytes).unwrap();
+        match Wal::open(&dir, small) {
+            Err(DurableError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_and_reclaim_drop_covered_segments() {
+        let dir = tmpdir("reclaim");
+        let small = WalOptions {
+            segment_bytes: 80,
+            ..WalOptions::default()
+        };
+        let (mut wal, _) = Wal::open(&dir, small).unwrap();
+        let rec = WalRecord::Event(GraphUpdate::Insert {
+            u: VertexId(1),
+            v: VertexId(2),
+            weight: 1.0,
+        });
+        let mut last = 0;
+        for _ in 0..20 {
+            last = wal.append(&rec).unwrap();
+        }
+        wal.sync().unwrap();
+        let before = wal.num_segments();
+        assert!(before > 2);
+        // Nothing below LSN 1 -> nothing reclaimed.
+        assert_eq!(wal.reclaim_below(0).unwrap(), 0);
+        let removed = wal.reclaim_below(last).unwrap();
+        assert_eq!(removed as usize, before - 1, "all sealed segments covered");
+        assert_eq!(wal.num_segments(), 1);
+        drop(wal);
+        // Reopen still sees the uncovered tail records.
+        let (wal, report) = Wal::open(&dir, small).unwrap();
+        assert!(!report.records.is_empty());
+        assert_eq!(report.records.last().unwrap().0, last);
+        assert_eq!(wal.last_lsn(), last);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ensure_next_lsn_only_applies_to_an_empty_log() {
+        let dir = tmpdir("ensure");
+        let (mut wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        wal.ensure_next_lsn(41);
+        let rec = WalRecord::Grow(1);
+        assert_eq!(wal.append(&rec).unwrap(), 41);
+        // With segments on disk the recovered LSN sequence is authoritative.
+        wal.ensure_next_lsn(1000);
+        assert_eq!(wal.append(&rec).unwrap(), 42);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

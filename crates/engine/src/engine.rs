@@ -460,6 +460,13 @@ impl ClusteringEngine {
             wire_retries: 0,
             wire_timeouts: 0,
             stale_reads_served: 0,
+            // Durability lives with the service's WAL and checkpoint store; a standalone
+            // engine has neither.
+            wal_records_appended: 0,
+            wal_bytes_written: 0,
+            checkpoints_written: 0,
+            torn_tails_truncated: 0,
+            recoveries_completed: 0,
         }
     }
 }

@@ -28,6 +28,8 @@
 //! | `drop_conn` | `conn:<c>` **or** `every:<k>` | the server accepts and immediately closes the matching connection without replying. |
 //! | `delay` | `ms:<m>`, `conn:<c>` **or** `every:<k>` | the server sleeps `<m>` ms before replying on the matching connection. |
 //! | `queue_full` | `every:<k>` **or** `prob:<permille>` | a fail-fast submit ([`Backpressure::Fail`](crate::Backpressure::Fail) / `try_submit`) is rejected as queue-full even though capacity remains. |
+//! | `crash` | `after_wal:<n>` **or** `every:<k>` **or** `mid_checkpoint:<n>` | simulated process death of the durability layer: the `<n>`-th (or every `<k>`-th, first match) WAL append completes and then the layer goes dead, or the `<n>`-th checkpoint write lands corrupt and the layer goes dead. A dead layer silently drops every later WAL/checkpoint write while the in-memory service keeps serving — a restart from the durable directory then recovers exactly the durable prefix. |
+//! | `wal_torn` | `at:<n>` **or** `every:<k>` | the matching WAL append is written as a *partial frame* — the on-disk shape of a crash mid-write — and the layer goes dead. The next open truncates the torn tail. |
 //! | `seed` | bare value: `seed=<u64>` | seeds the generator behind `prob:` triggers (default 0x5EED). |
 //!
 //! Example: `DYNSLD_FAULTS="flush_panic=shard:1,flush:3;torn_write=every:2,after:64;seed=7"`.
@@ -37,7 +39,7 @@
 //! after an `entry` panic count as new attempts, so `every:1,entry` quarantines after one
 //! retry — use periods ≥ 2 for a suite that should stay green).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Once};
 use std::time::Duration;
 
@@ -87,6 +89,32 @@ pub enum WireFault {
     Delay(Duration),
     /// Write only the first `n` bytes of the response, then drop the connection.
     TornWrite(usize),
+}
+
+/// What the durability layer should do with one WAL append, as decided by the plan's
+/// `crash` / `wal_torn` rules.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WalWriteFault {
+    /// Write the record normally. (When a `crash=after_wal` rule matched this ordinal, the
+    /// record is still written — the simulated death happens *after* the append, which is
+    /// exactly the post-WAL-append crash point — and every later write is skipped.)
+    Proceed,
+    /// Write a deliberately partial frame (crash mid-write); the layer is dead afterwards.
+    Torn,
+    /// The layer is already dead: drop the write silently.
+    Skip,
+}
+
+/// What the durability layer should do with one checkpoint write.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointWriteFault {
+    /// Write the checkpoint normally.
+    Proceed,
+    /// Write the checkpoint with a damaged payload (crash/bit-rot mid-checkpoint); the
+    /// layer is dead afterwards and recovery must fall back past this file.
+    Corrupt,
+    /// The layer is already dead: drop the write silently.
+    Skip,
 }
 
 /// A malformed `DYNSLD_FAULTS` spec.
@@ -141,8 +169,16 @@ struct PlanInner {
     conn_rules: Vec<ConnRule>,
     queue_trigger: Option<Trigger>,
     queue_prob_permille: Option<u64>,
+    crash_after_wal: Option<Trigger>,
+    crash_mid_checkpoint: Option<Trigger>,
+    wal_torn: Option<Trigger>,
     conn_counter: AtomicU64,
     submit_counter: AtomicU64,
+    wal_counter: AtomicU64,
+    ckpt_counter: AtomicU64,
+    /// Set once a `crash`/`wal_torn` rule fires: the durability layer behaves as a dead
+    /// process from then on (all writes dropped), shared across every clone of the plan.
+    durable_dead: AtomicBool,
     rng: AtomicU64,
 }
 
@@ -193,6 +229,17 @@ impl FaultPlan {
         }
     }
 
+    /// Like [`from_env`](Self::from_env), but a malformed `DYNSLD_FAULTS` is returned as a
+    /// typed error instead of being logged and ignored. `ServiceBuilder::build()` uses this
+    /// so a typo in the environment fails service construction loudly
+    /// (`ConfigError::BadFaultSpec`) rather than running a *different* fault schedule.
+    pub fn from_env_checked() -> Result<FaultPlan, FaultSpecError> {
+        match std::env::var("DYNSLD_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => FaultPlan::parse(&spec),
+            _ => Ok(FaultPlan::disabled()),
+        }
+    }
+
     /// Parses a fault spec (the `DYNSLD_FAULTS` grammar). An empty spec yields a disabled
     /// plan.
     pub fn parse(spec: &str) -> Result<FaultPlan, FaultSpecError> {
@@ -200,6 +247,9 @@ impl FaultPlan {
         let mut conn_rules = Vec::new();
         let mut queue_trigger = None;
         let mut queue_prob = None;
+        let mut crash_after_wal = None;
+        let mut crash_mid_checkpoint = None;
+        let mut wal_torn = None;
         let mut seed = 0x5EEDu64;
 
         for rule in spec.split(';').map(str::trim).filter(|r| !r.is_empty()) {
@@ -282,6 +332,42 @@ impl FaultPlan {
                         return Err(err("needs `every:<k>`, `at:<n>`, or `prob:<permille>`"));
                     }
                 }
+                "crash" => {
+                    for arg in args.split(',').map(str::trim) {
+                        match arg.split_once(':') {
+                            Some(("after_wal", v)) => {
+                                crash_after_wal = Some(Trigger::At(parse_u64(v, "after_wal")?))
+                            }
+                            Some(("every", v)) => {
+                                crash_after_wal = Some(Trigger::Every(parse_u64(v, "every")?))
+                            }
+                            Some(("mid_checkpoint", v)) => {
+                                crash_mid_checkpoint =
+                                    Some(Trigger::At(parse_u64(v, "mid_checkpoint")?))
+                            }
+                            _ => return Err(err(&format!("unknown crash arg `{arg}`"))),
+                        }
+                    }
+                    if crash_after_wal.is_none() && crash_mid_checkpoint.is_none() {
+                        return Err(err(
+                            "needs `after_wal:<n>`, `every:<k>`, or `mid_checkpoint:<n>`",
+                        ));
+                    }
+                }
+                "wal_torn" => {
+                    for arg in args.split(',').map(str::trim) {
+                        match arg.split_once(':') {
+                            Some(("at", v)) => wal_torn = Some(Trigger::At(parse_u64(v, "at")?)),
+                            Some(("every", v)) => {
+                                wal_torn = Some(Trigger::Every(parse_u64(v, "every")?))
+                            }
+                            _ => return Err(err(&format!("unknown wal_torn arg `{arg}`"))),
+                        }
+                    }
+                    if wal_torn.is_none() {
+                        return Err(err("needs `at:<n>` or `every:<k>`"));
+                    }
+                }
                 other => return Err(err(&format!("unknown fault `{other}`"))),
             }
         }
@@ -290,6 +376,9 @@ impl FaultPlan {
             && conn_rules.is_empty()
             && queue_trigger.is_none()
             && queue_prob.is_none()
+            && crash_after_wal.is_none()
+            && crash_mid_checkpoint.is_none()
+            && wal_torn.is_none()
         {
             return Ok(FaultPlan::disabled());
         }
@@ -300,8 +389,14 @@ impl FaultPlan {
                 conn_rules,
                 queue_trigger,
                 queue_prob_permille: queue_prob,
+                crash_after_wal,
+                crash_mid_checkpoint,
+                wal_torn,
                 conn_counter: AtomicU64::new(0),
                 submit_counter: AtomicU64::new(0),
+                wal_counter: AtomicU64::new(0),
+                ckpt_counter: AtomicU64::new(0),
+                durable_dead: AtomicBool::new(false),
                 // xorshift state must be non-zero.
                 rng: AtomicU64::new(seed | 1),
             })),
@@ -343,6 +438,49 @@ impl FaultPlan {
             Some(p) => inner.next_rand() % 1000 < p,
             None => false,
         }
+    }
+
+    /// WAL checkpoint: what the durability layer should do with its next record append.
+    /// Counts one WAL-append ordinal per call (shared across clones); a matching `crash`
+    /// or `wal_torn` rule flips the shared dead flag so every later durable write —
+    /// WAL *and* checkpoint — is skipped, exactly as if the process had died there.
+    pub fn wal_append_fault(&self) -> WalWriteFault {
+        let Some(inner) = self.inner.as_deref() else {
+            return WalWriteFault::Proceed;
+        };
+        if inner.durable_dead.load(Ordering::Relaxed) {
+            return WalWriteFault::Skip;
+        }
+        let ordinal = inner.wal_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if inner.wal_torn.is_some_and(|t| t.matches(ordinal)) {
+            inner.durable_dead.store(true, Ordering::Relaxed);
+            return WalWriteFault::Torn;
+        }
+        if inner.crash_after_wal.is_some_and(|t| t.matches(ordinal)) {
+            inner.durable_dead.store(true, Ordering::Relaxed);
+            // The crash happens *after* this append: write it, then go dead.
+        }
+        WalWriteFault::Proceed
+    }
+
+    /// Checkpoint-write checkpoint: what the durability layer should do with its next
+    /// checkpoint. Counts one checkpoint ordinal per call, shared across clones.
+    pub fn checkpoint_fault(&self) -> CheckpointWriteFault {
+        let Some(inner) = self.inner.as_deref() else {
+            return CheckpointWriteFault::Proceed;
+        };
+        if inner.durable_dead.load(Ordering::Relaxed) {
+            return CheckpointWriteFault::Skip;
+        }
+        let ordinal = inner.ckpt_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if inner
+            .crash_mid_checkpoint
+            .is_some_and(|t| t.matches(ordinal))
+        {
+            inner.durable_dead.store(true, Ordering::Relaxed);
+            return CheckpointWriteFault::Corrupt;
+        }
+        CheckpointWriteFault::Proceed
     }
 
     /// Wire checkpoint: the fault (if any) for the next accepted connection. Counts one
@@ -460,8 +598,72 @@ mod tests {
             "queue_full=prob:2000",           // permille out of range
             "queue_full=",
             "seed",
+            "crash=",                // no trigger
+            "crash=banana:1",        // unknown arg
+            "crash=after_wal:soon",  // not an integer
+            "wal_torn=",             // no trigger
+            "wal_torn=every:always", // not an integer
+            "wal_torn=conn:1",       // wrong key
         ] {
-            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must not parse");
+            let err = FaultPlan::parse(bad).expect_err(&format!("`{bad}` must not parse"));
+            assert_eq!(err.rule, bad, "the error names the offending clause");
+            assert!(!err.reason.is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_after_wal_writes_the_matching_record_then_goes_dead() {
+        let plan = FaultPlan::parse("crash=after_wal:3").unwrap();
+        let clone = plan.clone();
+        assert_eq!(plan.wal_append_fault(), WalWriteFault::Proceed); // 1
+        assert_eq!(plan.wal_append_fault(), WalWriteFault::Proceed); // 2
+                                                                     // The 3rd append still proceeds — the simulated death is *post-append*.
+        assert_eq!(plan.wal_append_fault(), WalWriteFault::Proceed); // 3
+        assert_eq!(
+            clone.wal_append_fault(),
+            WalWriteFault::Skip,
+            "dead via clone"
+        );
+        assert_eq!(plan.wal_append_fault(), WalWriteFault::Skip);
+        // Death is global to the durability layer: checkpoints are dropped too.
+        assert_eq!(plan.checkpoint_fault(), CheckpointWriteFault::Skip);
+    }
+
+    #[test]
+    fn wal_torn_tears_the_matching_record_and_goes_dead() {
+        let plan = FaultPlan::parse("wal_torn=at:2").unwrap();
+        assert_eq!(plan.wal_append_fault(), WalWriteFault::Proceed);
+        assert_eq!(plan.wal_append_fault(), WalWriteFault::Torn);
+        assert_eq!(plan.wal_append_fault(), WalWriteFault::Skip);
+    }
+
+    #[test]
+    fn mid_checkpoint_crash_corrupts_once_then_goes_dead() {
+        let plan = FaultPlan::parse("crash=mid_checkpoint:2").unwrap();
+        assert_eq!(plan.checkpoint_fault(), CheckpointWriteFault::Proceed);
+        assert_eq!(plan.checkpoint_fault(), CheckpointWriteFault::Corrupt);
+        assert_eq!(plan.checkpoint_fault(), CheckpointWriteFault::Skip);
+        assert_eq!(plan.wal_append_fault(), WalWriteFault::Skip, "WAL dead too");
+    }
+
+    #[test]
+    fn periodic_crash_rule_fires_on_the_first_multiple_only() {
+        // `crash=every:7` (the CI suite spec): appends 1..=6 proceed, 7 proceeds then the
+        // layer is dead — the periodicity never produces a second crash because the
+        // process is already "dead".
+        let plan = FaultPlan::parse("crash=every:7;seed=3").unwrap();
+        for _ in 0..7 {
+            assert_eq!(plan.wal_append_fault(), WalWriteFault::Proceed);
+        }
+        assert_eq!(plan.wal_append_fault(), WalWriteFault::Skip);
+    }
+
+    #[test]
+    fn disabled_plan_never_touches_durability() {
+        let plan = FaultPlan::disabled();
+        for _ in 0..4 {
+            assert_eq!(plan.wal_append_fault(), WalWriteFault::Proceed);
+            assert_eq!(plan.checkpoint_fault(), CheckpointWriteFault::Proceed);
         }
     }
 

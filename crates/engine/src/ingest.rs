@@ -46,7 +46,7 @@ use dynsld_telemetry::Telemetry;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What a full submission queue does to the submitting producer.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -101,6 +101,16 @@ pub enum IngestError {
         /// The event that was not enqueued.
         event: GraphUpdate,
     },
+    /// A bounded-wait submit ([`IngestHandle::submit_deadline`]) waited out its whole
+    /// timeout without a queue slot freeing up. The producer gets its event back and can
+    /// retry, reroute, or shed it — unlike [`Backpressure::Block`], it is never parked
+    /// indefinitely behind a stalled driver.
+    SubmitTimeout {
+        /// The event that was not enqueued.
+        event: GraphUpdate,
+        /// The timeout that elapsed.
+        timeout: Duration,
+    },
 }
 
 impl std::fmt::Display for IngestError {
@@ -111,6 +121,12 @@ impl std::fmt::Display for IngestError {
             }
             IngestError::Closed { event } => {
                 write!(f, "ingest pipeline closed, event {event:?} not enqueued")
+            }
+            IngestError::SubmitTimeout { event, timeout } => {
+                write!(
+                    f,
+                    "no queue slot freed within {timeout:?}, event {event:?} not enqueued"
+                )
             }
         }
     }
@@ -331,6 +347,59 @@ impl IngestQueue {
         }
     }
 
+    /// Bounded-wait enqueue: behaves like [`Backpressure::Block`] while the deadline has
+    /// not passed, then gives the event back with [`IngestError::SubmitTimeout`]. Spurious
+    /// wakeups and lost slot races re-wait on the *remaining* time, so the total wait
+    /// never exceeds `timeout` by more than scheduling noise.
+    pub(crate) fn push_deadline(
+        &self,
+        event: GraphUpdate,
+        timeout: Duration,
+    ) -> Result<(), IngestError> {
+        let deadline = Instant::now() + timeout;
+        let submit_start = self.telemetry.is_enabled().then(Instant::now);
+        let mut block_start: Option<Instant> = None;
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut wait_counted = false;
+        loop {
+            if state.closed {
+                return Err(IngestError::Closed { event });
+            }
+            if state.buf.len() < self.capacity {
+                state.buf.push_back(event);
+                self.enqueued.fetch_add(1, Ordering::Relaxed);
+                self.depth_watermark
+                    .fetch_max(state.buf.len() as u64, Ordering::Relaxed);
+                self.not_empty.notify_one();
+                if let Some(start) = submit_start {
+                    if let Some(blocked) = block_start {
+                        self.telemetry
+                            .record_duration("ingest.block_wait_ns", blocked.elapsed());
+                    }
+                    self.telemetry
+                        .record_duration("ingest.submit_ns", start.elapsed());
+                }
+                return Ok(());
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(IngestError::SubmitTimeout { event, timeout });
+            }
+            if !wait_counted {
+                wait_counted = true;
+                self.block_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            if submit_start.is_some() && block_start.is_none() {
+                block_start = Some(Instant::now());
+            }
+            state = self
+                .not_full
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
     /// Records a non-empty drain: the per-drain depth gauge plus the sampled depth histogram.
     fn note_drain(&self, depth: usize) {
         self.last_drain_depth.store(depth as u64, Ordering::Relaxed);
@@ -523,6 +592,39 @@ impl IngestHandle {
     /// otherwise return [`IngestError::QueueFull`] immediately.
     pub fn try_submit(&self, event: GraphUpdate) -> Result<(), IngestError> {
         self.shared.queue.push(event, Backpressure::Fail)
+    }
+
+    /// Bounded-wait submit, regardless of this handle's mode: waits like
+    /// [`Backpressure::Block`] for up to `timeout`, then returns
+    /// [`IngestError::SubmitTimeout`] with the event instead of parking indefinitely
+    /// behind a stalled driver. The middle ground between [`submit`](Self::submit) under
+    /// `Block` (unbounded wait) and [`try_submit`](Self::try_submit) (no wait at all).
+    pub fn submit_deadline(
+        &self,
+        event: GraphUpdate,
+        timeout: Duration,
+    ) -> Result<(), IngestError> {
+        self.shared.queue.push_deadline(event, timeout)
+    }
+
+    /// Enqueues a whole batch under one shared deadline: each event waits at most the
+    /// *remaining* time, so the call returns within `timeout` (plus scheduling noise)
+    /// however long the batch. Stops at the first error; returns how many events were
+    /// enqueued, with the offending event inside the error and everything before it
+    /// staying queued.
+    pub fn submit_all_deadline(
+        &self,
+        events: impl IntoIterator<Item = GraphUpdate>,
+        timeout: Duration,
+    ) -> Result<usize, IngestError> {
+        let deadline = Instant::now() + timeout;
+        let mut count = 0;
+        for event in events {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            self.shared.queue.push_deadline(event, remaining)?;
+            count += 1;
+        }
+        Ok(count)
     }
 
     /// Events currently queued (a racy snapshot — producers and the driver keep moving).
@@ -730,14 +832,34 @@ impl FlusherDriver {
         }
         let final_flush = self.service.flush_direct()?;
         total.flushes.absorb(final_flush);
+        // The retiring driver leaves the durable layer at a clean cut: WAL synced and a
+        // final checkpoint covering everything (no-ops on non-durable services).
+        self.service.durable_sync_drain()?;
+        self.service.maybe_checkpoint(true)?;
         Ok(total)
     }
 
     /// Flushes every shard's pending buffer now (concurrently on the pool when the service
     /// has more than one flush thread) and publishes the merged view. The queue is not
-    /// drained first — pair with [`pump`](Self::pump) for a drain-then-flush tick.
+    /// drained first — pair with [`pump`](Self::pump) for a drain-then-flush tick. On a
+    /// durable service the flushed state is a quiescent point, so a due checkpoint is
+    /// taken here.
     pub fn flush(&mut self) -> Result<ServiceFlushReport, ServiceError> {
-        self.service.flush_direct()
+        let report = self.service.flush_direct()?;
+        self.service.durable_sync_drain()?;
+        self.service.maybe_checkpoint(false)?;
+        Ok(report)
+    }
+
+    /// Flushes everything pending and forces a checkpoint *now*, regardless of the
+    /// [`checkpoint_every_records`](crate::ServiceBuilder::checkpoint_every_records)
+    /// cadence. Returns whether a checkpoint was written — `false` on a non-durable
+    /// service, when no WAL records are uncovered, or when a shard is quarantined (a
+    /// torn engine's state must never be captured).
+    pub fn checkpoint(&mut self) -> Result<bool, ServiceError> {
+        self.service.flush_direct()?;
+        self.service.durable_sync_drain()?;
+        self.service.maybe_checkpoint(true)
     }
 
     /// Grows the vertex set of every shard by `k` isolated vertices, publishing the grown
@@ -787,6 +909,12 @@ impl FlusherDriver {
             let flushed = self.service.flush_direct()?;
             report.flushes.absorb(flushed);
         }
+        // End-of-drain durability hooks (no-ops on non-durable services): force unsynced
+        // WAL appends to disk per the fsync policy, then take a checkpoint if one is due —
+        // it only fires at quiescent points, so under `Manual` it waits for an explicit
+        // [`flush`](Self::flush).
+        self.service.durable_sync_drain()?;
+        self.service.maybe_checkpoint(false)?;
         Ok(report)
     }
 }
@@ -954,6 +1082,70 @@ mod tests {
         );
         every.push(ins(2, 3, 1.0), Backpressure::Block).unwrap();
         assert_eq!(every.counters().full_rejections, 0);
+    }
+
+    #[test]
+    fn submit_deadline_enqueues_when_capacity_is_free() {
+        let q = IngestQueue::new(2, Telemetry::disabled(), FaultPlan::disabled());
+        q.push_deadline(ins(0, 1, 1.0), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.counters().block_waits, 0, "no wait when a slot is free");
+    }
+
+    #[test]
+    fn submit_deadline_times_out_on_a_stalled_queue() {
+        // Full queue, no consumer: the bounded wait must elapse and hand the event back
+        // instead of parking forever (which `Block` would).
+        let q = IngestQueue::new(1, Telemetry::disabled(), FaultPlan::disabled());
+        q.push(ins(0, 1, 1.0), Backpressure::Block).unwrap();
+        let timeout = Duration::from_millis(20);
+        let started = Instant::now();
+        assert_eq!(
+            q.push_deadline(ins(2, 3, 1.0), timeout),
+            Err(IngestError::SubmitTimeout {
+                event: ins(2, 3, 1.0),
+                timeout,
+            })
+        );
+        assert!(started.elapsed() >= timeout, "the full timeout was waited");
+        assert_eq!(q.len(), 1, "the timed-out event was not enqueued");
+        assert_eq!(q.counters().block_waits, 1, "the wait was counted");
+        // Draining frees the slot and the same submit succeeds within its deadline.
+        assert_eq!(q.pop_all(), vec![ins(0, 1, 1.0)]);
+        q.push_deadline(ins(2, 3, 1.0), timeout).unwrap();
+        assert_eq!(q.pop_all(), vec![ins(2, 3, 1.0)]);
+    }
+
+    #[test]
+    fn submit_deadline_wakes_when_the_consumer_drains() {
+        let q = Arc::new(IngestQueue::new(
+            1,
+            Telemetry::disabled(),
+            FaultPlan::disabled(),
+        ));
+        q.push(ins(0, 1, 1.0), Backpressure::Block).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_deadline(ins(2, 3, 1.0), Duration::from_secs(30)))
+        };
+        while q.counters().block_waits == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(q.pop_all(), vec![ins(0, 1, 1.0)]);
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop_all(), vec![ins(2, 3, 1.0)]);
+    }
+
+    #[test]
+    fn submit_all_deadline_shares_one_deadline_across_the_batch() {
+        let q = IngestQueue::new(8, Telemetry::disabled(), FaultPlan::disabled());
+        // Plenty of capacity: the whole batch lands well inside the deadline.
+        let handle_less_batch = vec![ins(0, 1, 1.0), ins(1, 2, 2.0), ins(2, 3, 3.0)];
+        for e in &handle_less_batch {
+            q.push_deadline(*e, Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(q.pop_all(), handle_less_batch);
     }
 
     #[test]

@@ -122,7 +122,9 @@ pub use delta::{
     merge_flat_clusterings, Patch, ShardDelta, SnapshotDelta, SyncResponse, ThresholdRelabel,
 };
 pub use engine::{ClusteringEngine, EngineError, FlushReport};
-pub use faults::{FaultPlan, FaultSpecError, InjectedFault, WireFault};
+pub use faults::{
+    CheckpointWriteFault, FaultPlan, FaultSpecError, InjectedFault, WalWriteFault, WireFault,
+};
 pub use ingest::{Backpressure, DrainReport, FlusherDriver, IngestError, IngestHandle, ReadHandle};
 pub use metrics::Metrics;
 pub use partition::{
@@ -130,9 +132,13 @@ pub use partition::{
     StatefulPartitioner,
 };
 pub use service::{
-    ClusterService, ConfigError, FlushPolicy, RecoveryReport, ServiceBuilder, ServiceError,
-    ServiceFlushReport, ServiceSnapshot, ShardHealth,
+    ClusterService, ConfigError, DurabilityReport, FlushPolicy, RecoveryReport, ServiceBuilder,
+    ServiceError, ServiceFlushReport, ServiceSnapshot, ShardHealth,
 };
+
+// The durable layer's tuning vocabulary, re-exported so durable services can be configured
+// without depending on `dynsld-durable` directly.
+pub use dynsld_durable::FsyncPolicy;
 pub use snapshot::EngineSnapshot;
 
 // The event vocabulary is defined next to the workload generators so that generated streams

@@ -129,6 +129,19 @@ pub struct Metrics {
     pub wire_timeouts: u64,
     /// Reads and syncs served from a view with at least one quarantined (stale) shard.
     pub stale_reads_served: u64,
+    /// Records acknowledged into the write-ahead log. Zero on single-engine metrics and on
+    /// services built without `ServiceBuilder::durable`; set by `ClusterService::metrics`.
+    pub wal_records_appended: u64,
+    /// Bytes written to WAL segments (frames plus segment headers).
+    pub wal_bytes_written: u64,
+    /// Checkpoints written durably (temp-file + fsync + rename completed).
+    pub checkpoints_written: u64,
+    /// Torn WAL tails truncated during recovery — each one is a crash caught mid-append
+    /// whose partial record was discarded instead of failing the open.
+    pub torn_tails_truncated: u64,
+    /// Crash recoveries completed at build time (checkpoint restored and/or WAL tail
+    /// replayed). At most 1 per service instance; summed across merges.
+    pub recoveries_completed: u64,
 }
 
 impl Metrics {
@@ -180,6 +193,11 @@ impl Metrics {
             out.wire_retries += m.wire_retries;
             out.wire_timeouts += m.wire_timeouts;
             out.stale_reads_served += m.stale_reads_served;
+            out.wal_records_appended += m.wal_records_appended;
+            out.wal_bytes_written += m.wal_bytes_written;
+            out.checkpoints_written += m.checkpoints_written;
+            out.torn_tails_truncated += m.torn_tails_truncated;
+            out.recoveries_completed += m.recoveries_completed;
         }
         out
     }
@@ -334,6 +352,11 @@ mod tests {
             wire_retries: 3 + 2 * k,
             wire_timeouts: 4 * k,
             stale_reads_served: 5 + k,
+            wal_records_appended: 60 + 4 * k,
+            wal_bytes_written: 2048 * (k + 1),
+            checkpoints_written: 3 + k,
+            torn_tails_truncated: k,
+            recoveries_completed: 1 + k,
         }
     }
 
@@ -382,6 +405,13 @@ mod tests {
         assert_eq!(merged.wire_retries, 3 + 5 + 7);
         assert_eq!(merged.wire_timeouts, 4 + 8);
         assert_eq!(merged.stale_reads_served, 5 + 6 + 7);
+        // Durability counters are plain sums (one WAL per service, but merging services —
+        // or a service with subscriber-side metrics — must not lose any of them).
+        assert_eq!(merged.wal_records_appended, 60 + 64 + 68);
+        assert_eq!(merged.wal_bytes_written, 2048 + 4096 + 6144);
+        assert_eq!(merged.checkpoints_written, 3 + 4 + 5);
+        assert_eq!(merged.torn_tails_truncated, 1 + 2);
+        assert_eq!(merged.recoveries_completed, 1 + 2 + 3);
     }
 
     #[test]

@@ -231,6 +231,36 @@ impl AssignmentTable {
         let new_len = self.shard_of.len() + k;
         self.shard_of.resize(new_len, UNASSIGNED);
     }
+
+    /// The raw per-vertex shard array, with `u32::MAX` for unassigned vertices — the
+    /// checkpoint serialization format used by the durability layer.
+    pub fn to_raw(&self) -> Vec<u32> {
+        self.shard_of.clone()
+    }
+
+    /// Rebuilds a table from a raw array produced by [`to_raw`](Self::to_raw), recomputing
+    /// per-shard loads.
+    ///
+    /// # Panics
+    /// Panics if any assigned entry names a shard outside `0..num_shards` — a checkpoint
+    /// written at a different shard count cannot be restored into this table.
+    pub fn from_raw(raw: Vec<u32>, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "a service always has at least one shard");
+        let mut loads = vec![0u64; num_shards];
+        for &s in &raw {
+            if s != UNASSIGNED {
+                assert!(
+                    (s as usize) < num_shards,
+                    "checkpointed assignment names shard {s}, but the service has {num_shards}"
+                );
+                loads[s as usize] += 1;
+            }
+        }
+        AssignmentTable {
+            shard_of: raw,
+            loads,
+        }
+    }
 }
 
 /// A shard chooser consulted once per vertex, on the vertex's first appearance in the routed

@@ -56,7 +56,99 @@ fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
     (status, body)
 }
 
+/// Kill-and-restart smoke (`DYNSLD_RESTART_SMOKE=1`): a durable service serves a wire
+/// subscriber, the whole process state is thrown away mid-stream (server down, driver
+/// dropped — no clean close, no final checkpoint), and a second life recovered from the
+/// same directory keeps ingesting. The subscriber repoints at the restarted server and
+/// must converge: its mirror ends bit-identical to the recovered service's published view.
+fn restart_smoke() {
+    let n = 128;
+    let dir = std::env::temp_dir().join(format!("dynsld-restart-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let build = || {
+        ServiceBuilder::new()
+            .vertices(n)
+            .shards(2)
+            .flush_policy(FlushPolicy::EveryNOps(64))
+            .delta_ring(64)
+            .track_thresholds([TAU])
+            .durable(&dir)
+            .build()
+            .expect("valid configuration")
+    };
+    let stream = GraphWorkloadBuilder::new(n)
+        .weight_scale(8.0)
+        .community_stream(8, 0.10, 2 * n, 1_500, 42);
+    let split = stream.updates.len() / 2;
+
+    // First life: journal and serve half the stream, then die without ceremony.
+    let first_revision;
+    let mut subscriber;
+    {
+        let service = build();
+        let ingest = service.ingest_handle();
+        let read = service.read_handle();
+        let mut driver = service.into_driver();
+        let server =
+            DeltaServer::bind("127.0.0.1:0", read.clone(), Telemetry::disabled()).expect("bind");
+        for &update in &stream.updates[..split] {
+            ingest.submit(update).expect("queue open");
+        }
+        driver.pump().expect("valid stream");
+        driver.flush().expect("flush");
+        subscriber = WireSubscriber::connect(server.local_addr()).expect("connect");
+        let report = subscriber.sync().expect("first-life sync");
+        first_revision = report.revision;
+        server.shutdown();
+        // The crash: driver, handles, and service drop here with the queue still open.
+    }
+
+    // Second life: recover from the journal, finish the stream, serve on a fresh socket.
+    let service = build();
+    let recovery = service.durability().expect("durable service").clone();
+    assert!(recovery.recovered, "the journal must drive a recovery");
+    let ingest = service.ingest_handle();
+    let read = service.read_handle();
+    let mut driver = service.into_driver();
+    for &update in &stream.updates[split..] {
+        ingest.submit(update).expect("queue open");
+    }
+    driver.pump().expect("valid stream");
+    driver.flush().expect("flush");
+    let server =
+        DeltaServer::bind("127.0.0.1:0", read.clone(), Telemetry::disabled()).expect("rebind");
+    subscriber.reconnect(server.local_addr()).expect("repoint");
+    let caught_up = subscriber.sync().expect("post-restart sync");
+
+    // Convergence pin: the pre-crash mirror ends bit-identical to the recovered view.
+    let published = read.snapshot();
+    let mirror = subscriber.mirror().expect("synced");
+    assert_eq!(mirror.revision(), published.revision());
+    assert_eq!(mirror.epochs(), published.epochs());
+    let (a, b) = (mirror.flat_clustering(TAU), published.flat_clustering(TAU));
+    assert_eq!(a.labels, b.labels, "labels diverged across the restart");
+    assert_eq!(
+        a.clusters, b.clusters,
+        "member lists diverged across the restart"
+    );
+    println!(
+        "restart smoke OK: first life served revision {first_revision} \
+         ({} records durable, checkpoint lsn {}, {} replayed), subscriber converged at \
+         revision {} via {:?}",
+        recovery.records_durable,
+        recovery.checkpoint_lsn,
+        recovery.wal_records_replayed,
+        published.revision(),
+        caught_up.outcome
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
+    if std::env::var("DYNSLD_RESTART_SMOKE").as_deref() == Ok("1") {
+        return restart_smoke();
+    }
     let telemetry = Telemetry::enabled();
     let service = ServiceBuilder::new()
         .vertices(N)

@@ -217,6 +217,46 @@ fn entry_panics_are_retried_transparently_across_a_whole_stream() {
     );
 }
 
+/// `recover_shard` on a **healthy** shard is a contractual no-op — it must not silently
+/// rebuild the engine. Nothing is replayed, the shard's epoch and the published revision
+/// are untouched, and the recovery counter stays at zero.
+#[test]
+fn recovering_a_healthy_shard_is_a_pinned_no_op() {
+    use dynsld_engine::GraphUpdate;
+    use dynsld_forest::VertexId;
+    let service = ServiceBuilder::new()
+        .vertices(8)
+        .shards(2)
+        .partitioner(dynsld_engine::BlockPartitioner { block_size: 4 })
+        .build()
+        .expect("valid configuration");
+    let ingest = service.ingest_handle();
+    let read = service.read_handle();
+    let mut driver = service.into_driver();
+    ingest
+        .submit(GraphUpdate::Insert {
+            u: VertexId(0),
+            v: VertexId(1),
+            weight: 1.0,
+        })
+        .unwrap();
+    drain(&mut driver);
+
+    let before = read.snapshot();
+    assert!(!before.is_stale());
+    for shard in [ShardId::Routed(0), ShardId::Routed(1), ShardId::Spill] {
+        let report = driver.recover_shard(shard).expect("healthy recovery is Ok");
+        assert_eq!(report.shard, shard);
+        assert_eq!(report.events_replayed, 0, "{shard:?}: nothing to replay");
+        assert!(report.rejected.is_empty());
+    }
+    let after = read.snapshot();
+    assert_eq!(after.revision(), before.revision(), "no republish happened");
+    assert_eq!(after.epochs(), before.epochs(), "no engine was rebuilt");
+    assert_eq!(driver.service().metrics().shard_recoveries, 0);
+    assert_views_bit_identical(&before, &after, "healthy-shard no-op recovery");
+}
+
 /// Server killed mid-delta-chain: a subscriber that already mirrored revision `r0` syncs
 /// against a restarted server (same service, new socket) and — because the delta ring still
 /// covers its anchor — catches up via the delta chain, bit-identical to the published view.

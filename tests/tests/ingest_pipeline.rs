@@ -96,7 +96,7 @@ fn submit_or_pump(ingest: &IngestHandle, driver: &mut FlusherDriver, event: Grap
             Err(IngestError::QueueFull { .. }) => {
                 driver.pump().expect("validated stream cannot hard-fail");
             }
-            Err(e @ IngestError::Closed { .. }) => panic!("queue unexpectedly closed: {e}"),
+            Err(e) => panic!("unexpected ingest failure: {e}"),
         }
     }
 }
